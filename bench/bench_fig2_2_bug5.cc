@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figures 2.2 / 2.3 — Bug #5 timing diagrams.
+ *
+ * Drives the RTL model through the bug-#5 scenario and prints the
+ * cycle-by-cycle waveform for both cases: the glitch masked by the
+ * refill logic's second write (Figure 2.2) and the external stall
+ * landing in the window of opportunity so garbage reaches the
+ * register file (Figure 2.3).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/bug5_scenario.hh"
+
+using namespace archval;
+
+namespace
+{
+
+void
+show(const char *title, const harness::Bug5Outcome &outcome)
+{
+    std::printf("\n%s\n", title);
+    for (const auto &line : outcome.waveform)
+        std::printf("  %s\n", line.c_str());
+    std::printf("  register value: 0x%08x (expected 0x%08x) -> %s\n",
+                outcome.loadedValue, outcome.expectedValue,
+                outcome.corrupted ? "CORRUPTED" : "correct");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 2.2 / 2.3", "Bug #5 timing diagrams");
+    rtl::PpConfig config = bench::benchSimConfig();
+
+    std::printf("\nscenario: a load misses the D-cache; another "
+                "load/store follows in the pipe;\nthe critical-word-"
+                "first restart drives the word onto Membus, the "
+                "glitch\noverwrites it, and the refill logic's second "
+                "write normally corrects it.\n");
+
+    show("Figure 2.2 — glitch masked (no external stall):",
+         harness::runBug5Scenario(config, false, true));
+    show("Figure 2.3 — external stall in the window (garbage "
+         "written):",
+         harness::runBug5Scenario(config, true, true));
+    show("fixed design, same external stall (for contrast):",
+         harness::runBug5Scenario(config, true, false));
+
+    auto masked = harness::runBug5Scenario(config, false, true);
+    auto corrupted = harness::runBug5Scenario(config, true, true);
+    auto fixed = harness::runBug5Scenario(config, true, false);
+    bool shape_ok =
+        !masked.corrupted && corrupted.corrupted && !fixed.corrupted;
+    std::printf("\nshape check: %s (glitch masked without stall, "
+                "garbage with stall, fixed\ndesign immune)\n",
+                shape_ok ? "OK" : "FAILED");
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control-mutation sweep — what the methodology can and cannot see
+ * (Section 4's caveat, measured).
+ *
+ * Each mutation drops one qualification term inside the PP control
+ * equations (a "single control logic" bug in the Table 1.1
+ * taxonomy). Because the FSM model is derived from the same mutated
+ * control, the vectors still drive the implementation through every
+ * arc of its (buggy) state graph; result comparison then catches
+ * exactly the mutations whose misbehaviour reaches architectural
+ * state, while timing-only mutations escape — "performance bugs may
+ * be in the design and not detected" unless the specification is
+ * made cycle-accurate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/validation_flow.hh"
+#include "rtl/mutations.hh"
+#include "support/strings.hh"
+
+using namespace archval;
+
+int
+main()
+{
+    bench::banner("Mutation sweep",
+                  "Single-control-logic bugs through the full flow");
+
+    rtl::PpConfig base = bench::benchSimConfig();
+
+    std::printf("\n%-18s %-44s %10s %10s %10s\n", "mutation",
+                "dropped qualification", "states", "detected",
+                "expected");
+    bool shape_ok = true;
+    for (size_t m = 0; m < rtl::numMutations; ++m) {
+        rtl::MutationId mutation = static_cast<rtl::MutationId>(m);
+        rtl::PpConfig config = base;
+        config.mutations.set(m);
+
+        core::FlowOptions options;
+        options.stopAtFirstDivergence = true;
+        core::PpValidationFlow flow(config, options);
+        core::FlowReport report = flow.run();
+
+        bool expected = rtl::mutationDataVisible(mutation);
+        bool ok = report.bugFound() == expected;
+        shape_ok &= ok;
+        std::printf("%-18s %-44s %10s %10s %10s%s\n",
+                    rtl::mutationName(mutation),
+                    rtl::mutationSummary(mutation),
+                    withCommas(flow.enumStats().numStates).c_str(),
+                    report.bugFound() ? "yes" : "no",
+                    expected ? "yes" : "no", ok ? "" : "  <-- ?");
+    }
+
+    std::printf(
+        "\nnotes:\n"
+        "  - detected mutations corrupt architectural state "
+        "(ordering violations, lost\n    stores, wedged ports); the "
+        "flow exposes them like any Table 2.1 bug.\n"
+        "  - undetected mutations change only timing; catching them "
+        "needs a\n    cycle-accurate specification (the paper's "
+        "stated limitation, which it\n    deliberately avoided to "
+        "keep the models independent).\n");
+    std::printf("\nshape check: %s\n", shape_ok ? "OK" : "FAILED");
+    return shape_ok ? 0 : 1;
+}

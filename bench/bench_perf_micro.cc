@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the library's hot paths:
+ * packed-state hashing, the PP next-state function, explicit-state
+ * enumeration throughput, and tour generation throughput. These are
+ * the knobs behind the Table 3.2 / 3.3 "execution time" rows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/tour.hh"
+#include "murphi/enumerator.hh"
+#include "rtl/pp_fsm_model.hh"
+#include "support/bitvec.hh"
+#include "support/rng.hh"
+
+using namespace archval;
+
+namespace
+{
+
+void
+BM_BitVecHash(benchmark::State &state)
+{
+    BitVec vec(static_cast<size_t>(state.range(0)));
+    Rng rng(1);
+    for (size_t i = 0; i < vec.numBits(); i += 64) {
+        vec.setField(i, std::min<size_t>(64, vec.numBits() - i),
+                     rng.next());
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vec.hash());
+}
+BENCHMARK(BM_BitVecHash)->Arg(32)->Arg(98)->Arg(256);
+
+void
+BM_BitVecFieldAccess(benchmark::State &state)
+{
+    BitVec vec(128);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        vec.setField((i * 7) % 64, 9, i);
+        benchmark::DoNotOptimize(vec.getField((i * 11) % 64, 9));
+        ++i;
+    }
+}
+BENCHMARK(BM_BitVecFieldAccess);
+
+void
+BM_PpNextState(benchmark::State &state)
+{
+    rtl::PpFsmModel model(rtl::PpConfig::smallPreset());
+    BitVec reset = model.resetState();
+    fsm::Choice choice(rtl::numPpChoiceVars, 0);
+    choice[static_cast<size_t>(rtl::PpChoiceVar::IHit)] = 1;
+    for (auto _ : state) {
+        auto t = model.next(reset, choice);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_PpNextState);
+
+void
+BM_Enumeration(benchmark::State &state)
+{
+    rtl::PpConfig config = rtl::PpConfig::smallPreset();
+    for (auto _ : state) {
+        rtl::PpFsmModel model(config);
+        murphi::Enumerator enumerator(model);
+        auto graph = enumerator.run();
+        benchmark::DoNotOptimize(graph.numStates());
+        state.counters["states/s"] = benchmark::Counter(
+            static_cast<double>(graph.numStates()),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_Enumeration)->Unit(benchmark::kMillisecond);
+
+void
+BM_TourGeneration(benchmark::State &state)
+{
+    rtl::PpFsmModel model(rtl::PpConfig::smallPreset());
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    for (auto _ : state) {
+        graph::TourGenerator generator(graph);
+        auto traces = generator.run();
+        benchmark::DoNotOptimize(traces.size());
+        state.counters["edges/s"] = benchmark::Counter(
+            static_cast<double>(
+                generator.stats().totalEdgeTraversals),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_TourGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 1.1 — Classification of MIPS R4000 errata.
+ *
+ * The paper motivates the method with the published MIPS
+ * R4000PC/SC rev 2.2/3.0 errata, classified by which parts of the
+ * design interacted to cause each bug. We reproduce the table
+ * verbatim (it is published data) and classify our injectable PP
+ * fault library by the same taxonomy to show the reproduction
+ * targets the class that dominates real errata: multiple-event
+ * interactions.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "rtl/faults.hh"
+#include "support/strings.hh"
+
+using namespace archval;
+
+int
+main()
+{
+    bench::banner("Table 1.1", "Classification of MIPS R4000 errata");
+
+    struct Row
+    {
+        const char *cls;
+        unsigned count;
+        double percent;
+    };
+    // Published errata classification (paper Table 1.1).
+    const Row mips[] = {
+        {"Pipeline/Datapath ONLY bugs", 3, 6.5},
+        {"Single Control Logic Bugs", 17, 37.0},
+        {"Multiple Event Bugs", 26, 56.5},
+    };
+
+    std::printf("\nMIPS R4000 errata (published data, reproduced):\n");
+    std::printf("  %-32s %8s %10s\n", "Bug Class", "Number",
+                "% of Total");
+    unsigned total = 0;
+    for (const Row &r : mips) {
+        std::printf("  %-32s %8u %9.1f%%\n", r.cls, r.count,
+                    r.percent);
+        total += r.count;
+    }
+    std::printf("  %-32s %8u %9.1f%%\n", "Total Reported Errata",
+                total, 100.0);
+
+    // Our injectable fault library under the same taxonomy.
+    unsigned counts[3] = {0, 0, 0};
+    for (size_t b = 0; b < rtl::numBugs; ++b) {
+        counts[static_cast<size_t>(
+            rtl::bugClassOf(static_cast<rtl::BugId>(b)))]++;
+    }
+    std::printf("\nThis reproduction's injectable PP fault library "
+                "(Table 2.1 bugs):\n");
+    std::printf("  %-32s %8s\n", "Bug Class", "Number");
+    std::printf("  %-32s %8u\n",
+                rtl::bugClassName(rtl::BugClass::PipelineDatapathOnly),
+                counts[0]);
+    std::printf("  %-32s %8u\n",
+                rtl::bugClassName(rtl::BugClass::SingleControlLogic),
+                counts[1]);
+    std::printf("  %-32s %8u\n",
+                rtl::bugClassName(rtl::BugClass::MultipleEvent),
+                counts[2]);
+    std::printf("\nAll six published PP bugs are multiple-event "
+                "interactions — the class the\nmethodology targets "
+                "(%u/%u = %.1f%% of the R4000 errata).\n",
+                mips[2].count, total,
+                100.0 * mips[2].count / total);
+    return 0;
+}

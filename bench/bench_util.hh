@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: aligned
+ * paper-vs-measured rows and scale selection via ARCHVAL_BENCH_SCALE.
+ */
+
+#ifndef ARCHVAL_BENCH_BENCH_UTIL_HH
+#define ARCHVAL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rtl/pp_config.hh"
+
+namespace archval::bench
+{
+
+/** Print a bench banner. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s — %s\n", id, title);
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** Print one "row | paper value | measured value" line. */
+inline void
+row(const char *label, const std::string &paper,
+    const std::string &measured)
+{
+    std::printf("  %-34s %20s   %20s\n", label, paper.c_str(),
+                measured.c_str());
+}
+
+/** Print the table header for paper-vs-measured rows. */
+inline void
+rowHeader()
+{
+    std::printf("  %-34s %20s   %20s\n", "", "paper (PP, 1995)",
+                "this reproduction");
+    std::printf("  %-34s %20s   %20s\n", "",
+                "--------------------", "--------------------");
+}
+
+/**
+ * @return the PP configuration benches should use: the full preset by
+ * default, the small preset when ARCHVAL_BENCH_SCALE=small (useful
+ * for smoke runs).
+ */
+inline rtl::PpConfig
+benchConfig()
+{
+    const char *scale = std::getenv("ARCHVAL_BENCH_SCALE");
+    if (scale && std::strcmp(scale, "small") == 0)
+        return rtl::PpConfig::smallPreset();
+    return rtl::PpConfig::fullPreset();
+}
+
+/** @return a smaller config for simulation-heavy benches. */
+inline rtl::PpConfig
+benchSimConfig()
+{
+    const char *scale = std::getenv("ARCHVAL_BENCH_SCALE");
+    if (scale && std::strcmp(scale, "full") == 0)
+        return rtl::PpConfig::fullPreset();
+    return rtl::PpConfig::smallPreset();
+}
+
+} // namespace archval::bench
+
+#endif // ARCHVAL_BENCH_BENCH_UTIL_HH

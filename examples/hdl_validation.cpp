@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Domain example: validating an annotated Verilog controller.
+ *
+ * The design is a two-unit DMA-style handshake: a channel controller
+ * that arbitrates two requesters over one shared data port, and a
+ * port controller with a busy/service cycle — the "hardware separable
+ * into control and datapath with complex interactions" that Section 4
+ * says this method generalizes to.
+ *
+ * The example translates the Verilog, enumerates its control state
+ * graph, generates covering transition tours, and prints a sample of
+ * the force/release-style script the paper compiles with the
+ * simulation model.
+ */
+
+#include <cstdio>
+
+#include "core/validation_flow.hh"
+#include "hdl/translate.hh"
+#include "murphi/enumerator.hh"
+#include "support/strings.hh"
+
+using namespace archval;
+
+namespace
+{
+
+const char *dmaDesign = R"(
+// Port controller: accepts a grant, is busy for two cycles, then
+// signals done.
+module port_ctrl(clk, start, done);
+  input clk;
+  input start;
+  output done;
+  reg [1:0] state;   // vfsm state state reset 0
+  assign done = state == 2'd2;
+  always @(posedge clk) begin
+    case (state)
+      2'd0: if (start) state <= 2'd1;
+      2'd1: state <= 2'd2;
+      2'd2: state <= 2'd0;
+      default: state <= 2'd0;
+    endcase
+  end
+endmodule
+
+// Channel arbiter: two requesters, fixed priority with a fairness
+// flip bit; owns the single port.
+module arbiter(clk, req0, req1, start, done, grant0, grant1);
+  input clk;
+  input req0;
+  input req1;
+  output start;
+  input done;
+  output grant0;
+  output grant1;
+  reg [1:0] owner;   // vfsm state owner reset 0   (0=idle,1=ch0,2=ch1)
+  reg last;          // vfsm state last reset 0    (fairness)
+  assign grant0 = owner == 2'd1;
+  assign grant1 = owner == 2'd2;
+  assign start = owner != 2'd0 && !done;
+  always @(posedge clk) begin
+    if (owner == 2'd0) begin
+      if (req0 && req1) begin
+        if (last) owner <= 2'd1;
+        else owner <= 2'd2;
+      end else if (req0)
+        owner <= 2'd1;
+      else if (req1)
+        owner <= 2'd2;
+    end else if (done) begin
+      last <= owner == 2'd1;
+      owner <= 2'd0;
+    end
+  end
+endmodule
+
+module dma(clk, req0, req1);
+  input clk;
+  input req0;
+  input req1;
+  wire start, done, grant0, grant1;
+  arbiter arb (.clk(clk), .req0(req0), .req1(req1), .start(start),
+               .done(done), .grant0(grant0), .grant1(grant1));
+  port_ctrl port (.clk(clk), .start(start), .done(done));
+endmodule
+)";
+
+} // namespace
+
+int
+main()
+{
+    auto translated = hdl::translateSource(dmaDesign, "dma");
+    if (!translated.ok()) {
+        std::fprintf(stderr, "translate failed: %s\n",
+                     translated.errorMessage().c_str());
+        return 1;
+    }
+    const auto &model = *translated.value().model;
+
+    std::printf("translated modules: %s\n", model.name().c_str());
+    std::printf("state variables:\n");
+    for (const auto &var : model.stateVars())
+        std::printf("  %-12s %zu bit(s)\n", var.name.c_str(),
+                    var.numBits);
+    std::printf("abstract inputs:\n");
+    for (const auto &var : model.choiceVars())
+        std::printf("  %-12s %u value(s)\n", var.name.c_str(),
+                    var.cardinality);
+
+    core::ModelExploration exploration = core::exploreModel(model);
+    std::printf("\n%s\n", exploration.render().c_str());
+
+    // Show the edge conditions leaving reset — the transition
+    // condition mapping the vectors are made of.
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    auto codec = model.makeChoiceCodec();
+    std::printf("transitions out of reset:\n");
+    for (auto e : graph.outEdges(graph.resetState())) {
+        const auto &edge = graph.edge(e);
+        std::printf("  -> state %-4u when %s\n", edge.dst,
+                    model.describeChoice(codec.decode(edge.choiceCode))
+                        .c_str());
+    }
+    return 0;
+}

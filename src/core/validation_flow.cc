@@ -1,0 +1,148 @@
+#include "validation_flow.hh"
+
+#include "support/status.hh"
+#include "support/strings.hh"
+
+namespace archval::core
+{
+
+std::string
+FlowReport::render() const
+{
+    std::string out;
+    out += formatString("traces played        %s\n",
+                        withCommas(tracesPlayed).c_str());
+    out += formatString("diverging traces     %s\n",
+                        withCommas(divergingTraces).c_str());
+    out += formatString("lockstep errors      %s\n",
+                        withCommas(lockstepErrors).c_str());
+    out += formatString("cycles simulated     %s\n",
+                        withCommas(cyclesSimulated).c_str());
+    out += formatString("instructions         %s\n",
+                        withCommas(instructionsSimulated).c_str());
+    for (const auto &diff : divergences)
+        out += "  divergence: " + diff + "\n";
+    return out;
+}
+
+PpValidationFlow::PpValidationFlow(const rtl::PpConfig &config,
+                                   FlowOptions options)
+    : config_(config), options_(options),
+      model_(std::make_unique<rtl::PpFsmModel>(config))
+{
+    // The vector generator's condition mapping needs packed states.
+    options_.enumeration.retainStates = true;
+}
+
+PpValidationFlow::~PpValidationFlow() = default;
+
+const graph::StateGraph &
+PpValidationFlow::enumerate()
+{
+    if (!graph_) {
+        murphi::Enumerator enumerator(*model_, options_.enumeration);
+        graph_ = enumerator.run();
+        enumStats_ = enumerator.stats();
+    }
+    return *graph_;
+}
+
+const std::vector<graph::Trace> &
+PpValidationFlow::makeTours()
+{
+    if (!tours_) {
+        graph::TourGenerator generator(enumerate(), options_.tour);
+        tours_ = generator.run();
+        tourStats_ = generator.stats();
+        std::string check = graph::checkTourCoverage(*graph_, *tours_);
+        if (!check.empty())
+            panic("tour coverage check failed: " + check);
+    }
+    return *tours_;
+}
+
+const std::vector<vecgen::TestTrace> &
+PpValidationFlow::makeVectors()
+{
+    if (!vectors_) {
+        vecgen::VectorGenerator generator(*model_,
+                                          options_.vectorSeed);
+        vectors_ = generator.generateAll(enumerate(), makeTours());
+        vecStats_ = generator.stats();
+    }
+    return *vectors_;
+}
+
+FlowReport
+PpValidationFlow::simulate(const rtl::BugSet &bugs)
+{
+    const auto &vectors = makeVectors();
+    const auto &tours = *tours_;
+    harness::VectorPlayer player(config_);
+
+    FlowReport report;
+    for (size_t i = 0; i < vectors.size(); ++i) {
+        harness::PlayResult play =
+            options_.checkLockstep
+                ? player.playChecked(*model_, *graph_, tours[i],
+                                     vectors[i], bugs)
+                : player.play(vectors[i], bugs);
+        ++report.tracesPlayed;
+        report.cyclesSimulated += play.cycles;
+        report.instructionsSimulated += play.instructions;
+        report.lockstepErrors += play.lockstepErrors;
+        if (play.diverged) {
+            ++report.divergingTraces;
+            if (report.divergences.size() < 5) {
+                report.divergences.push_back(formatString(
+                    "trace %zu: %s", i, play.diff.c_str()));
+            }
+            if (options_.stopAtFirstDivergence)
+                break;
+        }
+    }
+    return report;
+}
+
+FlowReport
+PpValidationFlow::run(const rtl::BugSet &bugs)
+{
+    enumerate();
+    makeTours();
+    makeVectors();
+    return simulate(bugs);
+}
+
+std::string
+ModelExploration::render() const
+{
+    std::string out;
+    out += "--- state enumeration ---\n";
+    out += enumStats.render();
+    out += "--- state graph ---\n";
+    out += graph::renderSummary(summary);
+    out += "--- transition tours ---\n";
+    out += tourStats.render();
+    return out;
+}
+
+ModelExploration
+exploreModel(const fsm::Model &model, murphi::EnumOptions enum_options,
+             graph::TourOptions tour_options)
+{
+    ModelExploration exploration;
+    murphi::Enumerator enumerator(model, enum_options);
+    graph::StateGraph graph = enumerator.run();
+    exploration.enumStats = enumerator.stats();
+    exploration.summary = graph::summarize(graph);
+
+    graph::TourGenerator tours(graph, tour_options);
+    auto traces = tours.run();
+    exploration.tourStats = tours.stats();
+    std::string check = graph::checkTourCoverage(graph, traces);
+    if (!check.empty())
+        panic("tour coverage check failed: " + check);
+    return exploration;
+}
+
+} // namespace archval::core

@@ -1,0 +1,154 @@
+#include "built_model.hh"
+
+#include <bit>
+#include <memory>
+
+#include "support/status.hh"
+
+namespace archval::fsm
+{
+
+LambdaModel::LambdaModel(std::string name,
+                         std::vector<StateVarInfo> state_vars,
+                         std::vector<ChoiceVarInfo> choice_vars,
+                         NextFn next, InstrFn instr)
+    : name_(std::move(name)), stateVars_(std::move(state_vars)),
+      choiceVars_(std::move(choice_vars)), layout_(stateVars_),
+      next_(std::move(next)), instr_(std::move(instr))
+{
+    if (!next_)
+        fatal("LambdaModel requires a next-state function");
+}
+
+const std::vector<StateVarInfo> &
+LambdaModel::stateVars() const
+{
+    return stateVars_;
+}
+
+const std::vector<ChoiceVarInfo> &
+LambdaModel::choiceVars() const
+{
+    return choiceVars_;
+}
+
+BitVec
+LambdaModel::resetState() const
+{
+    BitVec state(layout_.totalBits());
+    for (size_t i = 0; i < stateVars_.size(); ++i)
+        layout_.set(state, i, stateVars_[i].resetValue);
+    return state;
+}
+
+std::optional<Transition>
+LambdaModel::next(const BitVec &state, const Choice &choice) const
+{
+    auto next_state = next_(state, choice);
+    if (!next_state)
+        return std::nullopt;
+    Transition t;
+    t.next = std::move(*next_state);
+    t.instructions = instr_ ? instr_(state, choice) : 0;
+    return t;
+}
+
+void
+ExplicitFsm::addState(const std::string &state)
+{
+    for (const auto &existing : states_) {
+        if (existing == state)
+            fatal("duplicate state '" + state + "' in FSM " + name_);
+    }
+    states_.push_back(state);
+}
+
+void
+ExplicitFsm::addInput(const std::string &input)
+{
+    for (const auto &existing : inputs_) {
+        if (existing == input)
+            fatal("duplicate input '" + input + "' in FSM " + name_);
+    }
+    inputs_.push_back(input);
+}
+
+void
+ExplicitFsm::addTransition(const std::string &src, const std::string &input,
+                           const std::string &dst)
+{
+    transitions_[{stateIndex(src), inputIndex(input)}] = stateIndex(dst);
+}
+
+void
+ExplicitFsm::forbid(const std::string &src, const std::string &input)
+{
+    forbidden_[{stateIndex(src), inputIndex(input)}] = true;
+}
+
+size_t
+ExplicitFsm::stateIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i] == name)
+            return i;
+    }
+    fatal("unknown state '" + name + "' in FSM " + name_);
+}
+
+size_t
+ExplicitFsm::inputIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+        if (inputs_[i] == name)
+            return i;
+    }
+    fatal("unknown input '" + name + "' in FSM " + name_);
+}
+
+std::optional<size_t>
+ExplicitFsm::step(size_t src, size_t input) const
+{
+    if (forbidden_.count({src, input}))
+        return std::nullopt;
+    auto it = transitions_.find({src, input});
+    if (it != transitions_.end())
+        return it->second;
+    return src; // default self-loop
+}
+
+std::unique_ptr<Model>
+ExplicitFsm::toModel() const
+{
+    if (states_.empty())
+        fatal("FSM " + name_ + " has no states");
+    if (inputs_.empty())
+        fatal("FSM " + name_ + " has no inputs");
+
+    size_t bits = std::bit_width(states_.size() - 1);
+    if (bits == 0)
+        bits = 1;
+
+    std::vector<StateVarInfo> state_vars = {{name_ + ".state", bits, 0}};
+    std::vector<ChoiceVarInfo> choice_vars = {
+        {name_ + ".input", static_cast<uint32_t>(inputs_.size())}};
+
+    // Copy the table by value so the Model owns an immutable snapshot.
+    auto table = *this;
+    auto next_fn = [table, bits](const BitVec &state, const Choice &choice)
+        -> std::optional<BitVec> {
+        size_t src = static_cast<size_t>(state.getField(0, bits));
+        auto dst = table.step(src, choice[0]);
+        if (!dst)
+            return std::nullopt;
+        BitVec out(bits);
+        out.setField(0, bits, *dst);
+        return out;
+    };
+
+    return std::make_unique<LambdaModel>(name_, std::move(state_vars),
+                                         std::move(choice_vars),
+                                         std::move(next_fn));
+}
+
+} // namespace archval::fsm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Programmatic model construction helpers.
+ *
+ * LambdaModel wraps a next-state closure; ExplicitFsm is a small
+ * named-state transition table used for the paper's Figure 4.1 / 4.2
+ * spec-vs-implementation examples and for unit tests.
+ */
+
+#ifndef ARCHVAL_FSM_BUILT_MODEL_HH
+#define ARCHVAL_FSM_BUILT_MODEL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fsm/model.hh"
+
+namespace archval::fsm
+{
+
+/** Model whose next-state function is an arbitrary closure. */
+class LambdaModel : public Model
+{
+  public:
+    using NextFn = std::function<std::optional<BitVec>(const BitVec &,
+                                                       const Choice &)>;
+    using InstrFn =
+        std::function<unsigned(const BitVec &, const Choice &)>;
+
+    /**
+     * @param name Model name for reports.
+     * @param state_vars Latched variable descriptors (layout order).
+     * @param choice_vars Nondeterministic choice descriptors.
+     * @param next Next-state closure.
+     * @param instr Optional per-edge instruction count closure.
+     */
+    LambdaModel(std::string name, std::vector<StateVarInfo> state_vars,
+                std::vector<ChoiceVarInfo> choice_vars, NextFn next,
+                InstrFn instr = nullptr);
+
+    std::string name() const override { return name_; }
+    const std::vector<StateVarInfo> &stateVars() const override;
+    const std::vector<ChoiceVarInfo> &choiceVars() const override;
+    BitVec resetState() const override;
+    std::optional<Transition> next(const BitVec &state,
+                                   const Choice &choice) const override;
+
+    /** @return the layout over this model's state variables. */
+    const StateLayout &layout() const { return layout_; }
+
+  private:
+    std::string name_;
+    std::vector<StateVarInfo> stateVars_;
+    std::vector<ChoiceVarInfo> choiceVars_;
+    StateLayout layout_;
+    NextFn next_;
+    InstrFn instr_;
+};
+
+/**
+ * Explicit transition-table FSM over named states and named inputs.
+ *
+ * Missing (state, input) pairs self-loop by default; this mirrors a
+ * controller that ignores an input in a state. Use forbid() to make a
+ * pair an illegal environment action instead.
+ */
+class ExplicitFsm
+{
+  public:
+    /** @param name FSM name; @p reset must be added via addState. */
+    explicit ExplicitFsm(std::string name) : name_(std::move(name)) {}
+
+    /** Add a state; the first state added is the reset state. */
+    void addState(const std::string &state);
+
+    /** Add an input symbol (one choice-variable alternative). */
+    void addInput(const std::string &input);
+
+    /** Define transition from @p src on @p input to @p dst. */
+    void addTransition(const std::string &src, const std::string &input,
+                       const std::string &dst);
+
+    /** Mark (src, input) as an illegal environment action. */
+    void forbid(const std::string &src, const std::string &input);
+
+    /** @return number of states. */
+    size_t numStates() const { return states_.size(); }
+
+    /** @return number of input symbols. */
+    size_t numInputs() const { return inputs_.size(); }
+
+    /** @return the state names in index order. */
+    const std::vector<std::string> &states() const { return states_; }
+
+    /** @return the input names in index order. */
+    const std::vector<std::string> &inputs() const { return inputs_; }
+
+    /** @return index of state @p name; fatal if unknown. */
+    size_t stateIndex(const std::string &name) const;
+
+    /** @return index of input @p name; fatal if unknown. */
+    size_t inputIndex(const std::string &name) const;
+
+    /**
+     * @return destination state index for (src, input): the defined
+     * transition, the self-loop default, or nullopt when forbidden.
+     */
+    std::optional<size_t> step(size_t src, size_t input) const;
+
+    /**
+     * Wrap as a Model with one state variable and one choice variable
+     * (the input symbol).
+     */
+    std::unique_ptr<Model> toModel() const;
+
+  private:
+    std::string name_;
+    std::vector<std::string> states_;
+    std::vector<std::string> inputs_;
+    std::map<std::pair<size_t, size_t>, size_t> transitions_;
+    std::map<std::pair<size_t, size_t>, bool> forbidden_;
+};
+
+} // namespace archval::fsm
+
+#endif // ARCHVAL_FSM_BUILT_MODEL_HH

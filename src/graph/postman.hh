@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chinese Postman lower bound and Euler-tour construction.
+ *
+ * The paper (Section 3.3) notes that a minimal transition tour of a
+ * non-symmetric strongly-connected graph is the Chinese Postman
+ * Problem [EJ72], solvable in polynomial time, but deliberately uses
+ * the cheaper greedy DFS+BFS scheme instead. This module provides the
+ * optimal baseline so the overhead of the greedy scheme can be
+ * measured (bench_tour_ablation).
+ *
+ * Enumerated state graphs are reset-rooted and generally not strongly
+ * connected (some edges exist only out of reset). We therefore solve
+ * the *resettable* variant: the simulator may return to reset at any
+ * time at the cost of one virtual transition, which models starting a
+ * new trace. Virtual reset returns make the reachable graph strongly
+ * connected, so the postman augmentation always exists.
+ */
+
+#ifndef ARCHVAL_GRAPH_POSTMAN_HH
+#define ARCHVAL_GRAPH_POSTMAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/state_graph.hh"
+
+namespace archval::graph
+{
+
+/** Result of the postman augmentation. */
+struct PostmanResult
+{
+    /** How many times each real edge must be traversed (>= 1). */
+    std::vector<uint32_t> multiplicity;
+
+    /** Virtual state->reset returns used (trace restarts). */
+    uint64_t resetReturns = 0;
+
+    /** Total traversals of real edges (sum of multiplicity). */
+    uint64_t totalTraversals = 0;
+
+    /** Lower-bound tour length including virtual returns. */
+    uint64_t tourLength = 0;
+};
+
+/**
+ * Solve the resettable directed Chinese Postman Problem on @p graph.
+ *
+ * Balances in/out degree using successive BFS shortest paths (all
+ * real edges cost 1; the virtual return to reset costs 1).
+ *
+ * @param graph Reset-rooted state graph.
+ * @return the augmentation; multiplicity[e] >= 1 for every edge.
+ */
+PostmanResult solveResettablePostman(const StateGraph &graph);
+
+/**
+ * Build a closed Euler tour over the multigraph defined by
+ * @p multiplicity (each edge e appears multiplicity[e] times) plus
+ * virtual reset returns, starting and ending at reset, using
+ * Hierholzer's algorithm.
+ *
+ * @param graph The underlying graph.
+ * @param result A balanced augmentation from solveResettablePostman.
+ * @return sequence of edge ids; a value of UINT32_MAX denotes a
+ *         virtual return to reset (a trace boundary).
+ */
+std::vector<EdgeId> hierholzerTour(const StateGraph &graph,
+                                   const PostmanResult &result);
+
+/** Sentinel edge id marking a virtual return to reset in a tour. */
+constexpr EdgeId resetReturnEdge = UINT32_MAX;
+
+/**
+ * Verify that @p tour is a closed walk from reset covering each edge
+ * e exactly multiplicity[e] times. @return empty string on success.
+ */
+std::string checkPostmanTour(const StateGraph &graph,
+                             const PostmanResult &result,
+                             const std::vector<EdgeId> &tour);
+
+} // namespace archval::graph
+
+#endif // ARCHVAL_GRAPH_POSTMAN_HH

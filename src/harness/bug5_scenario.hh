@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hand-built reproduction of PP bug #5's timing diagrams (paper
+ * Figures 2.2 and 2.3): a load that misses in the D-cache, followed
+ * by another load in the pipe, with the critical-word-first restart.
+ * A glitch on the Membus-valid signal overwrites the critical word;
+ * normally the refill logic's second write masks it (Figure 2.2),
+ * but an external stall landing in the window of opportunity
+ * suppresses the rewrite and garbage reaches the register file
+ * (Figure 2.3).
+ */
+
+#ifndef ARCHVAL_HARNESS_BUG5_SCENARIO_HH
+#define ARCHVAL_HARNESS_BUG5_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/pp_config.hh"
+
+namespace archval::harness
+{
+
+/** Outcome of one bug-5 scenario run. */
+struct Bug5Outcome
+{
+    std::vector<std::string> waveform; ///< per-cycle wave lines
+    uint32_t loadedValue = 0;          ///< value left in the register
+    uint32_t expectedValue = 0;        ///< architecturally correct
+    bool corrupted = false;            ///< loadedValue != expected
+};
+
+/**
+ * Run the scenario.
+ *
+ * @param config Machine configuration.
+ * @param external_stall Deliver the external stall inside the window
+ *        of opportunity (Figure 2.3) or not (Figure 2.2).
+ * @param bug_enabled Inject bug #5 or run the fixed design.
+ */
+Bug5Outcome runBug5Scenario(const rtl::PpConfig &config,
+                            bool external_stall, bool bug_enabled);
+
+} // namespace archval::harness
+
+#endif // ARCHVAL_HARNESS_BUG5_SCENARIO_HH

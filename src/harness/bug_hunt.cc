@@ -1,0 +1,104 @@
+#include "bug_hunt.hh"
+
+#include "support/strings.hh"
+
+namespace archval::harness
+{
+
+BugHunt::BugHunt(const rtl::PpConfig &config,
+                 const rtl::PpFsmModel &model,
+                 const graph::StateGraph &graph,
+                 const std::vector<vecgen::TestTrace> &tour_traces)
+    : config_(config), model_(model), graph_(graph),
+      tourTraces_(tour_traces)
+{
+}
+
+HuntResult
+BugHunt::hunt(rtl::BugId bug, uint64_t random_budget, uint64_t seed)
+{
+    HuntResult result;
+    result.bug = bug;
+    rtl::BugSet bugs;
+    bugs.set(static_cast<size_t>(bug));
+
+    VectorPlayer player(config_);
+
+    // Transition-tour vectors, in generation order.
+    for (const auto &trace : tourTraces_) {
+        PlayResult play = player.play(trace, bugs);
+        result.tour.instructions += play.instructions;
+        result.tour.cycles += play.cycles;
+        if (play.diverged) {
+            result.tour.detected = true;
+            result.tour.detail = formatString(
+                "trace %zu: %s", trace.traceIndex, play.diff.c_str());
+            break;
+        }
+    }
+
+    // Biased-random stimulus (naturalistic event rates) through the
+    // same generator and player — the paper's random baseline.
+    BiasedWalker walker(model_, graph_, seed);
+    vecgen::VectorGenerator generator(model_, seed ^ 0x5eedu);
+    const uint64_t chunk = 2'000;
+    size_t walk_index = 0;
+    while (result.random.instructions < random_budget) {
+        graph::Trace walk = walker.walk(chunk);
+        if (walk.edges.empty())
+            break;
+        vecgen::TestTrace trace =
+            generator.generate(graph_, walk, walk_index++);
+        PlayResult play = player.play(trace, bugs);
+        result.random.instructions += play.instructions;
+        result.random.cycles += play.cycles;
+        if (play.diverged) {
+            result.random.detected = true;
+            result.random.detail = formatString(
+                "walk %zu: %s", walk_index - 1, play.diff.c_str());
+            break;
+        }
+    }
+
+    // Hand-written directed tests.
+    for (const DirectedResult &directed :
+         runDirectedSuite(config_, bugs)) {
+        if (!directed.ran)
+            continue;
+        result.directed.instructions += directed.instructions;
+        result.directed.cycles += directed.cycles;
+        if (directed.diverged) {
+            result.directed.detected = true;
+            result.directed.detail =
+                directed.name + ": " + directed.diff;
+            break;
+        }
+    }
+
+    return result;
+}
+
+std::string
+renderHuntTable(const std::vector<HuntResult> &results)
+{
+    std::string out;
+    out += formatString("%-5s  %-28s  %-28s  %-28s\n", "bug",
+                        "tour vectors", "random vectors",
+                        "directed tests");
+    auto cell = [](const Detection &d) {
+        if (!d.detected)
+            return std::string("not detected");
+        return formatString("detected @ %s instrs",
+                            withCommas(d.instructions).c_str());
+    };
+    for (const auto &r : results) {
+        out += formatString("%-5s  %-28s  %-28s  %-28s\n",
+                            rtl::bugName(r.bug),
+                            cell(r.tour).c_str(),
+                            cell(r.random).c_str(),
+                            cell(r.directed).c_str());
+    }
+    return out;
+}
+
+} // namespace archval::harness

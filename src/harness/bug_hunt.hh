@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bug-detection experiments: for an injected bug, how quickly does
+ * each stimulus source (transition-tour vectors, random vectors,
+ * directed tests) expose it as an architectural divergence? This
+ * drives the Table 2.1 reproduction and the detection-latency bench.
+ */
+
+#ifndef ARCHVAL_HARNESS_BUG_HUNT_HH
+#define ARCHVAL_HARNESS_BUG_HUNT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/baselines.hh"
+#include "harness/vector_player.hh"
+
+namespace archval::harness
+{
+
+/** Detection record for one stimulus source. */
+struct Detection
+{
+    bool detected = false;
+    uint64_t instructions = 0; ///< cumulative until first divergence
+    uint64_t cycles = 0;       ///< cumulative until first divergence
+    std::string detail;        ///< trace/test identification + diff
+};
+
+/** Full result for one bug. */
+struct HuntResult
+{
+    rtl::BugId bug;
+    Detection tour;     ///< generated transition-tour vectors
+    Detection random;   ///< biased-random stimulus (same player)
+    Detection directed; ///< hand-written program suite
+};
+
+/**
+ * Runs the three stimulus sources against an injected bug.
+ */
+class BugHunt
+{
+  public:
+    /**
+     * @param config Machine configuration.
+     * @param model Enumerated FSM model (for vector generation).
+     * @param graph Enumerated state graph.
+     * @param tour_traces Transition-tour test traces (pre-generated).
+     */
+    BugHunt(const rtl::PpConfig &config, const rtl::PpFsmModel &model,
+            const graph::StateGraph &graph,
+            const std::vector<vecgen::TestTrace> &tour_traces);
+
+    /**
+     * Hunt @p bug.
+     *
+     * @param random_budget Instruction budget for the random source.
+     * @param seed Random-walk seed.
+     */
+    HuntResult hunt(rtl::BugId bug, uint64_t random_budget,
+                    uint64_t seed = 12345);
+
+  private:
+    rtl::PpConfig config_;
+    const rtl::PpFsmModel &model_;
+    const graph::StateGraph &graph_;
+    const std::vector<vecgen::TestTrace> &tourTraces_;
+};
+
+/** Render hunt results as the bench table. */
+std::string renderHuntTable(const std::vector<HuntResult> &results);
+
+} // namespace archval::harness
+
+#endif // ARCHVAL_HARNESS_BUG_HUNT_HH

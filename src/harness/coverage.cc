@@ -1,0 +1,43 @@
+#include "coverage.hh"
+
+namespace archval::harness
+{
+
+CoverageTracker::CoverageTracker(const graph::StateGraph &graph)
+    : graph_(graph), covered_(graph.numEdges(), false)
+{
+}
+
+void
+CoverageTracker::addEdge(graph::EdgeId edge, uint32_t instr_count)
+{
+    if (!covered_[edge]) {
+        covered_[edge] = true;
+        ++coveredCount_;
+    }
+    instructions_ += instr_count;
+    ++cycles_;
+}
+
+void
+CoverageTracker::addTrace(const graph::Trace &trace)
+{
+    for (graph::EdgeId e : trace.edges)
+        addEdge(e, graph_.edge(e).instrCount);
+}
+
+void
+CoverageTracker::samplePoint()
+{
+    curve_.push_back({instructions_, cycles_, coveredCount_});
+}
+
+double
+CoverageTracker::fraction() const
+{
+    return graph_.numEdges()
+               ? double(coveredCount_) / double(graph_.numEdges())
+               : 0.0;
+}
+
+} // namespace archval::harness

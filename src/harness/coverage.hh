@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Arc-coverage accounting over a state graph: the metric the paper's
+ * methodology maximizes per simulation cycle.
+ */
+
+#ifndef ARCHVAL_HARNESS_COVERAGE_HH
+#define ARCHVAL_HARNESS_COVERAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/state_graph.hh"
+#include "graph/tour.hh"
+
+namespace archval::harness
+{
+
+/** One point of a coverage-vs-cost curve. */
+struct CoveragePoint
+{
+    uint64_t instructions = 0; ///< cumulative instructions simulated
+    uint64_t cycles = 0;       ///< cumulative cycles simulated
+    uint64_t coveredEdges = 0; ///< distinct arcs exercised so far
+};
+
+/**
+ * Tracks which arcs of a graph have been exercised and samples a
+ * coverage curve.
+ */
+class CoverageTracker
+{
+  public:
+    /** @param graph Graph whose arcs are tracked (must outlive). */
+    explicit CoverageTracker(const graph::StateGraph &graph);
+
+    /** Record the traversal of one edge. */
+    void addEdge(graph::EdgeId edge, uint32_t instr_count);
+
+    /** Record a whole walk. */
+    void addTrace(const graph::Trace &trace);
+
+    /** Sample the current totals onto the curve. */
+    void samplePoint();
+
+    /** @return distinct edges covered. */
+    uint64_t coveredEdges() const { return coveredCount_; }
+
+    /** @return covered fraction in [0,1]. */
+    double fraction() const;
+
+    /** @return cumulative instructions over all recorded edges. */
+    uint64_t instructions() const { return instructions_; }
+
+    /** @return cumulative edge traversals (cycles). */
+    uint64_t cycles() const { return cycles_; }
+
+    /** @return the sampled curve. */
+    const std::vector<CoveragePoint> &curve() const { return curve_; }
+
+  private:
+    const graph::StateGraph &graph_;
+    std::vector<bool> covered_;
+    uint64_t coveredCount_ = 0;
+    uint64_t instructions_ = 0;
+    uint64_t cycles_ = 0;
+    std::vector<CoveragePoint> curve_;
+};
+
+} // namespace archval::harness
+
+#endif // ARCHVAL_HARNESS_COVERAGE_HH

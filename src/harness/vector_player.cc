@@ -1,0 +1,126 @@
+#include "vector_player.hh"
+
+#include "pp/ref_sim.hh"
+#include "support/status.hh"
+
+namespace archval::harness
+{
+
+using rtl::PpChoiceVar;
+
+rtl::ForcedSignals
+VectorPlayer::drainSignals()
+{
+    rtl::ForcedSignals s{};
+    s[static_cast<size_t>(PpChoiceVar::FetchClass)] = 0; // ALU
+    s[static_cast<size_t>(PpChoiceVar::Dual)] = 0;
+    s[static_cast<size_t>(PpChoiceVar::IHit)] = 1;
+    s[static_cast<size_t>(PpChoiceVar::DHit)] = 1;
+    s[static_cast<size_t>(PpChoiceVar::Dirty)] = 0;
+    // SameLine=1 is the safe drain value: if a load probes against a
+    // still-pending store during the drain, the conflict stall drains
+    // the store first, preserving sequential order for any addresses.
+    s[static_cast<size_t>(PpChoiceVar::SameLine)] = 1;
+    s[static_cast<size_t>(PpChoiceVar::InboxReady)] = 1;
+    s[static_cast<size_t>(PpChoiceVar::OutboxReady)] = 1;
+    s[static_cast<size_t>(PpChoiceVar::MemReply)] = 1;
+    s[static_cast<size_t>(PpChoiceVar::BranchTaken)] = 0;
+    return s;
+}
+
+unsigned
+VectorPlayer::drainLength(const rtl::PpConfig &config)
+{
+    // Worst case: finish a refill, a spill writeback, an I-refill
+    // with fix-up, a conflict, and flush three pipeline stages.
+    return 4 * config.lineWords + 24;
+}
+
+PlayResult
+VectorPlayer::finish(rtl::PpCore &core,
+                     const vecgen::TestTrace &trace) const
+{
+    PlayResult result;
+
+    // Drain: complete all in-flight work; newly fetched NOPs are
+    // architecturally inert, so comparison is exact even if some are
+    // still in the pipe when we stop.
+    const rtl::ForcedSignals drain = drainSignals();
+    for (unsigned i = 0; i < drainLength(config_); ++i) {
+        if (core.pipeEmpty())
+            break;
+        core.forceSignals(drain);
+        core.step();
+    }
+    result.drained = core.pipeEmpty();
+    result.cycles = core.cycles();
+    result.instructions = core.instructionsRetired();
+
+    // Executable specification: the retired stream in order, with
+    // branches as no-ops (control flow is baked into the stream).
+    pp::RefSim ref(config_.machine);
+    ref.setStreamMode(true);
+    ref.loadProgram(trace.retiredStream);
+    ref.setInbox(trace.inbox);
+    ref.run(trace.retiredStream.size() + 8);
+
+    result.diff = ref.archState().diff(core.archState());
+    result.diverged = !result.diff.empty();
+    return result;
+}
+
+PlayResult
+VectorPlayer::play(const vecgen::TestTrace &trace,
+                   const rtl::BugSet &bugs) const
+{
+    rtl::PpCore core(config_, rtl::CoreMode::Vector);
+    core.loadStream(trace.fetchStream);
+    core.setInbox(trace.inbox);
+    for (size_t b = 0; b < rtl::numBugs; ++b) {
+        if (bugs.test(b))
+            core.setBug(static_cast<rtl::BugId>(b), true);
+    }
+
+    for (const auto &signals : trace.cycles) {
+        core.forceSignals(signals);
+        core.step();
+    }
+    return finish(core, trace);
+}
+
+PlayResult
+VectorPlayer::playChecked(const rtl::PpFsmModel &model,
+                          const graph::StateGraph &graph,
+                          const graph::Trace &tour,
+                          const vecgen::TestTrace &trace,
+                          const rtl::BugSet &bugs) const
+{
+    if (tour.edges.size() != trace.cycles.size())
+        fatal("tour and generated trace disagree on cycle count");
+
+    rtl::PpCore core(config_, rtl::CoreMode::Vector);
+    core.loadStream(trace.fetchStream);
+    core.setInbox(trace.inbox);
+    for (size_t b = 0; b < rtl::numBugs; ++b) {
+        if (bugs.test(b))
+            core.setBug(static_cast<rtl::BugId>(b), true);
+    }
+
+    uint64_t lockstep_errors = 0;
+    for (size_t i = 0; i < trace.cycles.size(); ++i) {
+        core.forceSignals(trace.cycles[i]);
+        core.step();
+        // The core's control must now sit exactly on the tour edge's
+        // destination state.
+        rtl::PpControlState expected =
+            model.unpack(graph.packedState(graph.edge(tour.edges[i]).dst));
+        if (!(core.controlState() == expected))
+            ++lockstep_errors;
+    }
+
+    PlayResult result = finish(core, trace);
+    result.lockstepErrors = lockstep_errors;
+    return result;
+}
+
+} // namespace archval::harness

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulation framework — step 4 of the methodology (Figure 3.1).
+ *
+ * Plays generated test traces on the RTL core (vector mode, signals
+ * forced per cycle) and runs the executable specification (the
+ * instruction-level simulator in stream mode) on the retired stream,
+ * then compares architectural state. A bug is "found" when the two
+ * disagree.
+ *
+ * playChecked() additionally verifies lockstep: after every forced
+ * cycle the core's control state must equal the state-graph node the
+ * tour intended to be in — the property that makes transition-tour
+ * coverage claims meaningful.
+ */
+
+#ifndef ARCHVAL_HARNESS_VECTOR_PLAYER_HH
+#define ARCHVAL_HARNESS_VECTOR_PLAYER_HH
+
+#include <string>
+
+#include "graph/state_graph.hh"
+#include "graph/tour.hh"
+#include "rtl/pp_core.hh"
+#include "rtl/pp_fsm_model.hh"
+#include "vecgen/vector_gen.hh"
+
+namespace archval::harness
+{
+
+/** Outcome of playing one test trace. */
+struct PlayResult
+{
+    bool diverged = false;   ///< implementation != specification
+    std::string diff;        ///< first architectural difference
+    uint64_t cycles = 0;     ///< cycles simulated (incl. drain)
+    uint64_t instructions = 0; ///< instructions retired by the core
+    uint64_t lockstepErrors = 0; ///< control-state mismatches
+    bool drained = false;    ///< pipe empty when the run ended
+};
+
+/**
+ * Plays vector traces against the specification.
+ */
+class VectorPlayer
+{
+  public:
+    /** @param config Machine configuration (all models share it). */
+    explicit VectorPlayer(const rtl::PpConfig &config)
+        : config_(config)
+    {
+    }
+
+    /**
+     * Play @p trace on a fresh core with @p bugs injected; compare
+     * against the stream specification.
+     */
+    PlayResult play(const vecgen::TestTrace &trace,
+                    const rtl::BugSet &bugs = {}) const;
+
+    /**
+     * Like play(), and also checks cycle-by-cycle that the core's
+     * control state follows the tour's intended path through
+     * @p graph.
+     */
+    PlayResult playChecked(const rtl::PpFsmModel &model,
+                           const graph::StateGraph &graph,
+                           const graph::Trace &tour,
+                           const vecgen::TestTrace &trace,
+                           const rtl::BugSet &bugs = {}) const;
+
+    /** @return the drain stimulus used after a trace's last cycle. */
+    static rtl::ForcedSignals drainSignals();
+
+    /** @return number of drain cycles for a given configuration. */
+    static unsigned drainLength(const rtl::PpConfig &config);
+
+  private:
+    PlayResult finish(rtl::PpCore &core,
+                      const vecgen::TestTrace &trace) const;
+
+    rtl::PpConfig config_;
+};
+
+} // namespace archval::harness
+
+#endif // ARCHVAL_HARNESS_VECTOR_PLAYER_HH

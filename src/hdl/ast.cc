@@ -1,0 +1,67 @@
+#include "ast.hh"
+
+namespace archval::hdl
+{
+
+const Module *
+Design::findModule(const std::string &name) const
+{
+    for (const Module &module : modules) {
+        if (module.name == name)
+            return &module;
+    }
+    return nullptr;
+}
+
+ExprPtr
+cloneExpr(const Expr &expr)
+{
+    auto copy = std::make_unique<Expr>();
+    copy->kind = expr.kind;
+    copy->value = expr.value;
+    copy->literalWidth = expr.literalWidth;
+    copy->name = expr.name;
+    copy->op = expr.op;
+    copy->msb = expr.msb;
+    copy->lsb = expr.lsb;
+    copy->line = expr.line;
+    copy->args.reserve(expr.args.size());
+    for (const auto &arg : expr.args)
+        copy->args.push_back(cloneExpr(*arg));
+    return copy;
+}
+
+StmtPtr
+cloneStmt(const Stmt &stmt)
+{
+    auto copy = std::make_unique<Stmt>();
+    copy->kind = stmt.kind;
+    copy->target = stmt.target;
+    copy->targetMsb = stmt.targetMsb;
+    copy->targetLsb = stmt.targetLsb;
+    copy->nonBlocking = stmt.nonBlocking;
+    copy->line = stmt.line;
+    if (stmt.rhs)
+        copy->rhs = cloneExpr(*stmt.rhs);
+    if (stmt.condition)
+        copy->condition = cloneExpr(*stmt.condition);
+    if (stmt.thenStmt)
+        copy->thenStmt = cloneStmt(*stmt.thenStmt);
+    if (stmt.elseStmt)
+        copy->elseStmt = cloneStmt(*stmt.elseStmt);
+    if (stmt.subject)
+        copy->subject = cloneExpr(*stmt.subject);
+    for (const auto &arm : stmt.arms) {
+        CaseArm arm_copy;
+        for (const auto &label : arm.labels)
+            arm_copy.labels.push_back(cloneExpr(*label));
+        if (arm.body)
+            arm_copy.body = cloneStmt(*arm.body);
+        copy->arms.push_back(std::move(arm_copy));
+    }
+    for (const auto &child : stmt.body)
+        copy->body.push_back(cloneStmt(*child));
+    return copy;
+}
+
+} // namespace archval::hdl

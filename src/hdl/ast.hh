@@ -1,0 +1,201 @@
+/**
+ * @file
+ * AST for the synthesizable mini-Verilog subset.
+ *
+ * Supported constructs: module declarations with ports, parameter /
+ * input / output / wire / reg declarations (vectors up to 64 bits),
+ * continuous assigns, combinational always blocks (@* with blocking
+ * assignments), sequential always blocks (@(posedge clk) with
+ * non-blocking assignments), if/else, case with default, module
+ * instantiation with named connections, and the expression grammar
+ * (ternary, logical, bitwise, equality, relational, shift, add,
+ * unary, bit/part select, parenthesis, identifiers, literals).
+ *
+ * vfsm directives annotate the design for translation:
+ *   // vfsm state <reg> [reset <value>]   - control state variable
+ *   // vfsm input <wire> [<cardinality>]  - abstract free input
+ *   // vfsm off / on                      - suspend / resume
+ */
+
+#ifndef ARCHVAL_HDL_AST_HH
+#define ARCHVAL_HDL_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace archval::hdl
+{
+
+/** Expression node kinds. */
+enum class ExprKind
+{
+    Literal,
+    Identifier,
+    Unary,   ///< ! ~ - & | ^ (reduction for & | ^)
+    Binary,  ///< arithmetic / logical / relational / shift
+    Ternary, ///< cond ? a : b
+    Select,  ///< id[bit] or id[msb:lsb]
+    Concat,  ///< {a, b, ...}
+};
+
+/** Expression tree node. */
+struct Expr
+{
+    ExprKind kind = ExprKind::Literal;
+    uint64_t value = 0;      ///< Literal value
+    int literalWidth = -1;   ///< Literal declared width (-1 unsized)
+    std::string name;        ///< Identifier / Select base
+    std::string op;          ///< Unary / Binary operator text
+    std::vector<std::unique_ptr<Expr>> args; ///< operands
+    int msb = -1, lsb = -1;  ///< Select range (msb==lsb for bit)
+    size_t line = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Statement kinds inside always blocks. */
+enum class StmtKind
+{
+    Assign, ///< blocking or non-blocking assignment
+    If,
+    Case,
+    Block, ///< begin ... end
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One case arm. */
+struct CaseArm
+{
+    std::vector<ExprPtr> labels; ///< empty = default
+    StmtPtr body;
+};
+
+/** Statement node. */
+struct Stmt
+{
+    StmtKind kind = StmtKind::Block;
+    // Assign
+    std::string target;
+    int targetMsb = -1, targetLsb = -1; ///< optional part select
+    ExprPtr rhs;
+    bool nonBlocking = false;
+    // If
+    ExprPtr condition;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+    // Case
+    ExprPtr subject;
+    std::vector<CaseArm> arms;
+    // Block
+    std::vector<StmtPtr> body;
+    size_t line = 0;
+};
+
+/** Net/variable declaration kinds. */
+enum class NetKind
+{
+    Input,
+    Output,
+    Wire,
+    Reg,
+};
+
+/** Declaration of a net, variable, or port. */
+struct NetDecl
+{
+    NetKind kind = NetKind::Wire;
+    std::string name;
+    unsigned width = 1; ///< bits; recomputed at elaboration when
+                        ///< range expressions are present
+    ExprPtr msbExpr;    ///< optional [msb:lsb] range (may reference
+    ExprPtr lsbExpr;    ///< parameters; evaluated at elaboration)
+    size_t line = 0;
+};
+
+/** Parameter declaration. */
+struct ParamDecl
+{
+    std::string name;
+    ExprPtr value;
+};
+
+/** Continuous assignment. */
+struct AssignDecl
+{
+    std::string target;
+    ExprPtr rhs;
+    size_t line = 0;
+    bool translated = true; ///< false inside "vfsm off" regions
+};
+
+/** Always block. */
+struct AlwaysBlock
+{
+    bool sequential = false; ///< @(posedge clk) vs @*
+    std::string clock;       ///< clock name for sequential blocks
+    StmtPtr body;
+    size_t line = 0;
+    bool translated = true;
+};
+
+/** Module instantiation with named connections. */
+struct Instance
+{
+    std::string moduleName;
+    std::string instanceName;
+    std::vector<std::pair<std::string, ExprPtr>> connections;
+    std::vector<std::pair<std::string, ExprPtr>> paramOverrides;
+    size_t line = 0;
+};
+
+/** vfsm annotation attached to a module. */
+struct Annotation
+{
+    enum class Kind
+    {
+        State, ///< vfsm state <name> [reset <value>]
+        Input, ///< vfsm input <name> [<cardinality>]
+        Instr, ///< vfsm instr <name>: per-cycle instruction count
+    };
+    Kind kind;
+    std::string name;
+    uint64_t value = 0; ///< reset value or cardinality
+    bool hasValue = false;
+    size_t line = 0;
+};
+
+/** One module. */
+struct Module
+{
+    std::string name;
+    std::vector<std::string> portOrder;
+    std::vector<NetDecl> nets;
+    std::vector<ParamDecl> params;
+    std::vector<AssignDecl> assigns;
+    std::vector<AlwaysBlock> always;
+    std::vector<Instance> instances;
+    std::vector<Annotation> annotations;
+    size_t line = 0;
+};
+
+/** A parsed source file (design). */
+struct Design
+{
+    std::vector<Module> modules;
+
+    /** @return module by name or nullptr. */
+    const Module *findModule(const std::string &name) const;
+};
+
+/** Deep-copy helpers (used by elaboration). @{ */
+ExprPtr cloneExpr(const Expr &expr);
+StmtPtr cloneStmt(const Stmt &stmt);
+/** @} */
+
+} // namespace archval::hdl
+
+#endif // ARCHVAL_HDL_AST_HH

@@ -1,0 +1,351 @@
+#include "elaborate.hh"
+
+#include <map>
+
+#include "support/strings.hh"
+
+namespace archval::hdl
+{
+
+namespace
+{
+
+struct ElabError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+elabFail(size_t line, const std::string &msg)
+{
+    throw ElabError{formatString("line %zu: %s", line, msg.c_str())};
+}
+
+using ParamEnv = std::map<std::string, uint64_t>;
+
+/** Constant-fold an expression over parameters only. */
+uint64_t
+constEval(const Expr &expr, const ParamEnv &params)
+{
+    switch (expr.kind) {
+      case ExprKind::Literal:
+        return expr.value;
+      case ExprKind::Identifier: {
+        auto it = params.find(expr.name);
+        if (it == params.end())
+            elabFail(expr.line, "'" + expr.name +
+                                    "' is not a parameter; widths and "
+                                    "parameter values must be "
+                                    "constant");
+        return it->second;
+      }
+      case ExprKind::Unary: {
+        uint64_t a = constEval(*expr.args[0], params);
+        if (expr.op == "!")
+            return !a;
+        if (expr.op == "~")
+            return ~a;
+        if (expr.op == "-")
+            return static_cast<uint64_t>(-static_cast<int64_t>(a));
+        elabFail(expr.line, "unsupported constant unary " + expr.op);
+      }
+      case ExprKind::Binary: {
+        uint64_t a = constEval(*expr.args[0], params);
+        uint64_t b = constEval(*expr.args[1], params);
+        const std::string &op = expr.op;
+        if (op == "+")
+            return a + b;
+        if (op == "-")
+            return a - b;
+        if (op == "<<")
+            return b >= 64 ? 0 : a << b;
+        if (op == ">>")
+            return b >= 64 ? 0 : a >> b;
+        if (op == "==")
+            return a == b;
+        if (op == "!=")
+            return a != b;
+        if (op == "<")
+            return a < b;
+        if (op == ">")
+            return a > b;
+        if (op == "&")
+            return a & b;
+        if (op == "|")
+            return a | b;
+        if (op == "^")
+            return a ^ b;
+        elabFail(expr.line, "unsupported constant binary " + op);
+      }
+      case ExprKind::Ternary:
+        return constEval(*expr.args[0], params)
+                   ? constEval(*expr.args[1], params)
+                   : constEval(*expr.args[2], params);
+      default:
+        elabFail(expr.line, "unsupported constant expression");
+    }
+}
+
+uint64_t
+constEvalOrSelf(const Expr &expr, const ParamEnv &params, size_t arg)
+{
+    return constEval(*expr.args[arg], params);
+}
+
+/** Rewrites identifiers: parameters fold to literals, signal names
+ *  get the instance prefix. */
+ExprPtr
+rewriteExpr(const Expr &expr, const std::string &prefix,
+            const ParamEnv &params)
+{
+    if (expr.kind == ExprKind::Identifier) {
+        auto it = params.find(expr.name);
+        if (it != params.end()) {
+            auto lit = std::make_unique<Expr>();
+            lit->kind = ExprKind::Literal;
+            lit->value = it->second;
+            lit->line = expr.line;
+            return lit;
+        }
+        auto node = cloneExpr(expr);
+        node->name = prefix + expr.name;
+        return node;
+    }
+
+    auto node = std::make_unique<Expr>();
+    node->kind = expr.kind;
+    node->value = expr.value;
+    node->literalWidth = expr.literalWidth;
+    node->op = expr.op;
+    node->msb = expr.msb;
+    node->lsb = expr.lsb;
+    node->line = expr.line;
+    node->name = expr.name;
+
+    if (expr.kind == ExprKind::Select) {
+        node->name = prefix + expr.name;
+        // Fold select indices (they may reference parameters).
+        node->msb = static_cast<int>(constEvalOrSelf(expr, params, 0));
+        node->lsb = expr.args.size() > 1
+                        ? static_cast<int>(
+                              constEvalOrSelf(expr, params, 1))
+                        : node->msb;
+        return node;
+    }
+
+    for (const auto &arg : expr.args)
+        node->args.push_back(rewriteExpr(*arg, prefix, params));
+    return node;
+}
+
+/** Statement rewriting with prefixing and parameter folding. */
+StmtPtr
+rewriteStmt(const Stmt &stmt, const std::string &prefix,
+            const ParamEnv &params)
+{
+    auto node = std::make_unique<Stmt>();
+    node->kind = stmt.kind;
+    node->nonBlocking = stmt.nonBlocking;
+    node->line = stmt.line;
+    node->targetMsb = stmt.targetMsb;
+    node->targetLsb = stmt.targetLsb;
+    if (!stmt.target.empty())
+        node->target = prefix + stmt.target;
+    if (stmt.rhs)
+        node->rhs = rewriteExpr(*stmt.rhs, prefix, params);
+    if (stmt.condition)
+        node->condition = rewriteExpr(*stmt.condition, prefix, params);
+    if (stmt.thenStmt)
+        node->thenStmt = rewriteStmt(*stmt.thenStmt, prefix, params);
+    if (stmt.elseStmt)
+        node->elseStmt = rewriteStmt(*stmt.elseStmt, prefix, params);
+    if (stmt.subject)
+        node->subject = rewriteExpr(*stmt.subject, prefix, params);
+    for (const auto &arm : stmt.arms) {
+        CaseArm arm_copy;
+        for (const auto &label : arm.labels) {
+            // Case labels must be constants; fold them now.
+            auto lit = std::make_unique<Expr>();
+            lit->kind = ExprKind::Literal;
+            lit->value = constEval(*label, params);
+            lit->line = label->line;
+            arm_copy.labels.push_back(std::move(lit));
+        }
+        if (arm.body)
+            arm_copy.body = rewriteStmt(*arm.body, prefix, params);
+        node->arms.push_back(std::move(arm_copy));
+    }
+    for (const auto &child : stmt.body)
+        node->body.push_back(rewriteStmt(*child, prefix, params));
+    return node;
+}
+
+/** Recursive flattener. */
+class Flattener
+{
+  public:
+    Flattener(const Design &design, ElabDesign &out)
+        : design_(design), out_(out)
+    {
+    }
+
+    void
+    instantiate(const Module &module, const std::string &prefix,
+                ParamEnv params, bool is_top, unsigned depth)
+    {
+        if (depth > 16)
+            elabFail(module.line, "instantiation too deep (cycle?)");
+
+        // Parameter defaults, evaluated with overrides already in
+        // the environment taking precedence.
+        for (const auto &param : module.params) {
+            if (!params.count(param.name))
+                params[param.name] = constEval(*param.value, params);
+        }
+
+        // Nets.
+        for (const auto &net : module.nets) {
+            ElabNet elab;
+            elab.name = prefix + net.name;
+            elab.kind = net.kind;
+            elab.line = net.line;
+            elab.topPort = is_top && (net.kind == NetKind::Input ||
+                                      net.kind == NetKind::Output);
+            if (net.msbExpr) {
+                uint64_t msb = constEval(*net.msbExpr, params);
+                uint64_t lsb = constEval(*net.lsbExpr, params);
+                if (lsb > msb || msb - lsb + 1 > 64)
+                    elabFail(net.line, "bad range on " + net.name);
+                elab.width = static_cast<unsigned>(msb - lsb + 1);
+            } else {
+                elab.width = 1;
+            }
+            out_.nets.push_back(std::move(elab));
+        }
+
+        // Assigns.
+        for (const auto &assign : module.assigns) {
+            ElabAssign elab;
+            elab.target = prefix + assign.target;
+            elab.rhs = rewriteExpr(*assign.rhs, prefix, params);
+            elab.translated = assign.translated;
+            elab.line = assign.line;
+            out_.assigns.push_back(std::move(elab));
+        }
+
+        // Always blocks.
+        for (const auto &block : module.always) {
+            ElabAlways elab;
+            elab.sequential = block.sequential;
+            elab.body = rewriteStmt(*block.body, prefix, params);
+            elab.translated = block.translated;
+            elab.line = block.line;
+            out_.always.push_back(std::move(elab));
+        }
+
+        // Annotations.
+        for (const auto &ann : module.annotations) {
+            Annotation elab = ann;
+            elab.name = prefix + ann.name;
+            out_.annotations.push_back(std::move(elab));
+        }
+
+        // Instances: child nets live under "prefix.inst."; port
+        // connections become continuous assigns.
+        for (const auto &instance : module.instances) {
+            const Module *child = design_.findModule(
+                instance.moduleName);
+            if (!child) {
+                elabFail(instance.line, "unknown module '" +
+                                            instance.moduleName + "'");
+            }
+            std::string child_prefix =
+                prefix + instance.instanceName + ".";
+
+            ParamEnv child_params;
+            for (const auto &[name, expr] : instance.paramOverrides)
+                child_params[name] = constEval(*expr, params);
+
+            instantiate(*child, child_prefix, child_params, false,
+                        depth + 1);
+
+            for (const auto &[port, expr] : instance.connections) {
+                // Find the port's direction in the child module.
+                const NetDecl *port_decl = nullptr;
+                for (const auto &net : child->nets) {
+                    if (net.name == port) {
+                        port_decl = &net;
+                        break;
+                    }
+                }
+                if (!port_decl) {
+                    elabFail(instance.line,
+                             "unknown port '" + port + "' on " +
+                                 instance.moduleName);
+                }
+                if (port_decl->kind == NetKind::Input) {
+                    ElabAssign bind;
+                    bind.target = child_prefix + port;
+                    bind.rhs = rewriteExpr(*expr, prefix, params);
+                    bind.line = instance.line;
+                    out_.assigns.push_back(std::move(bind));
+                } else {
+                    // Output (or output reg): the connection must be
+                    // a plain identifier in the parent.
+                    if (expr->kind != ExprKind::Identifier) {
+                        elabFail(instance.line,
+                                 "output port '" + port +
+                                     "' must connect to a plain "
+                                     "identifier");
+                    }
+                    ElabAssign bind;
+                    bind.target = prefix + expr->name;
+                    auto ref = std::make_unique<Expr>();
+                    ref->kind = ExprKind::Identifier;
+                    ref->name = child_prefix + port;
+                    ref->line = instance.line;
+                    bind.rhs = std::move(ref);
+                    bind.line = instance.line;
+                    out_.assigns.push_back(std::move(bind));
+                }
+            }
+        }
+    }
+
+  private:
+    const Design &design_;
+    ElabDesign &out_;
+};
+
+} // namespace
+
+const ElabNet *
+ElabDesign::findNet(const std::string &name) const
+{
+    for (const auto &net : nets) {
+        if (net.name == name)
+            return &net;
+    }
+    return nullptr;
+}
+
+Result<ElabDesign>
+elaborate(const Design &design, const std::string &top)
+{
+    const Module *top_module = design.findModule(top);
+    if (!top_module) {
+        return Result<ElabDesign>::error("no module named '" + top +
+                                         "'");
+    }
+    try {
+        ElabDesign out;
+        out.top = top;
+        Flattener flattener(design, out);
+        flattener.instantiate(*top_module, "", {}, true, 0);
+        return out;
+    } catch (const ElabError &error) {
+        return Result<ElabDesign>::error(error.message);
+    }
+}
+
+} // namespace archval::hdl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Elaboration: resolve parameters, compute vector widths, and flatten
+ * the module hierarchy into a single netlist with dot-separated
+ * hierarchical names (instance connections become continuous
+ * assigns). The single implicit clock of the synchronous model means
+ * posedge clocks are checked for consistency and then dropped.
+ */
+
+#ifndef ARCHVAL_HDL_ELABORATE_HH
+#define ARCHVAL_HDL_ELABORATE_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+#include "support/status.hh"
+
+namespace archval::hdl
+{
+
+/** Flattened net. */
+struct ElabNet
+{
+    std::string name; ///< hierarchical, e.g. "ctrl.state"
+    NetKind kind = NetKind::Wire;
+    unsigned width = 1;
+    bool topPort = false; ///< input/output of the top module
+    size_t line = 0;
+};
+
+/** Flattened continuous assign. */
+struct ElabAssign
+{
+    std::string target;
+    ExprPtr rhs;
+    bool translated = true;
+    size_t line = 0;
+};
+
+/** Flattened always block. */
+struct ElabAlways
+{
+    bool sequential = false;
+    StmtPtr body;
+    bool translated = true;
+    size_t line = 0;
+};
+
+/** Flattened design rooted at one top module. */
+struct ElabDesign
+{
+    std::string top;
+    std::vector<ElabNet> nets;
+    std::vector<ElabAssign> assigns;
+    std::vector<ElabAlways> always;
+    std::vector<Annotation> annotations; ///< names hierarchical
+
+    /** @return net by name, or nullptr. */
+    const ElabNet *findNet(const std::string &name) const;
+};
+
+/**
+ * Elaborate @p design with @p top as the root module.
+ *
+ * @return the flattened design or an error.
+ */
+Result<ElabDesign> elaborate(const Design &design,
+                             const std::string &top);
+
+} // namespace archval::hdl
+
+#endif // ARCHVAL_HDL_ELABORATE_HH

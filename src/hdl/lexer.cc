@@ -1,0 +1,205 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstring>
+
+#include "support/strings.hh"
+
+namespace archval::hdl
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+/** Multi-character punctuation, longest first. */
+const char *multiPunct[] = {
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+};
+
+} // namespace
+
+Result<std::vector<Token>>
+lex(const std::string &source)
+{
+    using Out = std::vector<Token>;
+    std::vector<Token> tokens;
+    size_t line = 1;
+    size_t i = 0;
+    const size_t n = source.size();
+
+    auto err = [&](const std::string &msg) {
+        return Result<Out>::error(
+            formatString("line %zu: %s", line, msg.c_str()));
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Comments: "// vfsm ..." is a directive, others skipped.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            size_t end = source.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            std::string body = trimString(source.substr(i + 2, end - i - 2));
+            if (startsWith(body, "vfsm")) {
+                Token tok;
+                tok.kind = TokKind::Directive;
+                tok.text = trimString(body.substr(4));
+                tok.line = line;
+                tokens.push_back(tok);
+            }
+            i = end;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            size_t end = source.find("*/", i + 2);
+            if (end == std::string::npos)
+                return err("unterminated block comment");
+            for (size_t j = i; j < end; ++j) {
+                if (source[j] == '\n')
+                    ++line;
+            }
+            i = end + 2;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            Token tok;
+            tok.kind = TokKind::Identifier;
+            tok.text = source.substr(start, i - start);
+            tok.line = line;
+            tokens.push_back(tok);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Either a plain decimal or the start of a sized literal
+            // like 4'b0101 / 8'hff / 3'd5.
+            size_t start = i;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i])))
+                ++i;
+            uint64_t first =
+                std::strtoull(source.substr(start, i - start).c_str(),
+                              nullptr, 10);
+            Token tok;
+            tok.kind = TokKind::Number;
+            tok.line = line;
+            if (i < n && source[i] == '\'') {
+                ++i;
+                if (i >= n)
+                    return err("truncated sized literal");
+                char base_char = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(
+                        source[i])));
+                ++i;
+                int base;
+                switch (base_char) {
+                  case 'b':
+                    base = 2;
+                    break;
+                  case 'o':
+                    base = 8;
+                    break;
+                  case 'd':
+                    base = 10;
+                    break;
+                  case 'h':
+                    base = 16;
+                    break;
+                  default:
+                    return err("bad literal base");
+                }
+                size_t digits_start = i;
+                while (i < n && (std::isalnum(static_cast<unsigned char>(
+                                     source[i])) ||
+                                 source[i] == '_'))
+                    ++i;
+                std::string digits;
+                for (char d :
+                     source.substr(digits_start, i - digits_start)) {
+                    if (d != '_')
+                        digits.push_back(d);
+                }
+                if (digits.empty())
+                    return err("sized literal with no digits");
+                char *endp = nullptr;
+                tok.value = std::strtoull(digits.c_str(), &endp, base);
+                if (endp != digits.c_str() + digits.size())
+                    return err("bad digits in sized literal");
+                tok.width = static_cast<int>(first);
+                if (tok.width <= 0 || tok.width > 64)
+                    return err("literal width out of range");
+            } else {
+                tok.value = first;
+                tok.width = -1;
+            }
+            tokens.push_back(tok);
+            continue;
+        }
+
+        // Punctuation.
+        bool matched = false;
+        for (const char *punct : multiPunct) {
+            size_t len = std::strlen(punct);
+            if (source.compare(i, len, punct) == 0) {
+                Token tok;
+                tok.kind = TokKind::Punct;
+                tok.text = punct;
+                tok.line = line;
+                tokens.push_back(tok);
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+
+        static const std::string single = "()[]{}:;,.=<>!&|^~+-*?/#@";
+        if (single.find(c) != std::string::npos) {
+            Token tok;
+            tok.kind = TokKind::Punct;
+            tok.text = std::string(1, c);
+            tok.line = line;
+            tokens.push_back(tok);
+            ++i;
+            continue;
+        }
+
+        return err(formatString("unexpected character '%c'", c));
+    }
+
+    Token eof;
+    eof.kind = TokKind::Eof;
+    eof.line = line;
+    tokens.push_back(eof);
+    return tokens;
+}
+
+} // namespace archval::hdl

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lexer for the synthesizable mini-Verilog subset.
+ *
+ * The paper's translator accepts a "stylized synthesizable subset of
+ * Verilog" with a mostly one-to-one mapping into the synchronous
+ * model, plus comment-embedded directives that control translation.
+ * This lexer recognizes that subset: identifiers, sized/unsized
+ * numeric literals, operators, punctuation, and `// vfsm ...`
+ * directive comments (all other comments are skipped).
+ */
+
+#ifndef ARCHVAL_HDL_LEXER_HH
+#define ARCHVAL_HDL_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hh"
+
+namespace archval::hdl
+{
+
+/** Token kinds. */
+enum class TokKind
+{
+    Identifier, ///< names and keywords (keyword check by text)
+    Number,     ///< numeric literal (value + optional size)
+    Punct,      ///< operator or punctuation, in text
+    Directive,  ///< "// vfsm ..." comment body (without the prefix)
+    Eof,
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;    ///< identifier / punct / directive body
+    uint64_t value = 0;  ///< numeric value for Number
+    int width = -1;      ///< declared bit width for sized numbers
+    size_t line = 0;     ///< 1-based source line
+};
+
+/**
+ * Tokenize @p source.
+ *
+ * @return tokens ending with an Eof token, or an error naming the
+ *         offending line.
+ */
+Result<std::vector<Token>> lex(const std::string &source);
+
+} // namespace archval::hdl
+
+#endif // ARCHVAL_HDL_LEXER_HH

@@ -1,0 +1,594 @@
+#include "parser.hh"
+
+#include "hdl/lexer.hh"
+#include "support/strings.hh"
+
+namespace archval::hdl
+{
+
+namespace
+{
+
+/** Internal parse error carrying a formatted message. */
+struct ParseError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+parseFail(size_t line, const std::string &msg)
+{
+    throw ParseError{formatString("line %zu: %s", line, msg.c_str())};
+}
+
+/** Token cursor with convenience accessors. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t index = pos_ + ahead;
+        if (index >= tokens_.size())
+            index = tokens_.size() - 1; // Eof
+        return tokens_[index];
+    }
+
+    const Token &
+    next()
+    {
+        const Token &tok = peek();
+        if (tok.kind != TokKind::Eof)
+            ++pos_;
+        return tok;
+    }
+
+    bool
+    atPunct(const std::string &text) const
+    {
+        return peek().kind == TokKind::Punct && peek().text == text;
+    }
+
+    bool
+    atIdent(const std::string &text) const
+    {
+        return peek().kind == TokKind::Identifier &&
+               peek().text == text;
+    }
+
+    bool
+    eatPunct(const std::string &text)
+    {
+        if (!atPunct(text))
+            return false;
+        next();
+        return true;
+    }
+
+    bool
+    eatIdent(const std::string &text)
+    {
+        if (!atIdent(text))
+            return false;
+        next();
+        return true;
+    }
+
+    void
+    expectPunct(const std::string &text)
+    {
+        if (!eatPunct(text)) {
+            parseFail(peek().line, "expected '" + text + "', got '" +
+                                       peek().text + "'");
+        }
+    }
+
+    std::string
+    expectIdentifier(const char *what)
+    {
+        if (peek().kind != TokKind::Identifier)
+            parseFail(peek().line, std::string("expected ") + what);
+        return next().text;
+    }
+
+    size_t line() const { return peek().line; }
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+/** Expression parser (precedence climbing). */
+class ExprParser
+{
+  public:
+    explicit ExprParser(Cursor &cursor) : cur_(cursor) {}
+
+    ExprPtr parse() { return parseTernary(); }
+
+  private:
+    ExprPtr
+    parseTernary()
+    {
+        ExprPtr cond = parseBinary(0);
+        if (cur_.eatPunct("?")) {
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::Ternary;
+            node->line = cur_.line();
+            node->args.push_back(std::move(cond));
+            node->args.push_back(parseTernary());
+            cur_.expectPunct(":");
+            node->args.push_back(parseTernary());
+            return node;
+        }
+        return cond;
+    }
+
+    /** Binary levels, loosest first. */
+    static constexpr const char *levels[][5] = {
+        {"||", nullptr},
+        {"&&", nullptr},
+        {"|", nullptr},
+        {"^", nullptr},
+        {"&", nullptr},
+        {"==", "!=", nullptr},
+        {"<", "<=", ">", ">=", nullptr},
+        {"<<", ">>", nullptr},
+        {"+", "-", nullptr},
+    };
+    static constexpr size_t numLevels = 9;
+
+    ExprPtr
+    parseBinary(size_t level)
+    {
+        if (level >= numLevels)
+            return parseUnary();
+        ExprPtr left = parseBinary(level + 1);
+        for (;;) {
+            const char *matched = nullptr;
+            for (const char *const *op = levels[level]; *op; ++op) {
+                if (cur_.atPunct(*op)) {
+                    matched = *op;
+                    break;
+                }
+            }
+            if (!matched)
+                return left;
+            cur_.next();
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::Binary;
+            node->op = matched;
+            node->line = cur_.line();
+            node->args.push_back(std::move(left));
+            node->args.push_back(parseBinary(level + 1));
+            left = std::move(node);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        for (const char *op : {"!", "~", "-", "&", "|", "^"}) {
+            if (cur_.atPunct(op)) {
+                cur_.next();
+                auto node = std::make_unique<Expr>();
+                node->kind = ExprKind::Unary;
+                node->op = op;
+                node->line = cur_.line();
+                node->args.push_back(parseUnary());
+                return node;
+            }
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token &tok = cur_.peek();
+        if (tok.kind == TokKind::Number) {
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::Literal;
+            node->value = tok.value;
+            node->literalWidth = tok.width;
+            node->line = tok.line;
+            cur_.next();
+            return node;
+        }
+        if (cur_.eatPunct("(")) {
+            ExprPtr inner = parse();
+            cur_.expectPunct(")");
+            return inner;
+        }
+        if (cur_.eatPunct("{")) {
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::Concat;
+            node->line = tok.line;
+            node->args.push_back(parse());
+            while (cur_.eatPunct(","))
+                node->args.push_back(parse());
+            cur_.expectPunct("}");
+            return node;
+        }
+        if (tok.kind == TokKind::Identifier) {
+            std::string name = cur_.next().text;
+            if (cur_.eatPunct("[")) {
+                auto node = std::make_unique<Expr>();
+                node->kind = ExprKind::Select;
+                node->name = name;
+                node->line = tok.line;
+                node->args.push_back(parse());
+                if (cur_.eatPunct(":"))
+                    node->args.push_back(parse());
+                cur_.expectPunct("]");
+                return node;
+            }
+            auto node = std::make_unique<Expr>();
+            node->kind = ExprKind::Identifier;
+            node->name = name;
+            node->line = tok.line;
+            return node;
+        }
+        parseFail(tok.line, "expected expression, got '" + tok.text +
+                                "'");
+    }
+
+    Cursor &cur_;
+};
+
+constexpr const char *ExprParser::levels[][5];
+
+/** Module-body parser. */
+class ModuleParser
+{
+  public:
+    ModuleParser(Cursor &cursor) : cur_(cursor) {}
+
+    Module
+    parseModule()
+    {
+        Module module;
+        module.line = cur_.line();
+        module.name = cur_.expectIdentifier("module name");
+        cur_.expectPunct("(");
+        if (!cur_.atPunct(")")) {
+            module.portOrder.push_back(
+                cur_.expectIdentifier("port name"));
+            while (cur_.eatPunct(","))
+                module.portOrder.push_back(
+                    cur_.expectIdentifier("port name"));
+        }
+        cur_.expectPunct(")");
+        cur_.expectPunct(";");
+
+        bool translating = true;
+        while (!cur_.eatIdent("endmodule")) {
+            if (cur_.peek().kind == TokKind::Eof)
+                parseFail(cur_.line(), "missing endmodule");
+            if (cur_.peek().kind == TokKind::Directive) {
+                handleDirective(module, translating);
+                continue;
+            }
+            parseItem(module, translating);
+        }
+        return module;
+    }
+
+  private:
+    void
+    handleDirective(Module &module, bool &translating)
+    {
+        const Token tok = cur_.next();
+        auto fields = splitString(tok.text, ' ');
+        std::vector<std::string> words;
+        for (auto &field : fields) {
+            std::string word = trimString(field);
+            if (!word.empty())
+                words.push_back(word);
+        }
+        if (words.empty())
+            parseFail(tok.line, "empty vfsm directive");
+
+        if (words[0] == "on") {
+            translating = true;
+        } else if (words[0] == "off") {
+            translating = false;
+        } else if (words[0] == "state") {
+            if (words.size() < 2)
+                parseFail(tok.line, "vfsm state needs a name");
+            Annotation ann;
+            ann.kind = Annotation::Kind::State;
+            ann.name = words[1];
+            ann.line = tok.line;
+            if (words.size() >= 4 && words[2] == "reset") {
+                ann.value = std::strtoull(words[3].c_str(), nullptr, 0);
+                ann.hasValue = true;
+            }
+            module.annotations.push_back(std::move(ann));
+        } else if (words[0] == "input") {
+            if (words.size() < 2)
+                parseFail(tok.line, "vfsm input needs a name");
+            Annotation ann;
+            ann.kind = Annotation::Kind::Input;
+            ann.name = words[1];
+            ann.line = tok.line;
+            if (words.size() >= 3) {
+                ann.value = std::strtoull(words[2].c_str(), nullptr, 0);
+                ann.hasValue = true;
+            }
+            module.annotations.push_back(std::move(ann));
+        } else if (words[0] == "instr") {
+            if (words.size() < 2)
+                parseFail(tok.line, "vfsm instr needs a name");
+            Annotation ann;
+            ann.kind = Annotation::Kind::Instr;
+            ann.name = words[1];
+            ann.line = tok.line;
+            module.annotations.push_back(std::move(ann));
+        } else {
+            parseFail(tok.line,
+                      "unknown vfsm directive '" + words[0] + "'");
+        }
+    }
+
+    void
+    parseItem(Module &module, bool translating)
+    {
+        const Token &tok = cur_.peek();
+        if (tok.kind != TokKind::Identifier)
+            parseFail(tok.line, "expected module item, got '" +
+                                    tok.text + "'");
+
+        if (tok.text == "input" || tok.text == "output" ||
+            tok.text == "wire" || tok.text == "reg") {
+            parseNetDecl(module);
+        } else if (tok.text == "parameter") {
+            cur_.next();
+            ParamDecl param;
+            param.name = cur_.expectIdentifier("parameter name");
+            cur_.expectPunct("=");
+            param.value = ExprParser(cur_).parse();
+            cur_.expectPunct(";");
+            module.params.push_back(std::move(param));
+        } else if (tok.text == "assign") {
+            cur_.next();
+            AssignDecl assign;
+            assign.line = tok.line;
+            assign.translated = translating;
+            assign.target = cur_.expectIdentifier("assign target");
+            cur_.expectPunct("=");
+            assign.rhs = ExprParser(cur_).parse();
+            cur_.expectPunct(";");
+            module.assigns.push_back(std::move(assign));
+        } else if (tok.text == "always") {
+            parseAlways(module, translating);
+        } else if (tok.text == "initial" || tok.text == "task" ||
+                   tok.text == "function") {
+            parseFail(tok.line,
+                      "'" + tok.text +
+                          "' is outside the synthesizable subset; "
+                          "wrap it in vfsm off/on");
+        } else {
+            parseInstance(module);
+        }
+    }
+
+    void
+    parseNetDecl(Module &module)
+    {
+        const Token kind_tok = cur_.next();
+        NetKind kind = kind_tok.text == "input"    ? NetKind::Input
+                       : kind_tok.text == "output" ? NetKind::Output
+                       : kind_tok.text == "wire"   ? NetKind::Wire
+                                                   : NetKind::Reg;
+        // "output reg" combination.
+        if (kind == NetKind::Output && cur_.eatIdent("reg"))
+            kind = NetKind::Reg; // an output that is also a reg
+
+        ExprPtr msb, lsb;
+        if (cur_.eatPunct("[")) {
+            msb = ExprParser(cur_).parse();
+            cur_.expectPunct(":");
+            lsb = ExprParser(cur_).parse();
+            cur_.expectPunct("]");
+        }
+        for (;;) {
+            NetDecl decl;
+            decl.kind = kind;
+            decl.line = kind_tok.line;
+            decl.name = cur_.expectIdentifier("net name");
+            if (msb) {
+                decl.msbExpr = cloneExpr(*msb);
+                decl.lsbExpr = cloneExpr(*lsb);
+            }
+            module.nets.push_back(std::move(decl));
+            if (!cur_.eatPunct(","))
+                break;
+        }
+        cur_.expectPunct(";");
+    }
+
+    void
+    parseAlways(Module &module, bool translating)
+    {
+        const Token always_tok = cur_.next();
+        AlwaysBlock block;
+        block.line = always_tok.line;
+        block.translated = translating;
+        cur_.expectPunct("@");
+        if (cur_.eatPunct("*")) {
+            block.sequential = false;
+        } else {
+            cur_.expectPunct("(");
+            if (cur_.eatPunct("*")) {
+                block.sequential = false;
+            } else if (cur_.eatIdent("posedge")) {
+                block.sequential = true;
+                block.clock = cur_.expectIdentifier("clock name");
+            } else {
+                // Sensitivity list form: treat as combinational.
+                block.sequential = false;
+                cur_.expectIdentifier("signal name");
+                while (cur_.eatIdent("or") || cur_.eatPunct(","))
+                    cur_.expectIdentifier("signal name");
+            }
+            cur_.expectPunct(")");
+        }
+        block.body = parseStmt();
+        module.always.push_back(std::move(block));
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        const Token &tok = cur_.peek();
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = tok.line;
+
+        if (cur_.eatIdent("begin")) {
+            stmt->kind = StmtKind::Block;
+            while (!cur_.eatIdent("end")) {
+                if (cur_.peek().kind == TokKind::Eof)
+                    parseFail(cur_.line(), "missing end");
+                stmt->body.push_back(parseStmt());
+            }
+            return stmt;
+        }
+        if (cur_.eatIdent("if")) {
+            stmt->kind = StmtKind::If;
+            cur_.expectPunct("(");
+            stmt->condition = ExprParser(cur_).parse();
+            cur_.expectPunct(")");
+            stmt->thenStmt = parseStmt();
+            if (cur_.eatIdent("else"))
+                stmt->elseStmt = parseStmt();
+            return stmt;
+        }
+        if (cur_.eatIdent("case")) {
+            stmt->kind = StmtKind::Case;
+            cur_.expectPunct("(");
+            stmt->subject = ExprParser(cur_).parse();
+            cur_.expectPunct(")");
+            while (!cur_.eatIdent("endcase")) {
+                if (cur_.peek().kind == TokKind::Eof)
+                    parseFail(cur_.line(), "missing endcase");
+                CaseArm arm;
+                if (cur_.eatIdent("default")) {
+                    cur_.expectPunct(":");
+                } else {
+                    arm.labels.push_back(ExprParser(cur_).parse());
+                    while (cur_.eatPunct(","))
+                        arm.labels.push_back(ExprParser(cur_).parse());
+                    cur_.expectPunct(":");
+                }
+                arm.body = parseStmt();
+                stmt->arms.push_back(std::move(arm));
+            }
+            return stmt;
+        }
+
+        // Assignment: target [select] ('=' | '<=') expr ';'
+        stmt->kind = StmtKind::Assign;
+        stmt->target = cur_.expectIdentifier("assignment target");
+        if (cur_.eatPunct("[")) {
+            ExprPtr msb = ExprParser(cur_).parse();
+            ExprPtr lsb;
+            if (cur_.eatPunct(":"))
+                lsb = ExprParser(cur_).parse();
+            cur_.expectPunct("]");
+            if (msb->kind != ExprKind::Literal ||
+                (lsb && lsb->kind != ExprKind::Literal)) {
+                parseFail(stmt->line,
+                          "part-select targets must use literal "
+                          "indices");
+            }
+            stmt->targetMsb = static_cast<int>(msb->value);
+            stmt->targetLsb =
+                lsb ? static_cast<int>(lsb->value) : stmt->targetMsb;
+        }
+        if (cur_.eatPunct("<=")) {
+            stmt->nonBlocking = true;
+        } else {
+            cur_.expectPunct("=");
+        }
+        stmt->rhs = ExprParser(cur_).parse();
+        cur_.expectPunct(";");
+        return stmt;
+    }
+
+    void
+    parseInstance(Module &module)
+    {
+        Instance instance;
+        instance.line = cur_.line();
+        instance.moduleName = cur_.expectIdentifier("module name");
+        if (cur_.eatPunct("#")) {
+            cur_.expectPunct("(");
+            do {
+                cur_.expectPunct(".");
+                std::string param =
+                    cur_.expectIdentifier("parameter name");
+                cur_.expectPunct("(");
+                instance.paramOverrides.emplace_back(
+                    param, ExprParser(cur_).parse());
+                cur_.expectPunct(")");
+            } while (cur_.eatPunct(","));
+            cur_.expectPunct(")");
+        }
+        instance.instanceName =
+            cur_.expectIdentifier("instance name");
+        cur_.expectPunct("(");
+        if (!cur_.atPunct(")")) {
+            do {
+                cur_.expectPunct(".");
+                std::string port = cur_.expectIdentifier("port name");
+                cur_.expectPunct("(");
+                instance.connections.emplace_back(
+                    port, ExprParser(cur_).parse());
+                cur_.expectPunct(")");
+            } while (cur_.eatPunct(","));
+        }
+        cur_.expectPunct(")");
+        cur_.expectPunct(";");
+        module.instances.push_back(std::move(instance));
+    }
+
+    Cursor &cur_;
+};
+
+} // namespace
+
+Result<Design>
+parse(const std::string &source)
+{
+    auto tokens = lex(source);
+    if (!tokens.ok())
+        return Result<Design>::error(tokens.errorMessage());
+
+    try {
+        Cursor cursor(tokens.take());
+        Design design;
+        while (cursor.peek().kind != TokKind::Eof) {
+            // Directives before "module" are ignored.
+            if (cursor.peek().kind == TokKind::Directive) {
+                cursor.next();
+                continue;
+            }
+            if (!cursor.eatIdent("module")) {
+                parseFail(cursor.line(), "expected 'module', got '" +
+                                             cursor.peek().text + "'");
+            }
+            ModuleParser parser(cursor);
+            design.modules.push_back(parser.parseModule());
+        }
+        return design;
+    } catch (const ParseError &error) {
+        return Result<Design>::error(error.message);
+    }
+}
+
+} // namespace archval::hdl

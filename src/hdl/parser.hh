@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Recursive-descent parser for the mini-Verilog subset (see ast.hh
+ * for the accepted grammar).
+ */
+
+#ifndef ARCHVAL_HDL_PARSER_HH
+#define ARCHVAL_HDL_PARSER_HH
+
+#include <string>
+
+#include "hdl/ast.hh"
+#include "support/status.hh"
+
+namespace archval::hdl
+{
+
+/**
+ * Parse @p source into a design.
+ *
+ * @return the design, or an error naming the offending line.
+ */
+Result<Design> parse(const std::string &source);
+
+} // namespace archval::hdl
+
+#endif // ARCHVAL_HDL_PARSER_HH

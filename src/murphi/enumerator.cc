@@ -1,0 +1,150 @@
+#include "enumerator.hh"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "support/memusage.hh"
+#include "support/status.hh"
+#include "support/strings.hh"
+#include "support/timer.hh"
+
+namespace archval::murphi
+{
+
+std::string
+EnumStats::render() const
+{
+    std::string out;
+    out += formatString("Number of states        %s\n",
+                        withCommas(numStates).c_str());
+    out += formatString("Number of bits per state %zu\n", bitsPerState);
+    out += formatString("Execution time          %.1f cpu secs\n",
+                        cpuSeconds);
+    out += formatString("Memory requirement      %s\n",
+                        humanBytes(memoryBytes).c_str());
+    out += formatString("Number of edges         %s\n",
+                        withCommas(numEdges).c_str());
+    out += formatString("Transitions tried/valid %s / %s\n",
+                        withCommas(transitionsTried).c_str(),
+                        withCommas(transitionsValid).c_str());
+    return out;
+}
+
+Enumerator::Enumerator(const fsm::Model &model, EnumOptions options)
+    : model_(model), options_(options)
+{
+}
+
+graph::StateGraph
+Enumerator::run()
+{
+    CpuTimer timer;
+
+    const fsm::ChoiceCodec codec = model_.makeChoiceCodec();
+    const uint64_t combos = codec.numCombinations();
+    const size_t state_bits = model_.stateBits();
+
+    graph::StateGraph graph;
+    std::unordered_map<BitVec, graph::StateId, BitVecHash> known;
+    std::deque<graph::StateId> frontier;
+
+    // BFS needs the packed vector of every state to expand it; retain
+    // a private copy when the caller asked the graph not to keep them.
+    std::vector<BitVec> privateStates;
+    auto packed_of = [&](graph::StateId id) -> const BitVec & {
+        return options_.retainStates ? graph.packedState(id)
+                                     : privateStates[id];
+    };
+
+    auto intern = [&](BitVec state) -> std::pair<graph::StateId, bool> {
+        auto it = known.find(state);
+        if (it != known.end())
+            return {it->second, false};
+        graph::StateId id =
+            graph.addState(options_.retainStates ? state : BitVec());
+        if (!options_.retainStates)
+            privateStates.push_back(state);
+        known.emplace(std::move(state), id);
+        return {id, true};
+    };
+
+    BitVec reset = model_.resetState();
+    if (reset.numBits() != state_bits)
+        panic("model reset state width mismatch");
+    intern(reset);
+    frontier.push_back(0);
+
+    // Per-source dedup of destinations (FirstCondition mode).
+    std::unordered_set<uint64_t> dst_seen;
+
+    while (!frontier.empty()) {
+        graph::StateId src = frontier.front();
+        frontier.pop_front();
+
+        dst_seen.clear();
+        stats_.transitionsTried += combos;
+
+        // Copy: interning new states may reallocate the state store
+        // while the generator still holds the source state.
+        const BitVec src_packed = packed_of(src);
+        model_.forEachTransition(
+            src_packed,
+            [&](uint64_t code, fsm::Transition &&transition) {
+                ++stats_.transitionsValid;
+                unsigned instrs = transition.instructions;
+                auto [dst, is_new] =
+                    intern(std::move(transition.next));
+                if (is_new) {
+                    frontier.push_back(dst);
+                    if (options_.maxStates &&
+                        graph.numStates() > options_.maxStates) {
+                        fatal(formatString(
+                            "state explosion: more than %llu states",
+                            static_cast<unsigned long long>(
+                                options_.maxStates)));
+                    }
+                    if (options_.progressInterval &&
+                        graph.numStates() %
+                                options_.progressInterval == 0) {
+                        logInfo(formatString(
+                            "enumerated %zu states, %zu edges",
+                            graph.numStates(), graph.numEdges()));
+                    }
+                }
+
+                bool record;
+                if (options_.recording ==
+                    EdgeRecording::FirstCondition) {
+                    // "Only one permutation is recorded" per
+                    // (src, dst) pair: the first condition found.
+                    record = dst_seen.insert(dst).second;
+                } else {
+                    // AllConditions (the Section 4 fix): every
+                    // distinct condition becomes its own edge.
+                    record = true;
+                }
+                if (record) {
+                    graph.addEdge(src, dst, code,
+                                  static_cast<uint32_t>(instrs));
+                }
+            });
+    }
+
+    stats_.numStates = graph.numStates();
+    stats_.numEdges = graph.numEdges();
+    stats_.bitsPerState = state_bits;
+    stats_.cpuSeconds = timer.seconds();
+    // Footprint: the graph itself plus the hash table's keys and
+    // buckets (approximate; matches what the paper's "memory
+    // requirement" row reports for the enumeration).
+    size_t table_bytes = known.size() *
+        (sizeof(BitVec) + sizeof(graph::StateId) + 2 * sizeof(void *));
+    for (const auto &[key, id] : known)
+        table_bytes += key.memoryBytes();
+    stats_.memoryBytes = graph.memoryBytes() + table_bytes;
+    return graph;
+}
+
+} // namespace archval::murphi

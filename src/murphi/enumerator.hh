@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Explicit-state enumeration of a synchronous FSM model.
+ *
+ * Implements the paper's Section 3.2: breadth-first search from the
+ * reset state, trying every permutation of abstract-block choices at
+ * every state. Two edge-recording modes are provided:
+ *
+ *  - FirstCondition (the paper's default): "although more than one
+ *    permutation of actions can cause the same transition from one
+ *    state to another, only one is recorded" — one edge per distinct
+ *    (src, dst) pair, labelled with the first condition found.
+ *  - AllConditions (the fix proposed in Section 4): one edge per
+ *    distinct (src, dst, condition), which catches the Figure 4.2
+ *    "fewer behaviours" bug class at the cost of a larger graph.
+ */
+
+#ifndef ARCHVAL_MURPHI_ENUMERATOR_HH
+#define ARCHVAL_MURPHI_ENUMERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fsm/model.hh"
+#include "graph/state_graph.hh"
+
+namespace archval::murphi
+{
+
+/** Edge recording policy (see file comment). */
+enum class EdgeRecording
+{
+    FirstCondition,
+    AllConditions,
+};
+
+/** Enumeration options. */
+struct EnumOptions
+{
+    EdgeRecording recording = EdgeRecording::FirstCondition;
+
+    /** Abort with an error once this many states are reached
+     *  (0 = unlimited). Guards against state explosion. */
+    uint64_t maxStates = 0;
+
+    /** Retain packed state vectors in the graph (needed by the
+     *  vector generator's condition mapping and by debug output). */
+    bool retainStates = true;
+
+    /** Emit progress to the log every this many states (0 = never). */
+    uint64_t progressInterval = 0;
+};
+
+/** Statistics matching the paper's Table 3.2 rows. */
+struct EnumStats
+{
+    uint64_t numStates = 0;       ///< reachable states
+    uint64_t numEdges = 0;        ///< recorded state-graph edges
+    size_t bitsPerState = 0;      ///< packed state width
+    double cpuSeconds = 0.0;      ///< enumeration CPU time
+    size_t memoryBytes = 0;       ///< graph + hash table footprint
+    uint64_t transitionsTried = 0; ///< choice tuples evaluated
+    uint64_t transitionsValid = 0; ///< tuples that were legal actions
+
+    /** Render as an aligned table next to the paper's values. */
+    std::string render() const;
+};
+
+/**
+ * Runs the reachability search over a model and produces the state
+ * graph. Single-use: construct, run(), read stats().
+ */
+class Enumerator
+{
+  public:
+    /**
+     * @param model Model to enumerate (must outlive the Enumerator).
+     * @param options Search options.
+     */
+    explicit Enumerator(const fsm::Model &model, EnumOptions options = {});
+
+    /**
+     * Run BFS to a fixpoint.
+     * @return the complete reachable state graph; state 0 is reset.
+     */
+    graph::StateGraph run();
+
+    /** @return statistics of the completed run. */
+    const EnumStats &stats() const { return stats_; }
+
+  private:
+    const fsm::Model &model_;
+    EnumOptions options_;
+    EnumStats stats_;
+};
+
+} // namespace archval::murphi
+
+#endif // ARCHVAL_MURPHI_ENUMERATOR_HH

@@ -1,0 +1,310 @@
+#include "assembler.hh"
+
+#include <map>
+
+#include "pp/isa.hh"
+#include "support/strings.hh"
+
+namespace archval::pp
+{
+
+namespace
+{
+
+/** Tokenized line: mnemonic plus comma/space separated operands. */
+struct Line
+{
+    size_t number; ///< 1-based source line
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+/** Strip comments, split labels out, tokenize instructions. */
+Result<std::pair<std::vector<Line>, std::map<std::string, uint32_t>>>
+scan(const std::string &source)
+{
+    using Out = std::pair<std::vector<Line>, std::map<std::string, uint32_t>>;
+    std::vector<Line> lines;
+    std::map<std::string, uint32_t> labels;
+
+    size_t line_no = 0;
+    for (auto &raw : splitString(source, '\n')) {
+        ++line_no;
+        std::string text = raw;
+        for (char marker : {';', '#'}) {
+            size_t pos = text.find(marker);
+            if (pos != std::string::npos)
+                text = text.substr(0, pos);
+        }
+        text = trimString(text);
+        if (text.empty())
+            continue;
+
+        // Leading labels (possibly several on one line).
+        for (;;) {
+            size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string label = trimString(text.substr(0, colon));
+            if (label.empty() || label.find(' ') != std::string::npos) {
+                return Result<Out>::error(formatString(
+                    "line %zu: malformed label", line_no));
+            }
+            if (labels.count(label)) {
+                return Result<Out>::error(formatString(
+                    "line %zu: duplicate label '%s'", line_no,
+                    label.c_str()));
+            }
+            labels[label] = static_cast<uint32_t>(lines.size());
+            text = trimString(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        Line line;
+        line.number = line_no;
+        size_t space = text.find_first_of(" \t");
+        line.mnemonic = text.substr(0, space);
+        if (space != std::string::npos) {
+            std::string rest = text.substr(space + 1);
+            for (auto &field : splitString(rest, ',')) {
+                std::string operand = trimString(field);
+                if (!operand.empty())
+                    line.operands.push_back(operand);
+            }
+        }
+        lines.push_back(std::move(line));
+    }
+    return Out{std::move(lines), std::move(labels)};
+}
+
+/** Parse "rN". */
+Result<unsigned>
+parseReg(const std::string &token, size_t line_no)
+{
+    if (token.size() < 2 || (token[0] != 'r' && token[0] != 'R')) {
+        return Result<unsigned>::error(formatString(
+            "line %zu: expected register, got '%s'", line_no,
+            token.c_str()));
+    }
+    char *end = nullptr;
+    long value = std::strtol(token.c_str() + 1, &end, 10);
+    if (*end != '\0' || value < 0 || value > 31) {
+        return Result<unsigned>::error(formatString(
+            "line %zu: bad register '%s'", line_no, token.c_str()));
+    }
+    return static_cast<unsigned>(value);
+}
+
+/** Parse a signed immediate (decimal or 0x hex). */
+Result<long>
+parseImm(const std::string &token, size_t line_no)
+{
+    char *end = nullptr;
+    long value = std::strtol(token.c_str(), &end, 0);
+    if (end == token.c_str() || *end != '\0') {
+        return Result<long>::error(formatString(
+            "line %zu: bad immediate '%s'", line_no, token.c_str()));
+    }
+    return value;
+}
+
+/** Parse "imm(rN)" memory operand. */
+Result<std::pair<long, unsigned>>
+parseMem(const std::string &token, size_t line_no)
+{
+    using Out = std::pair<long, unsigned>;
+    size_t open = token.find('(');
+    size_t close = token.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        return Result<Out>::error(formatString(
+            "line %zu: expected offset(reg), got '%s'", line_no,
+            token.c_str()));
+    }
+    std::string trimmed = trimString(token.substr(0, open));
+    const std::string imm_text = trimmed.empty() ? std::string("0")
+                                                 : std::move(trimmed);
+    auto imm = parseImm(imm_text, line_no);
+    if (!imm.ok())
+        return Result<Out>::error(imm.errorMessage());
+    auto reg = parseReg(
+        trimString(token.substr(open + 1, close - open - 1)), line_no);
+    if (!reg.ok())
+        return Result<Out>::error(reg.errorMessage());
+    return Out{imm.value(), reg.value()};
+}
+
+} // namespace
+
+Result<std::vector<uint32_t>>
+assemble(const std::string &source)
+{
+    using Out = std::vector<uint32_t>;
+    auto scanned = scan(source);
+    if (!scanned.ok())
+        return Result<Out>::error(scanned.errorMessage());
+    const auto &[lines, labels] = scanned.value();
+
+    auto err = [](size_t line_no, const std::string &msg) {
+        return Result<Out>::error(
+            formatString("line %zu: %s", line_no, msg.c_str()));
+    };
+
+    auto resolve = [&](const std::string &token, uint32_t here,
+                       size_t line_no) -> Result<long> {
+        auto it = labels.find(token);
+        if (it != labels.end()) {
+            // Branch offsets are relative to the next instruction.
+            return static_cast<long>(it->second) -
+                   static_cast<long>(here) - 1;
+        }
+        return parseImm(token, line_no);
+    };
+
+    std::vector<uint32_t> words;
+    for (const Line &line : lines) {
+        const auto &m = line.mnemonic;
+        const auto &ops = line.operands;
+        const size_t no = line.number;
+        const uint32_t here = static_cast<uint32_t>(words.size());
+
+        auto need = [&](size_t count) {
+            return ops.size() == count;
+        };
+
+        if (m == "nop") {
+            words.push_back(encodeNop());
+        } else if (m == "halt") {
+            words.push_back(encodeHalt());
+        } else if (m == "add" || m == "sub" || m == "and" || m == "or" ||
+                   m == "xor" || m == "slt") {
+            if (!need(3))
+                return err(no, m + " needs rd, rs, rt");
+            auto rd = parseReg(ops[0], no);
+            auto rs = parseReg(ops[1], no);
+            auto rt = parseReg(ops[2], no);
+            if (!rd.ok() || !rs.ok() || !rt.ok())
+                return err(no, "bad register operand");
+            Funct funct = m == "add"   ? Funct::Add
+                          : m == "sub" ? Funct::Sub
+                          : m == "and" ? Funct::And
+                          : m == "or"  ? Funct::Or
+                          : m == "xor" ? Funct::Xor
+                                       : Funct::Slt;
+            words.push_back(encodeRType(funct, rd.value(), rs.value(),
+                                        rt.value()));
+        } else if (m == "sll" || m == "srl" || m == "sra") {
+            if (!need(3))
+                return err(no, m + " needs rd, rt, shamt");
+            auto rd = parseReg(ops[0], no);
+            auto rt = parseReg(ops[1], no);
+            auto sh = parseImm(ops[2], no);
+            if (!rd.ok() || !rt.ok() || !sh.ok())
+                return err(no, "bad operand");
+            Funct funct = m == "sll"   ? Funct::Sll
+                          : m == "srl" ? Funct::Srl
+                                       : Funct::Sra;
+            words.push_back(encodeRType(funct, rd.value(), 0, rt.value(),
+                                        static_cast<unsigned>(
+                                            sh.value() & 0x1f)));
+        } else if (m == "addi" || m == "slti" || m == "andi" ||
+                   m == "ori" || m == "xori") {
+            if (!need(3))
+                return err(no, m + " needs rt, rs, imm");
+            auto rt = parseReg(ops[0], no);
+            auto rs = parseReg(ops[1], no);
+            auto imm = parseImm(ops[2], no);
+            if (!rt.ok() || !rs.ok() || !imm.ok())
+                return err(no, "bad operand");
+            Opcode op = m == "addi"   ? Opcode::Addi
+                        : m == "slti" ? Opcode::Slti
+                        : m == "andi" ? Opcode::Andi
+                        : m == "ori"  ? Opcode::Ori
+                                      : Opcode::Xori;
+            words.push_back(encodeIType(op, rt.value(), rs.value(),
+                                        static_cast<int16_t>(
+                                            imm.value())));
+        } else if (m == "lui") {
+            if (!need(2))
+                return err(no, "lui needs rt, imm");
+            auto rt = parseReg(ops[0], no);
+            auto imm = parseImm(ops[1], no);
+            if (!rt.ok() || !imm.ok())
+                return err(no, "bad operand");
+            words.push_back(encodeIType(Opcode::Lui, rt.value(), 0,
+                                        static_cast<int16_t>(
+                                            imm.value())));
+        } else if (m == "lw" || m == "sw") {
+            if (!need(2))
+                return err(no, m + " needs rt, offset(base)");
+            auto rt = parseReg(ops[0], no);
+            auto mem = parseMem(ops[1], no);
+            if (!rt.ok() || !mem.ok())
+                return err(no, "bad operand");
+            auto [offset, base] = mem.value();
+            uint32_t word = m == "lw"
+                ? encodeLw(rt.value(), base,
+                           static_cast<int16_t>(offset))
+                : encodeSw(rt.value(), base,
+                           static_cast<int16_t>(offset));
+            words.push_back(word);
+        } else if (m == "switch") {
+            if (!need(1))
+                return err(no, "switch needs rd");
+            auto rd = parseReg(ops[0], no);
+            if (!rd.ok())
+                return err(no, "bad register");
+            words.push_back(encodeSwitch(rd.value()));
+        } else if (m == "send") {
+            if (!need(1))
+                return err(no, "send needs rs");
+            auto rs = parseReg(ops[0], no);
+            if (!rs.ok())
+                return err(no, "bad register");
+            words.push_back(encodeSend(rs.value()));
+        } else if (m == "beq" || m == "bne") {
+            if (!need(3))
+                return err(no, m + " needs rs, rt, target");
+            auto rs = parseReg(ops[0], no);
+            auto rt = parseReg(ops[1], no);
+            auto off = resolve(ops[2], here, no);
+            if (!rs.ok() || !rt.ok() || !off.ok())
+                return err(no, "bad operand");
+            words.push_back(encodeBranch(
+                m == "beq" ? Opcode::Beq : Opcode::Bne, rs.value(),
+                rt.value(), static_cast<int16_t>(off.value())));
+        } else if (m == "j") {
+            if (!need(1))
+                return err(no, "j needs target");
+            long target;
+            auto it = labels.find(ops[0]);
+            if (it != labels.end()) {
+                target = it->second;
+            } else {
+                auto imm = parseImm(ops[0], no);
+                if (!imm.ok())
+                    return err(no, "bad jump target");
+                target = imm.value();
+            }
+            words.push_back(
+                encodeJump(static_cast<uint32_t>(target)));
+        } else {
+            return err(no, "unknown mnemonic '" + m + "'");
+        }
+    }
+    return words;
+}
+
+std::string
+disassemble(const std::vector<uint32_t> &words)
+{
+    std::string out;
+    for (size_t i = 0; i < words.size(); ++i) {
+        out += formatString("%4zu: %s\n", i,
+                            decode(words[i]).toString().c_str());
+    }
+    return out;
+}
+
+} // namespace archval::pp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Two-pass assembler for the PP ISA.
+ *
+ * Accepts the mnemonics produced by DecodedInstr::toString plus
+ * labels ("name:") and comments ("; ..." or "# ..."). Used by the
+ * example programs and the directed-test baseline suite.
+ */
+
+#ifndef ARCHVAL_PP_ASSEMBLER_HH
+#define ARCHVAL_PP_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hh"
+
+namespace archval::pp
+{
+
+/**
+ * Assemble @p source into instruction words.
+ *
+ * @param source Full program text, one instruction or label per line.
+ * @return the instruction words, or an error naming the bad line.
+ */
+Result<std::vector<uint32_t>> assemble(const std::string &source);
+
+/** Disassemble @p words into one mnemonic per line. */
+std::string disassemble(const std::vector<uint32_t> &words);
+
+} // namespace archval::pp
+
+#endif // ARCHVAL_PP_ASSEMBLER_HH

@@ -1,0 +1,226 @@
+#include "ref_sim.hh"
+
+#include "support/status.hh"
+#include "support/strings.hh"
+
+namespace archval::pp
+{
+
+std::string
+ArchState::diff(const ArchState &other) const
+{
+    for (size_t i = 0; i < regs.size() && i < other.regs.size(); ++i) {
+        if (regs[i] != other.regs[i]) {
+            return formatString("r%zu: 0x%08x vs 0x%08x", i, regs[i],
+                                other.regs[i]);
+        }
+    }
+    if (regs.size() != other.regs.size())
+        return "register file size mismatch";
+    for (size_t i = 0; i < dmem.size() && i < other.dmem.size(); ++i) {
+        if (dmem[i] != other.dmem[i]) {
+            return formatString("dmem[%zu]: 0x%08x vs 0x%08x", i,
+                                dmem[i], other.dmem[i]);
+        }
+    }
+    if (dmem.size() != other.dmem.size())
+        return "data memory size mismatch";
+    if (outbox.size() != other.outbox.size()) {
+        return formatString("outbox length %zu vs %zu", outbox.size(),
+                            other.outbox.size());
+    }
+    for (size_t i = 0; i < outbox.size(); ++i) {
+        if (outbox[i] != other.outbox[i]) {
+            return formatString("outbox[%zu]: 0x%08x vs 0x%08x", i,
+                                outbox[i], other.outbox[i]);
+        }
+    }
+    return "";
+}
+
+RefSim::RefSim(const MachineConfig &config)
+    : config_(config), regs_(32, 0), dmem_(config.dmemWords, 0)
+{
+    if (config_.dmemWords == 0 ||
+        (config_.dmemWords & (config_.dmemWords - 1)) != 0)
+        fatal("dmemWords must be a power of two");
+}
+
+void
+RefSim::loadProgram(std::vector<uint32_t> program)
+{
+    program_ = std::move(program);
+    regs_.assign(32, 0);
+    dmem_.assign(config_.dmemWords, 0);
+    outbox_.clear();
+    pc_ = 0;
+    retired_ = 0;
+    stopped_ = false;
+    stopReason_ = StopReason::RanOffEnd;
+}
+
+void
+RefSim::setInbox(std::deque<uint32_t> inbox)
+{
+    inbox_ = std::move(inbox);
+}
+
+void
+RefSim::pokeDmem(uint32_t word_index, uint32_t value)
+{
+    dmem_[word_index % config_.dmemWords] = value;
+}
+
+void
+RefSim::writeReg(unsigned index, uint32_t value)
+{
+    if ((index & 31) != 0)
+        regs_[index & 31] = value;
+}
+
+bool
+RefSim::step()
+{
+    if (stopped_)
+        return false;
+    if (pc_ >= program_.size()) {
+        stopped_ = true;
+        stopReason_ = StopReason::RanOffEnd;
+        return false;
+    }
+
+    DecodedInstr d = decode(program_[pc_]);
+    uint32_t next_pc = pc_ + 1;
+    uint32_t rs = regs_[d.rs];
+    uint32_t rt = regs_[d.rt];
+
+    switch (d.op) {
+      case Opcode::Special:
+        switch (d.funct) {
+          case Funct::Sll:
+            writeReg(d.rd, rt << d.shamt);
+            break;
+          case Funct::Srl:
+            writeReg(d.rd, rt >> d.shamt);
+            break;
+          case Funct::Sra:
+            writeReg(d.rd, static_cast<uint32_t>(
+                               static_cast<int32_t>(rt) >> d.shamt));
+            break;
+          case Funct::Add:
+            writeReg(d.rd, rs + rt);
+            break;
+          case Funct::Sub:
+            writeReg(d.rd, rs - rt);
+            break;
+          case Funct::And:
+            writeReg(d.rd, rs & rt);
+            break;
+          case Funct::Or:
+            writeReg(d.rd, rs | rt);
+            break;
+          case Funct::Xor:
+            writeReg(d.rd, rs ^ rt);
+            break;
+          case Funct::Slt:
+            writeReg(d.rd, static_cast<int32_t>(rs) <
+                               static_cast<int32_t>(rt));
+            break;
+        }
+        break;
+      case Opcode::Addi:
+        writeReg(d.rt, rs + static_cast<uint32_t>(
+                                static_cast<int32_t>(d.imm)));
+        break;
+      case Opcode::Slti:
+        writeReg(d.rt, static_cast<int32_t>(rs) <
+                           static_cast<int32_t>(d.imm));
+        break;
+      case Opcode::Andi:
+        writeReg(d.rt, rs & static_cast<uint16_t>(d.imm));
+        break;
+      case Opcode::Ori:
+        writeReg(d.rt, rs | static_cast<uint16_t>(d.imm));
+        break;
+      case Opcode::Xori:
+        writeReg(d.rt, rs ^ static_cast<uint16_t>(d.imm));
+        break;
+      case Opcode::Lui:
+        writeReg(d.rt, static_cast<uint32_t>(
+                           static_cast<uint16_t>(d.imm)) << 16);
+        break;
+      case Opcode::Lw: {
+        uint32_t addr = (rs + static_cast<uint32_t>(
+                                  static_cast<int32_t>(d.imm))) &
+                        config_.dmemByteMask();
+        writeReg(d.rt, dmem_[addr / 4]);
+        break;
+      }
+      case Opcode::Sw: {
+        uint32_t addr = (rs + static_cast<uint32_t>(
+                                  static_cast<int32_t>(d.imm))) &
+                        config_.dmemByteMask();
+        dmem_[addr / 4] = rt;
+        break;
+      }
+      case Opcode::Switch:
+        if (inbox_.empty()) {
+            stopped_ = true;
+            stopReason_ = StopReason::InboxEmpty;
+            return false;
+        }
+        writeReg(d.rt, inbox_.front());
+        inbox_.pop_front();
+        break;
+      case Opcode::Send:
+        outbox_.push_back(rs);
+        break;
+      case Opcode::Beq:
+        if (!streamMode_ && rs == rt)
+            next_pc = pc_ + 1 + static_cast<uint32_t>(
+                                    static_cast<int32_t>(d.imm));
+        break;
+      case Opcode::Bne:
+        if (!streamMode_ && rs != rt)
+            next_pc = pc_ + 1 + static_cast<uint32_t>(
+                                    static_cast<int32_t>(d.imm));
+        break;
+      case Opcode::J:
+        if (!streamMode_)
+            next_pc = d.target;
+        break;
+      case Opcode::Halt:
+        stopped_ = true;
+        stopReason_ = StopReason::Halted;
+        ++retired_;
+        return false;
+    }
+
+    pc_ = next_pc;
+    ++retired_;
+    return true;
+}
+
+StopReason
+RefSim::run(uint64_t max_steps)
+{
+    for (uint64_t i = 0; i < max_steps; ++i) {
+        if (!step())
+            return stopReason_;
+    }
+    stopped_ = true;
+    stopReason_ = StopReason::StepLimit;
+    return stopReason_;
+}
+
+ArchState
+RefSim::archState() const
+{
+    ArchState state;
+    state.regs = regs_;
+    state.dmem = dmem_;
+    state.outbox = outbox_;
+    return state;
+}
+
+} // namespace archval::pp

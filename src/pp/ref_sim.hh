@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Instruction-level reference simulator — the "executable
+ * specification" of Figure 3.1.
+ *
+ * Executes PP programs with sequential semantics, ignoring all timing
+ * (caches, stalls, dual issue). Its architectural state after a run is
+ * the oracle the RTL model is compared against: the paper detects
+ * bugs as "data value differences between the implementation and the
+ * specification".
+ */
+
+#ifndef ARCHVAL_PP_REF_SIM_HH
+#define ARCHVAL_PP_REF_SIM_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pp/isa.hh"
+
+namespace archval::pp
+{
+
+/** Architectural state snapshot used for implementation comparison. */
+struct ArchState
+{
+    std::vector<uint32_t> regs;   ///< r0..r31 (r0 always 0)
+    std::vector<uint32_t> dmem;   ///< data memory words
+    std::vector<uint32_t> outbox; ///< words sent to the Outbox
+
+    bool operator==(const ArchState &other) const = default;
+
+    /**
+     * @return a description of the first difference against
+     * @p other, or an empty string when equal.
+     */
+    std::string diff(const ArchState &other) const;
+};
+
+/** Run-termination reason. */
+enum class StopReason
+{
+    Halted,      ///< executed HALT
+    RanOffEnd,   ///< PC left the program
+    StepLimit,   ///< hit the step budget
+    InboxEmpty,  ///< SWITCH with no inbox data left
+};
+
+/** Configuration shared by the reference and RTL models. */
+struct MachineConfig
+{
+    uint32_t dmemWords = 4096; ///< data memory size in words
+
+    /** @return byte-address mask that keeps accesses in dmem. */
+    uint32_t dmemByteMask() const { return dmemWords * 4 - 1; }
+};
+
+/**
+ * Sequential interpreter for PP programs.
+ */
+class RefSim
+{
+  public:
+    /** @param config Machine parameters (must match the RTL model). */
+    explicit RefSim(const MachineConfig &config = {});
+
+    /** Load @p program and reset architectural state. */
+    void loadProgram(std::vector<uint32_t> program);
+
+    /**
+     * Stream mode: the program is a pre-resolved dynamic instruction
+     * stream (as produced by the vector generator), so branches and
+     * jumps are architectural no-ops — control flow is already baked
+     * into the stream order.
+     */
+    void setStreamMode(bool stream) { streamMode_ = stream; }
+
+    /** Provide the Inbox contents consumed by SWITCH instructions. */
+    void setInbox(std::deque<uint32_t> inbox);
+
+    /** Initialize a data-memory word (test preconditioning). */
+    void pokeDmem(uint32_t word_index, uint32_t value);
+
+    /**
+     * Execute one instruction.
+     * @return false when the machine has stopped.
+     */
+    bool step();
+
+    /**
+     * Run until HALT, end of program, or @p max_steps.
+     * @return the termination reason.
+     */
+    StopReason run(uint64_t max_steps = 1'000'000);
+
+    /** @return why the last run stopped. */
+    StopReason stopReason() const { return stopReason_; }
+
+    /** @return the architectural state. */
+    ArchState archState() const;
+
+    /** @return current program counter (word index). */
+    uint32_t pc() const { return pc_; }
+
+    /** @return number of instructions retired so far. */
+    uint64_t instructionsRetired() const { return retired_; }
+
+    /** @return register @p index. */
+    uint32_t reg(unsigned index) const { return regs_[index & 31]; }
+
+  private:
+    MachineConfig config_;
+    std::vector<uint32_t> program_;
+    std::vector<uint32_t> regs_;
+    std::vector<uint32_t> dmem_;
+    std::deque<uint32_t> inbox_;
+    std::vector<uint32_t> outbox_;
+    uint32_t pc_ = 0;
+    uint64_t retired_ = 0;
+    bool stopped_ = false;
+    bool streamMode_ = false;
+    StopReason stopReason_ = StopReason::RanOffEnd;
+
+    void writeReg(unsigned index, uint32_t value);
+};
+
+} // namespace archval::pp
+
+#endif // ARCHVAL_PP_REF_SIM_HH

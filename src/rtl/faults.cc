@@ -1,0 +1,79 @@
+#include "faults.hh"
+
+namespace archval::rtl
+{
+
+const char *
+bugName(BugId bug)
+{
+    switch (bug) {
+      case BugId::Bug1IfaceQual:
+        return "bug1";
+      case BugId::Bug2RefillLatch:
+        return "bug2";
+      case BugId::Bug3ConflictAddr:
+        return "bug3";
+      case BugId::Bug4FixupLost:
+        return "bug4";
+      case BugId::Bug5MembusGlitch:
+        return "bug5";
+      case BugId::Bug6StaleConflict:
+        return "bug6";
+      default:
+        return "?";
+    }
+}
+
+const char *
+bugSummary(BugId bug)
+{
+    switch (bug) {
+      case BugId::Bug1IfaceQual:
+        return "Interface miscommunication between PP's cache "
+               "controller and the Memory Controller";
+      case BugId::Bug2RefillLatch:
+        return "Latch not qualified on all stall conditions and lost "
+               "data";
+      case BugId::Bug3ConflictAddr:
+        return "Cache conflict stall can cause wrong address to be "
+               "used on the stalled load";
+      case BugId::Bug4FixupLost:
+        return "I-Stall fix-up cycle lost if I-Stall condition occurs "
+               "during Mem-Stall";
+      case BugId::Bug5MembusGlitch:
+        return "Glitch on bus valid signal allows Z values to be "
+               "latched on a load miss followed by a load/store "
+               "interrupted by an external stall";
+      case BugId::Bug6StaleConflict:
+        return "Cache conflict stall with D-Cache hit and "
+               "simultaneous I-stall results in stale data being "
+               "loaded";
+      default:
+        return "?";
+    }
+}
+
+const char *
+bugClassName(BugClass cls)
+{
+    switch (cls) {
+      case BugClass::PipelineDatapathOnly:
+        return "Pipeline/Datapath ONLY";
+      case BugClass::SingleControlLogic:
+        return "Single Control Logic";
+      case BugClass::MultipleEvent:
+        return "Multiple Event";
+    }
+    return "?";
+}
+
+BugClass
+bugClassOf(BugId bug)
+{
+    // All six published PP bugs are interactions between units in
+    // corner cases: the "multiple event" class of Table 1.1.
+    (void)bug;
+    return BugClass::MultipleEvent;
+}
+
+} // namespace archval::rtl

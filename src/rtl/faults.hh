@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Injectable faults reproducing the six Protocol Processor bugs of
+ * Table 2.1. Each fault is a small behavioural deviation in the RTL
+ * datapath, gated on exactly the control-event conjunction the paper
+ * describes; all are "multiple event" class bugs that require an
+ * improbable interaction to manifest as an architectural-state
+ * difference.
+ */
+
+#ifndef ARCHVAL_RTL_FAULTS_HH
+#define ARCHVAL_RTL_FAULTS_HH
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+
+namespace archval::rtl
+{
+
+/** The injectable PP bugs (numbering follows Table 2.1). */
+enum class BugId : uint8_t
+{
+    Bug1IfaceQual = 0, ///< unqualified memctrl interface signal sends
+                       ///< wrong data to the I-cache when a D request
+                       ///< overlaps the I-refill
+    Bug2RefillLatch,   ///< D-refill return latch loses its data on a
+                       ///< simultaneous I-stall
+    Bug3ConflictAddr,  ///< conflict-stalled load address not held;
+                       ///< the following load/store's address is used
+    Bug4FixupLost,     ///< I-stall fix-up cycle not qualified on
+                       ///< MemStall; restored state lost
+    Bug5MembusGlitch,  ///< glitch on Membus-valid latches Z values
+                       ///< when an external stall lands in the window
+    Bug6StaleConflict, ///< conflict stall + D-hit + simultaneous
+                       ///< I-stall loads stale data
+    NumBugs,
+};
+
+/** Number of injectable bugs. */
+constexpr size_t numBugs = static_cast<size_t>(BugId::NumBugs);
+
+/** Set of enabled bugs. */
+using BugSet = std::bitset<numBugs>;
+
+/** @return short identifier, e.g. "bug3". */
+const char *bugName(BugId bug);
+
+/** @return the Table 2.1 one-line summary. */
+const char *bugSummary(BugId bug);
+
+/**
+ * Classification taxonomy of Table 1.1 (applied to the MIPS R4000
+ * errata in the paper and to our fault library in bench_table1_1).
+ */
+enum class BugClass : uint8_t
+{
+    PipelineDatapathOnly, ///< datapath-local, no control involvement
+    SingleControlLogic,   ///< one control FSM wrong in isolation
+    MultipleEvent,        ///< interaction of several units/corner
+                          ///< cases
+};
+
+/** @return printable class name. */
+const char *bugClassName(BugClass cls);
+
+/** @return the taxonomy class of an injectable PP bug. */
+BugClass bugClassOf(BugId bug);
+
+} // namespace archval::rtl
+
+#endif // ARCHVAL_RTL_FAULTS_HH

@@ -1,0 +1,79 @@
+#include "mutations.hh"
+
+namespace archval::rtl
+{
+
+const char *
+mutationName(MutationId mutation)
+{
+    switch (mutation) {
+      case MutationId::CommitIgnoresProbe:
+        return "m1_commit_probe";
+      case MutationId::ConflictDropsLoadCheck:
+        return "m2_conflict_load";
+      case MutationId::ConflictIgnoresStore:
+        return "m3_conflict_store";
+      case MutationId::PortPriorityDropped:
+        return "m4_port_priority";
+      case MutationId::FixupUnqualified:
+        return "m5_fixup_unqual";
+      case MutationId::SpillOverrun:
+        return "m6_spill_overrun";
+      default:
+        return "?";
+    }
+}
+
+const char *
+mutationSummary(MutationId mutation)
+{
+    switch (mutation) {
+      case MutationId::CommitIgnoresProbe:
+        return "split-store data write not qualified on 'no probe "
+               "this cycle'";
+      case MutationId::ConflictDropsLoadCheck:
+        return "loads never conflict-check against the pending "
+               "store";
+      case MutationId::ConflictIgnoresStore:
+        return "back-to-back stores no longer drain the first "
+               "store's data write";
+      case MutationId::PortPriorityDropped:
+        return "memory-port arbiter loses the D-refill-first "
+               "priority";
+      case MutationId::FixupUnqualified:
+        return "I-refill fix-up cycle not qualified on the frozen "
+               "pipe";
+      case MutationId::SpillOverrun:
+        return "dirty miss starts its refill over an occupied spill "
+               "buffer";
+      default:
+        return "?";
+    }
+}
+
+bool
+mutationDataVisible(MutationId mutation)
+{
+    switch (mutation) {
+      case MutationId::ConflictDropsLoadCheck:
+      case MutationId::ConflictIgnoresStore:
+        return true;
+      case MutationId::SpillOverrun:
+        // Restarting the spill FSM over an in-flight writeback
+        // wedges the memory port: later accesses never complete, so
+        // their effects are missing from the final state — result
+        // comparison catches the hang.
+        return true;
+      case MutationId::CommitIgnoresProbe:
+      case MutationId::PortPriorityDropped:
+      case MutationId::FixupUnqualified:
+        // Timing-only under this model's data substitutions (see
+        // DESIGN.md): result comparison cannot see them, exactly the
+        // Section 4 caveat about performance bugs.
+        return false;
+      default:
+        return false;
+    }
+}
+
+} // namespace archval::rtl

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Control-logic mutations: injectable "single control logic" bugs
+ * (the second class of the paper's Table 1.1 taxonomy).
+ *
+ * Where the six Table 2.1 faults corrupt datapath values under
+ * multi-event conjunctions, each mutation here drops or flips one
+ * qualification term *inside the control equations themselves* —
+ * the classic slip of an overlooked corner case. Because the FSM
+ * model and the RTL core share PpControl, a mutation changes both
+ * coherently, exactly as in the paper where the model is derived
+ * from the (buggy) implementation; the divergence is then exposed by
+ * the architectural comparison when the mutated control mishandles
+ * data movement.
+ */
+
+#ifndef ARCHVAL_RTL_MUTATIONS_HH
+#define ARCHVAL_RTL_MUTATIONS_HH
+
+#include <bitset>
+#include <cstdint>
+
+namespace archval::rtl
+{
+
+/** Single-control-logic mutations of the PP control equations. */
+enum class MutationId : uint8_t
+{
+    /** The background split-store data write is not qualified on
+     *  "no probe this cycle": a store commit can race a load's
+     *  probe, breaking the load-bypass ordering. */
+    CommitIgnoresProbe = 0,
+
+    /** The conflict check is dropped for loads entirely: a load to
+     *  the pending store's own line bypasses it and reads stale
+     *  data. */
+    ConflictDropsLoadCheck,
+
+    /** The conflict check drops the second-store case: back-to-back
+     *  stores no longer drain the first store's data write before
+     *  the second probes, clobbering the pending-store record. */
+    ConflictIgnoresStore,
+
+    /** The memory-port arbiter loses the D-over-I priority: an
+     *  I-refill request can starve a waiting D-refill grant. */
+    PortPriorityDropped,
+
+    /** The I-refill fix-up cycle is not qualified on the frozen
+     *  pipe (the control-level form of bug #4). */
+    FixupUnqualified,
+
+    /** A dirty-miss is allowed to start its refill even when the
+     *  spill buffer is still occupied: the previous victim is
+     *  overwritten (lost writeback). */
+    SpillOverrun,
+
+    NumMutations,
+};
+
+/** Number of defined mutations. */
+constexpr size_t numMutations =
+    static_cast<size_t>(MutationId::NumMutations);
+
+/** Set of enabled mutations. */
+using MutationSet = std::bitset<numMutations>;
+
+/** @return short identifier, e.g. "m3_conflict_store". */
+const char *mutationName(MutationId mutation);
+
+/** @return one-line description. */
+const char *mutationSummary(MutationId mutation);
+
+/**
+ * @return true when the mutation corrupts architectural data (and is
+ * therefore detectable by result comparison); false when its effect
+ * is timing-only — the class the paper's Section 4 concedes this
+ * methodology cannot detect without a cycle-accurate specification.
+ */
+bool mutationDataVisible(MutationId mutation);
+
+} // namespace archval::rtl
+
+#endif // ARCHVAL_RTL_MUTATIONS_HH

@@ -1,0 +1,36 @@
+#include "pp_config.hh"
+
+namespace archval::rtl
+{
+
+PpConfig
+PpConfig::smallPreset()
+{
+    PpConfig config;
+    config.lineWords = 2;
+    config.dualIssue = false;
+    config.modelBranches = false;
+    config.machine.dmemWords = 256;
+    config.dcacheSets = 4;
+    config.dcacheWays = 2;
+    config.icacheSets = 4;
+    return config;
+}
+
+PpConfig
+PpConfig::fullPreset()
+{
+    PpConfig config;
+    config.lineWords = 4;
+    config.dualIssue = true;
+    config.modelBranches = true;
+    config.modelWbStage = true;
+    config.modelAlignment = true;
+    config.machine.dmemWords = 4096;
+    config.dcacheSets = 8;
+    config.dcacheWays = 2;
+    config.icacheSets = 16;
+    return config;
+}
+
+} // namespace archval::rtl

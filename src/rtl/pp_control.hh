@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Control logic of the Protocol Processor — the single definition
+ * shared by the cycle-accurate RTL model and the FSM model.
+ *
+ * The paper derives its FSM model directly from the implementation
+ * Verilog so that "bugs in the design are modeled and can be
+ * exposed". This library gets the same property by construction: the
+ * pure next-state function below *is* the implementation control, and
+ * the FSM model (PpFsmModel) simply drives it with nondeterministic
+ * abstract inputs while the RTL model (PpCore) drives it with real
+ * (or forced) signals.
+ *
+ * The modeled network matches Figure 3.2: pipeline instruction
+ * registers holding abstract instruction classes, the I-cache refill
+ * FSM (with its post-stall fix-up cycle), the D-cache refill FSM with
+ * critical-word-first restart, the fill-before-spill FSM with its
+ * spill buffer, the split-store/cache-conflict FSM, the stall
+ * machine, and the single shared memory-controller port.
+ */
+
+#ifndef ARCHVAL_RTL_PP_CONTROL_HH
+#define ARCHVAL_RTL_PP_CONTROL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "pp/isa.hh"
+#include "rtl/pp_config.hh"
+
+namespace archval::rtl
+{
+
+/** I-cache refill FSM states. */
+enum class IRefill : uint8_t
+{
+    Idle = 0, ///< fetching normally
+    Req,      ///< miss taken; requesting the memory port
+    Fill,     ///< receiving line words from memory
+    Fixup,    ///< restoring instruction registers after the stall
+};
+
+/** D-cache refill FSM states. */
+enum class DRefill : uint8_t
+{
+    Idle = 0, ///< no refill in progress
+    Req,      ///< miss taken; requesting the memory port
+    CritWait, ///< waiting for the critical (missed-on) word
+    Fill,     ///< critical word delivered; filling the rest of line
+};
+
+/** Fill-before-spill FSM states. */
+enum class Spill : uint8_t
+{
+    Idle = 0, ///< spill buffer empty
+    Hold,     ///< dirty victim parked in the spill buffer
+    WbReq,    ///< refill done; requesting the port for writeback
+    Wb,       ///< writing the spill buffer back to memory
+};
+
+/** Memory-controller port owner. */
+enum class MemPort : uint8_t
+{
+    Free = 0,
+    BusyD,  ///< D-cache refill
+    BusyI,  ///< I-cache refill
+    BusyWb, ///< spill-buffer writeback
+};
+
+/**
+ * Latched control state. This is exactly the state the enumerator
+ * packs into its state vectors; every field is architectural to the
+ * control (no hidden RTL state feeds back into it).
+ */
+struct PpControlState
+{
+    pp::InstrClass rdClass = pp::InstrClass::None;  ///< RD stage
+    pp::InstrClass exClass = pp::InstrClass::None;  ///< EX stage
+    pp::InstrClass memClass = pp::InstrClass::None; ///< MEM stage
+    pp::InstrClass wbClass = pp::InstrClass::None;  ///< WB stage
+                                                    ///< (optional)
+    uint8_t fetchAlign = 0; ///< PC offset within the I-cache line
+                            ///< (optional; 0 when not modeled)
+    bool exDone = true;   ///< EX-stage op finished its EX work
+    bool memDone = true;  ///< MEM-stage op finished its access
+    bool storePending = false; ///< split store's data write pending
+    IRefill irefill = IRefill::Idle;
+    uint8_t irefillCount = 0; ///< words left in the I-refill
+    DRefill drefill = DRefill::Idle;
+    uint8_t drefillCount = 0; ///< words left after the critical one
+    Spill spill = Spill::Idle;
+    uint8_t spillCount = 0; ///< words left in the writeback
+    MemPort memPort = MemPort::Free;
+
+    bool operator==(const PpControlState &other) const = default;
+
+    /** @return compact rendering for debug and edge dumps. */
+    std::string toString() const;
+};
+
+/** Identifiers of the abstract (choice) inputs to the control. */
+enum class PpChoiceVar : uint8_t
+{
+    FetchClass = 0, ///< class of the instruction being fetched
+    Dual,           ///< second (control-neutral) ALU op in the packet
+    IHit,           ///< I-cache tag probe outcome
+    DHit,           ///< D-cache tag probe outcome
+    Dirty,          ///< victim line dirty (spill needed) on a D-miss
+    SameLine,       ///< load address matches the pending store's line
+    InboxReady,     ///< Inbox can service a SWITCH
+    OutboxReady,    ///< Outbox can accept a SEND
+    MemReply,       ///< memory returns a word beat this cycle
+    BranchTaken,    ///< EX-stage branch resolves taken (extension)
+    TargetAlign,    ///< taken-branch target alignment in its line
+    NumVars,
+};
+
+/** Number of abstract input variables. */
+constexpr size_t numPpChoiceVars =
+    static_cast<size_t>(PpChoiceVar::NumVars);
+
+/** @return printable name of a choice variable. */
+const char *ppChoiceVarName(PpChoiceVar var);
+
+/**
+ * Source of the control's abstract inputs.
+ *
+ * The control reads an input only in cycles where it is relevant;
+ * read() must record which variables were consumed so the FSM model
+ * can reject non-canonical choice tuples (unconsumed variables must
+ * be zero) — this implements the paper's constrained abstract blocks.
+ */
+class PpInputs
+{
+  public:
+    virtual ~PpInputs() = default;
+
+    /** @return the value of @p var this cycle (and mark it used). */
+    virtual uint32_t read(PpChoiceVar var) = 0;
+};
+
+/** Per-cycle control outputs consumed by the datapath (RTL model). */
+struct PpOutputs
+{
+    bool fetch = false;          ///< a packet enters RD this cycle
+    pp::InstrClass fetchClass = pp::InstrClass::None;
+    unsigned fetchCount = 0;     ///< instructions in the packet (0-2)
+    bool iMissStart = false;     ///< fetch missed; I-refill begins
+
+    bool frozen = false;   ///< pipe held this cycle
+    bool dStall = false;   ///< MEM-stage op unfinished
+    bool extStall = false; ///< SWITCH/SEND waiting on Inbox/Outbox
+    bool iStall = false;   ///< fetch unavailable this cycle
+
+    bool probe = false;        ///< D-cache tag probe performed
+    bool loadHit = false;      ///< probe was a load hit
+    bool storeProbe = false;   ///< probe was a store hit (split store)
+    bool storeCommit = false;  ///< pending store data written
+    bool conflict = false;     ///< conflict stall taken this cycle
+    bool dMissStart = false;   ///< probe missed; D-refill begins
+    bool spillCopy = false;    ///< victim copied to the spill buffer
+    bool spillBlocked = false; ///< miss blocked on a busy spill buffer
+    bool critWord = false;     ///< critical word delivered (restart)
+    bool dFillBeat = false;    ///< non-critical refill word accepted
+    bool dRefillDone = false;  ///< last refill word accepted
+    bool iFillBeat = false;    ///< I-refill word accepted
+    bool iRefillDone = false;  ///< last I-refill word accepted
+    bool fixup = false;        ///< I-refill fix-up cycle completes
+    bool wbBeat = false;       ///< writeback beat sent to memory
+    bool wbDone = false;       ///< writeback finished
+
+    bool inboxPop = false;   ///< SWITCH consumed an Inbox word
+    bool outboxPush = false; ///< SEND delivered a word to the Outbox
+    bool branchTaken = false; ///< EX branch squashes younger stages
+    bool advance = false;     ///< pipeline registers shifted
+};
+
+/**
+ * The pure synchronous next-state function of the PP control.
+ *
+ * Deterministic given (state, inputs); reads inputs only when they
+ * are relevant in the current state.
+ */
+class PpControl
+{
+  public:
+    /** @param config Model parameters (line length, feature flags). */
+    explicit PpControl(const PpConfig &config) : config_(config) {}
+
+    /** @return the reset control state. */
+    static PpControlState resetState() { return PpControlState{}; }
+
+    /**
+     * Advance one clock.
+     *
+     * @param state Current latched state.
+     * @param inputs Abstract input source for this cycle.
+     * @param[out] outputs Derived control outputs for the datapath.
+     * @return the next latched state.
+     */
+    PpControlState step(const PpControlState &state, PpInputs &inputs,
+                        PpOutputs &outputs) const;
+
+    /** @return the configuration. */
+    const PpConfig &config() const { return config_; }
+
+  private:
+    PpConfig config_;
+};
+
+} // namespace archval::rtl
+
+#endif // ARCHVAL_RTL_PP_CONTROL_HH

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Cycle-accurate model of the Protocol Processor — the "RTL
+ * implementation" of Figure 3.1.
+ *
+ * The core drives the shared PpControl next-state function with real
+ * (program mode) or forced (vector mode) interface signals and moves
+ * architectural data accordingly:
+ *
+ *  - Program mode: a complete dual-issue in-order processor. Real PC,
+ *    real (tags-only) I- and D-cache arrays with LRU / dirty bits /
+ *    spill buffer, real branch resolution, a latency-modelled memory
+ *    controller port, and Inbox/Outbox queue models. Used by the
+ *    directed-test baseline and the examples.
+ *  - Vector mode: the simulation target of the paper's methodology.
+ *    Interface signals (cache hits, readiness, memory replies) are
+ *    forced cycle-by-cycle from generated test vectors — the
+ *    "force/release" commands of Section 3.3 — and instructions come
+ *    from the abstract I-cache's chosen stream.
+ *
+ * Architectural data always lives in a flat backing store (the cache
+ * arrays hold tags, not data), so the machine is sequentially
+ * equivalent to the instruction-level reference simulator unless one
+ * of the six injectable Table 2.1 bugs corrupts a value.
+ *
+ * Datapath timing contract: each instruction performs its register
+ * and memory effects at its retire point (when its packet leaves the
+ * MEM stage), in program order. The two in-order exceptions mirror
+ * the real statically-scheduled PP: branch outcomes are read in EX
+ * (the scheduler must keep a branch's sources two packets away from
+ * their producer), and split-store data writes drain in the
+ * background under the conflict FSM's protection.
+ */
+
+#ifndef ARCHVAL_RTL_PP_CORE_HH
+#define ARCHVAL_RTL_PP_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pp/isa.hh"
+#include "pp/ref_sim.hh"
+#include "rtl/faults.hh"
+#include "rtl/pp_control.hh"
+#include "rtl/pp_fsm_model.hh"
+
+namespace archval::rtl
+{
+
+/** Operating mode (see file comment). */
+enum class CoreMode
+{
+    Program, ///< fetch from program memory via a real PC
+    Vector,  ///< fetch from a generated stream; signals forced
+};
+
+/** Per-cycle forced signal values for vector mode. */
+using ForcedSignals = std::array<uint32_t, numPpChoiceVars>;
+
+/** Memory/interface timing knobs for program mode. */
+struct CoreTiming
+{
+    unsigned memLatency = 3;       ///< cycles to the first reply beat
+    unsigned outboxCapacity = 2;   ///< entries before SEND stalls
+    unsigned outboxDrainCycles = 4; ///< cycles per outbox drain
+};
+
+/**
+ * The Protocol Processor core.
+ */
+class PpCore
+{
+  public:
+    /**
+     * @param config Machine parameters (shared with PpFsmModel).
+     * @param mode Program or Vector operation.
+     */
+    explicit PpCore(const PpConfig &config,
+                    CoreMode mode = CoreMode::Program);
+
+    /** @name Program-mode setup @{ */
+    /** Load @p program and reset the machine. */
+    void loadProgram(std::vector<uint32_t> program);
+    /** Set program-mode timing knobs. */
+    void setTiming(const CoreTiming &timing) { timing_ = timing; }
+    /** @} */
+
+    /** @name Vector-mode setup @{ */
+    /** Load the fetch stream chosen by the test generator. */
+    void loadStream(std::vector<uint32_t> stream);
+    /** Set the forced interface signals for the next cycle. */
+    void forceSignals(const ForcedSignals &signals);
+    /** @} */
+
+    /** Provide Inbox contents (consumed by SWITCH). */
+    void setInbox(std::deque<uint32_t> inbox);
+
+    /** Preload a data-memory word. */
+    void pokeDmem(uint32_t word_index, uint32_t value);
+
+    /** Enable or disable an injectable bug. */
+    void setBug(BugId bug, bool enable);
+
+    /** @return the enabled bug set. */
+    const BugSet &bugs() const { return bugs_; }
+
+    /** Advance one clock. @return false once halted (program mode). */
+    bool step();
+
+    /** Run up to @p max_cycles or until halt. @return cycles run. */
+    uint64_t run(uint64_t max_cycles = 1'000'000);
+
+    /** @return true when no instruction is in flight and all control
+     *  FSMs are idle (used to drain vector traces). */
+    bool pipeEmpty() const;
+
+    /** @return true after HALT retired (program mode). */
+    bool halted() const { return halted_; }
+
+    /** @return the architectural state (same shape as RefSim's). */
+    pp::ArchState archState() const;
+
+    /** @return the current control state (for lockstep checks). */
+    const PpControlState &controlState() const { return control_; }
+
+    /** @return the outputs of the most recent cycle. */
+    const PpOutputs &lastOutputs() const { return lastOutputs_; }
+
+    /** @return total clock cycles executed. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** @return instructions retired (architecturally executed). */
+    uint64_t instructionsRetired() const { return retired_; }
+
+    /** @return instructions consumed from the vector-mode stream. */
+    uint64_t streamConsumed() const { return streamPos_; }
+
+    /** @return register @p index. */
+    uint32_t reg(unsigned index) const { return regs_[index & 31]; }
+
+    /** @return one-line pipeline/waveform dump for this cycle (used
+     *  by the bug #5 timing-diagram bench). */
+    std::string waveLine() const;
+
+  private:
+    /** One instruction occupying a pipeline slot. */
+    struct MicroOp
+    {
+        uint32_t word = 0;
+        pp::DecodedInstr d;
+        uint32_t pc = 0;
+        uint32_t memAddr = 0;      ///< byte address (mem ops)
+        bool addrValid = false;
+        uint32_t inboxValue = 0;   ///< value popped by SWITCH
+        bool inboxValid = false;
+        bool corruptToNop = false; ///< bug1/bug4 effect
+        bool valueCorrupt = false; ///< bug2/bug5 effect
+        bool useStale = false;     ///< bug6 effect
+        uint32_t staleValue = 0;
+    };
+
+    /** A fetch packet (1 or 2 micro-ops). */
+    struct Packet
+    {
+        std::array<MicroOp, 2> ops;
+        unsigned count = 0;
+        bool valid = false;
+    };
+
+    /** Tags-only cache way. */
+    struct CacheLine
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+    };
+
+    void reset();
+
+    /** Build this cycle's control inputs (program mode). */
+    ForcedSignals computeSignals();
+
+    /** Fetch the next packet (mode dependent). */
+    Packet fetchPacket(pp::InstrClass cls, unsigned count);
+
+    /** Architecturally execute @p packet (retire point). */
+    void retirePacket(Packet &packet);
+
+    /** Execute one micro-op at retire. */
+    void retireOp(MicroOp &op);
+
+    /** @return byte address of a mem op, masked into dmem. */
+    uint32_t effectiveAddress(const MicroOp &op) const;
+
+    /** D-cache index/tag helpers (program mode). @{ */
+    uint32_t dcacheSetOf(uint32_t addr) const;
+    uint32_t dcacheTagOf(uint32_t addr) const;
+    bool dcacheProbe(uint32_t addr) const;
+    bool dcacheVictimDirty(uint32_t addr) const;
+    void dcacheFill(uint32_t addr);
+    void dcacheMarkDirty(uint32_t addr);
+    bool icacheProbe(uint32_t pc) const;
+    void icacheFill(uint32_t pc);
+    /** @} */
+
+    /** @return true when @p a and @p b share a cache line. */
+    bool sameLine(uint32_t a, uint32_t b) const;
+
+    PpConfig config_;
+    CoreMode mode_;
+    CoreTiming timing_;
+    PpControl controller_;
+    PpControlState control_;
+    PpOutputs lastOutputs_;
+    BugSet bugs_;
+
+    // Architectural state.
+    std::array<uint32_t, 32> regs_{};
+    std::vector<uint32_t> dmem_;
+    std::vector<uint32_t> outbox_;
+    std::deque<uint32_t> inbox_;
+
+    // Program mode.
+    std::vector<uint32_t> program_;
+    uint32_t pc_ = 0;
+    std::vector<CacheLine> icacheLines_;
+    std::vector<CacheLine> dcacheLines_; // sets * ways
+    std::vector<uint8_t> dcacheLru_;     // way to evict next, per set
+    uint32_t drefillAddr_ = 0; ///< line being D-refilled
+    uint32_t irefillPc_ = 0;   ///< line being I-refilled
+    unsigned memWait_ = 0;     ///< cycles until the next reply beat
+    unsigned outboxDrain_ = 0; ///< cycles until the next outbox drain
+    size_t outboxOccupancy_ = 0;
+
+    // Vector mode.
+    std::vector<uint32_t> stream_;
+    size_t streamPos_ = 0;
+    ForcedSignals forced_{};
+    bool forcedValid_ = false;
+
+    // Pipeline.
+    Packet rdPacket_;
+    Packet exPacket_;
+    Packet memPacket_;
+
+    // Split store data write.
+    struct PendingStore
+    {
+        bool valid = false;
+        uint32_t addr = 0;
+        uint32_t data = 0;
+    } pendingStore_;
+
+    // Bug bookkeeping.
+    bool bug1Armed_ = false;  ///< corrupt next fetched instruction
+    bool bug4Armed_ = false;  ///< fix-up was held while frozen
+    struct Bug5Window
+    {
+        bool open = false;
+        uint8_t reg = 0;
+        uint32_t garbage = 0;
+    } bug5_;
+
+    bool halted_ = false;
+    uint64_t cycles_ = 0;
+    uint64_t retired_ = 0;
+};
+
+} // namespace archval::rtl
+
+#endif // ARCHVAL_RTL_PP_CORE_HH

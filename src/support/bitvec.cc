@@ -1,0 +1,135 @@
+#include "bitvec.hh"
+
+#include "status.hh"
+
+namespace archval
+{
+
+namespace
+{
+
+constexpr size_t wordBits = 64;
+
+size_t
+wordsFor(size_t num_bits)
+{
+    return (num_bits + wordBits - 1) / wordBits;
+}
+
+} // namespace
+
+BitVec::BitVec(size_t num_bits)
+    : numBits_(num_bits), words_(wordsFor(num_bits), 0)
+{
+}
+
+bool
+BitVec::get(size_t index) const
+{
+    if (index >= numBits_)
+        panic("BitVec::get out of range");
+    return (words_[index / wordBits] >> (index % wordBits)) & 1;
+}
+
+void
+BitVec::set(size_t index, bool value)
+{
+    if (index >= numBits_)
+        panic("BitVec::set out of range");
+    uint64_t mask = uint64_t(1) << (index % wordBits);
+    if (value)
+        words_[index / wordBits] |= mask;
+    else
+        words_[index / wordBits] &= ~mask;
+}
+
+uint64_t
+BitVec::getField(size_t lsb, size_t width) const
+{
+    if (width > 64)
+        panic("BitVec::getField width > 64");
+    if (width == 0)
+        return 0;
+    if (lsb + width > numBits_)
+        panic("BitVec::getField out of range");
+
+    size_t word = lsb / wordBits;
+    size_t offset = lsb % wordBits;
+    uint64_t value = words_[word] >> offset;
+    if (offset + width > wordBits)
+        value |= words_[word + 1] << (wordBits - offset);
+    if (width < 64)
+        value &= (uint64_t(1) << width) - 1;
+    return value;
+}
+
+void
+BitVec::setField(size_t lsb, size_t width, uint64_t value)
+{
+    if (width > 64)
+        panic("BitVec::setField width > 64");
+    if (width == 0)
+        return;
+    if (lsb + width > numBits_)
+        panic("BitVec::setField out of range");
+
+    uint64_t mask =
+        width == 64 ? ~uint64_t(0) : (uint64_t(1) << width) - 1;
+    value &= mask;
+
+    size_t word = lsb / wordBits;
+    size_t offset = lsb % wordBits;
+    words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
+    if (offset + width > wordBits) {
+        size_t high_bits = offset + width - wordBits;
+        uint64_t high_mask = (uint64_t(1) << high_bits) - 1;
+        words_[word + 1] = (words_[word + 1] & ~high_mask) |
+                           (value >> (wordBits - offset));
+    }
+}
+
+void
+BitVec::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string out;
+    out.reserve(numBits_);
+    for (size_t i = numBits_; i-- > 0;)
+        out.push_back(get(i) ? '1' : '0');
+    return out;
+}
+
+size_t
+BitVec::hash() const
+{
+    // FNV-1a over the words, folded with the width so that vectors of
+    // different widths with equal payloads do not collide trivially.
+    uint64_t h = 1469598103934665603ull ^ numBits_;
+    for (uint64_t w : words_) {
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return numBits_ == other.numBits_ && words_ == other.words_;
+}
+
+bool
+BitVec::operator<(const BitVec &other) const
+{
+    if (numBits_ != other.numBits_)
+        return numBits_ < other.numBits_;
+    return words_ < other.words_;
+}
+
+} // namespace archval

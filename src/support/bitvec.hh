@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Packed dynamic bit vector used for encoded model-checker states.
+ *
+ * A BitVec is a fixed-width (set at construction) sequence of bits
+ * with field accessors for multi-bit slices. It is the unit stored in
+ * the enumerator's hash table, so it is compact (one heap word vector)
+ * and hashable.
+ */
+
+#ifndef ARCHVAL_SUPPORT_BITVEC_HH
+#define ARCHVAL_SUPPORT_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace archval
+{
+
+/** Fixed-width packed bit vector with multi-bit field access. */
+class BitVec
+{
+  public:
+    /** Construct an all-zero vector of @p num_bits bits. */
+    explicit BitVec(size_t num_bits = 0);
+
+    /** @return the width in bits. */
+    size_t numBits() const { return numBits_; }
+
+    /** @return bit @p index (0 = LSB of word 0). */
+    bool get(size_t index) const;
+
+    /** Set bit @p index to @p value. */
+    void set(size_t index, bool value);
+
+    /**
+     * Read an unsigned field of @p width bits starting at bit @p lsb.
+     * @p width must be <= 64.
+     */
+    uint64_t getField(size_t lsb, size_t width) const;
+
+    /**
+     * Write the low @p width bits of @p value at bit @p lsb.
+     * @p width must be <= 64.
+     */
+    void setField(size_t lsb, size_t width, uint64_t value);
+
+    /** Reset every bit to zero without changing the width. */
+    void clear();
+
+    /** @return a string of '0'/'1', MSB first, for debugging. */
+    std::string toString() const;
+
+    /** @return a stable hash of the contents. */
+    size_t hash() const;
+
+    bool operator==(const BitVec &other) const;
+    bool operator!=(const BitVec &other) const { return !(*this == other); }
+
+    /** Lexicographic comparison, for ordered containers. */
+    bool operator<(const BitVec &other) const;
+
+    /** @return approximate heap bytes used by this vector. */
+    size_t memoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  private:
+    size_t numBits_;
+    std::vector<uint64_t> words_;
+};
+
+/** std::hash adaptor for BitVec. */
+struct BitVecHash
+{
+    size_t operator()(const BitVec &v) const { return v.hash(); }
+};
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_BITVEC_HH

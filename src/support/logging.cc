@@ -1,0 +1,50 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace archval
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+      default:
+        return "log";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+} // namespace archval

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal leveled logger used across the library.
+ *
+ * Output goes to stderr. The level is a process-global setting so that
+ * examples and benches can silence module chatter with one call.
+ */
+
+#ifndef ARCHVAL_SUPPORT_LOGGING_HH
+#define ARCHVAL_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace archval
+{
+
+/** Severity levels, in increasing verbosity order. */
+enum class LogLevel
+{
+    Quiet = 0, ///< nothing at all
+    Warn = 1,  ///< possible misconfiguration, continuing
+    Info = 2,  ///< high-level progress messages
+    Debug = 3, ///< per-step detail, for debugging the library itself
+};
+
+/** Set the process-global log level. */
+void setLogLevel(LogLevel level);
+
+/** @return the process-global log level. */
+LogLevel logLevel();
+
+/** Emit @p msg at @p level if the global level admits it. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Emit a warning message. */
+inline void logWarn(const std::string &msg) { logMessage(LogLevel::Warn, msg); }
+
+/** Emit an informational message. */
+inline void logInfo(const std::string &msg) { logMessage(LogLevel::Info, msg); }
+
+/** Emit a debug message. */
+inline void
+logDebug(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
+}
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_LOGGING_HH

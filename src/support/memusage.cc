@@ -1,0 +1,48 @@
+#include "memusage.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace archval
+{
+
+namespace
+{
+
+size_t
+readStatusField(const char *field)
+{
+    FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+
+    size_t kib = 0;
+    char line[256];
+    size_t field_len = std::strlen(field);
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, field, field_len) == 0) {
+            unsigned long long value = 0;
+            if (std::sscanf(line + field_len, " %llu", &value) == 1)
+                kib = static_cast<size_t>(value);
+            break;
+        }
+    }
+    std::fclose(f);
+    return kib * 1024;
+}
+
+} // namespace
+
+size_t
+currentRssBytes()
+{
+    return readStatusField("VmRSS:");
+}
+
+size_t
+peakRssBytes()
+{
+    return readStatusField("VmHWM:");
+}
+
+} // namespace archval

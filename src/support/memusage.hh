@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Process memory usage probe (Linux /proc based).
+ */
+
+#ifndef ARCHVAL_SUPPORT_MEMUSAGE_HH
+#define ARCHVAL_SUPPORT_MEMUSAGE_HH
+
+#include <cstddef>
+
+namespace archval
+{
+
+/**
+ * @return current resident set size in bytes, or 0 when unavailable.
+ */
+size_t currentRssBytes();
+
+/**
+ * @return peak resident set size in bytes, or 0 when unavailable.
+ */
+size_t peakRssBytes();
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_MEMUSAGE_HH

@@ -1,0 +1,82 @@
+#include "rng.hh"
+
+#include "status.hh"
+
+namespace archval
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below(0)");
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        uint64_t draw = next();
+        if (draw >= threshold)
+            return draw % bound;
+    }
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::range lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+bool
+Rng::chance(uint64_t numer, uint64_t denom)
+{
+    if (denom == 0)
+        panic("Rng::chance denominator 0");
+    return below(denom) < numer;
+}
+
+} // namespace archval

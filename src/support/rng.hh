@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Vector generation uses "biased random" choices for the parts of a
+ * test vector that do not affect control (data values, concrete
+ * opcodes within a class). All randomness flows through this type so
+ * that every experiment is reproducible from a seed.
+ */
+
+#ifndef ARCHVAL_SUPPORT_RNG_HH
+#define ARCHVAL_SUPPORT_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace archval
+{
+
+/** xoshiro256** generator with convenience draw helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit draw. */
+    uint64_t next();
+
+    /** @return a uniform integer in [0, bound); bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** @return true with probability @p numer / @p denom. */
+    bool chance(uint64_t numer, uint64_t denom);
+
+    /** @return a uniform index into a non-empty container size. */
+    size_t index(size_t size) { return static_cast<size_t>(below(size)); }
+
+    /** Fisher-Yates shuffle of @p items in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i)
+            std::swap(items[i - 1], items[this->index(i)]);
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_RNG_HH

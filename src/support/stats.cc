@@ -1,0 +1,74 @@
+#include "stats.hh"
+
+#include <algorithm>
+
+#include "strings.hh"
+
+namespace archval
+{
+
+void
+ScalarStat::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+void
+StatSet::add(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::sample(const std::string &name, double value)
+{
+    scalars_[name].sample(value);
+}
+
+uint64_t
+StatSet::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+ScalarStat
+StatSet::scalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? ScalarStat{} : it->second;
+}
+
+std::string
+StatSet::render() const
+{
+    size_t width = 0;
+    for (const auto &[name, value] : counters_)
+        width = std::max(width, name.size());
+    for (const auto &[name, value] : scalars_)
+        width = std::max(width, name.size());
+
+    std::string out;
+    for (const auto &[name, value] : counters_) {
+        out += formatString("%-*s %s\n", int(width), name.c_str(),
+                            withCommas(value).c_str());
+    }
+    for (const auto &[name, stat] : scalars_) {
+        out += formatString(
+            "%-*s n=%llu mean=%.3f min=%.3f max=%.3f\n", int(width),
+            name.c_str(),
+            static_cast<unsigned long long>(stat.count()), stat.mean(),
+            stat.min(), stat.max());
+    }
+    return out;
+}
+
+} // namespace archval

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Named statistic counters and simple histograms for experiment
+ * reporting. Kept deliberately simple: a StatSet is a string-keyed
+ * collection that benches print as aligned tables.
+ */
+
+#ifndef ARCHVAL_SUPPORT_STATS_HH
+#define ARCHVAL_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace archval
+{
+
+/** Running scalar statistic: count, sum, min, max. */
+class ScalarStat
+{
+  public:
+    /** Record one sample. */
+    void sample(double value);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** String-keyed collection of scalar stats plus plain counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter named @p name. */
+    void add(const std::string &name, uint64_t delta = 1);
+
+    /** Record a sample in the scalar stat named @p name. */
+    void sample(const std::string &name, double value);
+
+    /** @return counter value; 0 when absent. */
+    uint64_t counter(const std::string &name) const;
+
+    /** @return scalar stat; zero-initialized when absent. */
+    ScalarStat scalar(const std::string &name) const;
+
+    /** @return a multi-line aligned rendering of all entries. */
+    std::string render() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, ScalarStat> scalars_;
+};
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_STATS_HH

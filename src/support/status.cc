@@ -1,0 +1,22 @@
+#include "status.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace archval
+{
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+} // namespace archval

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight status/result types and fatal-error helpers.
+ *
+ * The library distinguishes two classes of failure, following the
+ * gem5 convention:
+ *  - panic(): an internal invariant was violated (a bug in this
+ *    library). Aborts.
+ *  - fatal(): the user supplied bad input (malformed HDL, impossible
+ *    configuration). Throws FatalError so callers and tests can catch.
+ *
+ * Recoverable, expected failures (e.g. parse errors that a caller may
+ * want to report) are carried in Result<T>.
+ */
+
+#ifndef ARCHVAL_SUPPORT_STATUS_HH
+#define ARCHVAL_SUPPORT_STATUS_HH
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace archval
+{
+
+/** Exception thrown for unrecoverable user-input errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Abort with a message; use for internal invariant violations only.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Throw FatalError; use when user input makes continuing impossible.
+ *
+ * @param msg Description of the user-facing error.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Value-or-error result type for recoverable failures.
+ *
+ * A Result either holds a value of type T or an error message.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Construct a successful result holding @p value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Construct a failed result carrying @p msg. */
+    static Result
+    error(std::string msg)
+    {
+        Result r;
+        r.error_ = std::move(msg);
+        return r;
+    }
+
+    /** @return true when a value is present. */
+    bool ok() const { return value_.has_value(); }
+
+    /** @return the error message; empty when ok(). */
+    const std::string &errorMessage() const { return error_; }
+
+    /** @return the held value; panics when !ok(). */
+    const T &
+    value() const
+    {
+        if (!value_)
+            panic("Result::value() on error result: " + error_);
+        return *value_;
+    }
+
+    /** @return the held value by move; panics when !ok(). */
+    T &&
+    take()
+    {
+        if (!value_)
+            panic("Result::take() on error result: " + error_);
+        return std::move(*value_);
+    }
+
+  private:
+    Result() = default;
+
+    std::optional<T> value_;
+    std::string error_;
+};
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_STATUS_HH

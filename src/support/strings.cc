@@ -1,0 +1,110 @@
+#include "strings.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace archval
+{
+
+std::vector<std::string>
+splitString(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            fields.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return fields;
+}
+
+std::string
+trimString(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+formatString(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+withCommas(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    size_t lead = digits.size() % 3;
+    if (lead == 0)
+        lead = 3;
+    for (size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+humanBytes(uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < 5) {
+        value /= 1024.0;
+        ++unit;
+    }
+    return formatString("%.1f %s", value, units[unit]);
+}
+
+std::string
+humanSeconds(double seconds)
+{
+    if (seconds < 120.0)
+        return formatString("%.1f secs", seconds);
+    if (seconds < 7200.0)
+        return formatString("%.1f mins", seconds / 60.0);
+    return formatString("%.1f hours", seconds / 3600.0);
+}
+
+} // namespace archval

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string utilities shared by the HDL frontend and report code.
+ */
+
+#ifndef ARCHVAL_SUPPORT_STRINGS_HH
+#define ARCHVAL_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace archval
+{
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(std::string_view text, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trimString(std::string_view text);
+
+/** @return true when @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** @return true when @p text ends with @p suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** @return @p value with thousands separators, e.g. 1,172,848. */
+std::string withCommas(uint64_t value);
+
+/** @return a human-readable byte count, e.g. "34.0 MB". */
+std::string humanBytes(uint64_t bytes);
+
+/** @return a human-readable duration, e.g. "58.9 hours" / "24 mins". */
+std::string humanSeconds(double seconds);
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_STRINGS_HH

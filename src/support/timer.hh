@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Wall-clock and CPU timers for experiment statistics.
+ */
+
+#ifndef ARCHVAL_SUPPORT_TIMER_HH
+#define ARCHVAL_SUPPORT_TIMER_HH
+
+#include <chrono>
+#include <ctime>
+
+namespace archval
+{
+
+/** Wall-clock stopwatch started at construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return elapsed seconds since construction or reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Process CPU-time stopwatch started at construction. */
+class CpuTimer
+{
+  public:
+    CpuTimer() : start_(now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = now(); }
+
+    /** @return elapsed CPU seconds since construction or reset(). */
+    double seconds() const { return now() - start_; }
+
+  private:
+    static double
+    now()
+    {
+        timespec ts{};
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+        return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+    }
+
+    double start_;
+};
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_TIMER_HH

@@ -1,0 +1,229 @@
+#include "trace_io.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace archval::vecgen
+{
+
+namespace
+{
+
+constexpr const char *magic = "archval-trace 1";
+
+} // namespace
+
+std::string
+serializeTrace(const TestTrace &trace)
+{
+    std::string out;
+    out += magic;
+    out += formatString("\ntrace %zu\ninstructions %llu\n",
+                        trace.traceIndex,
+                        static_cast<unsigned long long>(
+                            trace.instructions));
+
+    out += formatString("cycles %zu %zu\n", trace.cycles.size(),
+                        rtl::numPpChoiceVars);
+    for (const auto &signals : trace.cycles) {
+        out += "C";
+        for (uint32_t value : signals)
+            out += formatString(" %u", value);
+        out += "\n";
+    }
+
+    auto word_section = [&out](const char *name,
+                               const auto &words) {
+        out += formatString("%s %zu\n", name, words.size());
+        size_t column = 0;
+        for (uint32_t word : words) {
+            out += column == 0 ? "W" : "";
+            out += formatString(" %08x", word);
+            if (++column == 8) {
+                out += "\n";
+                column = 0;
+            }
+        }
+        if (column != 0)
+            out += "\n";
+    };
+    word_section("fetch", trace.fetchStream);
+    word_section("retired", trace.retiredStream);
+    word_section("inbox", trace.inbox);
+
+    out += "end\n";
+    return out;
+}
+
+Result<TestTrace>
+deserializeTrace(const std::string &text)
+{
+    using Out = TestTrace;
+    std::istringstream in(text);
+    std::string line;
+
+    auto err = [](const std::string &msg) {
+        return Result<Out>::error("trace parse: " + msg);
+    };
+
+    if (!std::getline(in, line) || trimString(line) != magic)
+        return err("bad magic");
+
+    TestTrace trace;
+    size_t num_cycles = 0, num_vars = 0;
+    enum class Section
+    {
+        Header,
+        Cycles,
+        Words,
+    };
+
+    if (!std::getline(in, line) ||
+        std::sscanf(line.c_str(), "trace %zu", &trace.traceIndex) != 1)
+        return err("missing trace index");
+    unsigned long long instrs = 0;
+    if (!std::getline(in, line) ||
+        std::sscanf(line.c_str(), "instructions %llu", &instrs) != 1)
+        return err("missing instruction count");
+    trace.instructions = instrs;
+
+    if (!std::getline(in, line) ||
+        std::sscanf(line.c_str(), "cycles %zu %zu", &num_cycles,
+                    &num_vars) != 2)
+        return err("missing cycle header");
+    if (num_vars != rtl::numPpChoiceVars)
+        return err("signal arity mismatch (different model "
+                   "version?)");
+
+    trace.cycles.reserve(num_cycles);
+    for (size_t i = 0; i < num_cycles; ++i) {
+        if (!std::getline(in, line) || line.empty() || line[0] != 'C')
+            return err(formatString("bad cycle line %zu", i));
+        std::istringstream cycle_line(line.substr(1));
+        rtl::ForcedSignals signals{};
+        for (size_t v = 0; v < num_vars; ++v) {
+            if (!(cycle_line >> signals[v]))
+                return err(formatString("short cycle line %zu", i));
+        }
+        trace.cycles.push_back(signals);
+    }
+
+    auto read_words = [&](const char *name,
+                          auto &words) -> Result<bool> {
+        size_t count = 0;
+        std::string header;
+        if (!std::getline(in, header))
+            return Result<bool>::error("trace parse: missing " +
+                                       std::string(name));
+        std::string expect = std::string(name) + " %zu";
+        if (std::sscanf(header.c_str(), expect.c_str(), &count) != 1)
+            return Result<bool>::error("trace parse: bad " +
+                                       std::string(name) + " header");
+        size_t got = 0;
+        while (got < count) {
+            if (!std::getline(in, line) || line.empty() ||
+                line[0] != 'W')
+                return Result<bool>::error(
+                    "trace parse: short " + std::string(name));
+            std::istringstream word_line(line.substr(1));
+            std::string token;
+            while (got < count && word_line >> token) {
+                words.push_back(static_cast<uint32_t>(
+                    std::strtoul(token.c_str(), nullptr, 16)));
+                ++got;
+            }
+        }
+        return true;
+    };
+
+    if (auto r = read_words("fetch", trace.fetchStream); !r.ok())
+        return err(r.errorMessage());
+    if (auto r = read_words("retired", trace.retiredStream); !r.ok())
+        return err(r.errorMessage());
+    if (auto r = read_words("inbox", trace.inbox); !r.ok())
+        return err(r.errorMessage());
+
+    if (!std::getline(in, line) || trimString(line) != "end")
+        return err("missing end marker");
+    return trace;
+}
+
+Result<bool>
+writeTraceFile(const TestTrace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return Result<bool>::error("cannot open " + path);
+    out << serializeTrace(trace);
+    out.close();
+    if (!out)
+        return Result<bool>::error("write failed for " + path);
+    return true;
+}
+
+Result<TestTrace>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Result<TestTrace>::error("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return deserializeTrace(buffer.str());
+}
+
+std::string
+traceFileName(size_t index)
+{
+    return formatString("trace_%06zu.avt", index);
+}
+
+Result<size_t>
+writeTraceSet(const std::vector<TestTrace> &traces,
+              const std::string &directory)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec)
+        return Result<size_t>::error("cannot create " + directory +
+                                     ": " + ec.message());
+    for (const TestTrace &trace : traces) {
+        auto r = writeTraceFile(
+            trace, directory + "/" + traceFileName(trace.traceIndex));
+        if (!r.ok())
+            return Result<size_t>::error(r.errorMessage());
+    }
+    return traces.size();
+}
+
+Result<std::vector<TestTrace>>
+readTraceSet(const std::string &directory)
+{
+    using Out = std::vector<TestTrace>;
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory, ec)) {
+        if (entry.path().extension() == ".avt")
+            paths.push_back(entry.path().string());
+    }
+    if (ec)
+        return Result<Out>::error("cannot read " + directory + ": " +
+                                  ec.message());
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<TestTrace> traces;
+    for (const std::string &path : paths) {
+        auto trace = readTraceFile(path);
+        if (!trace.ok())
+            return Result<Out>::error(trace.errorMessage());
+        traces.push_back(trace.take());
+    }
+    return traces;
+}
+
+} // namespace archval::vecgen

@@ -1,0 +1,346 @@
+#include "vector_gen.hh"
+
+#include "pp/isa.hh"
+#include "support/status.hh"
+#include "support/strings.hh"
+
+namespace archval::vecgen
+{
+
+namespace
+{
+
+using pp::InstrClass;
+using rtl::DRefill;
+using rtl::PpChoiceVar;
+
+/** Per-packet skeleton recorded during the tour walk. */
+struct Skeleton
+{
+    InstrClass cls = InstrClass::Alu;
+    unsigned count = 1;
+    bool squashed = false;
+    bool branchTaken = false;
+    // Address constraint for loads (last one wins; see header).
+    bool hasConstraint = false;
+    bool sameLine = false;
+    int storeRef = -1;
+    // Materialized address for memory ops.
+    uint32_t memAddr = 0;
+};
+
+size_t
+varIndex(PpChoiceVar var)
+{
+    return static_cast<size_t>(var);
+}
+
+} // namespace
+
+VectorGenerator::VectorGenerator(const rtl::PpFsmModel &model,
+                                 uint64_t seed)
+    : model_(model), codec_(model.makeChoiceCodec()), rng_(seed)
+{
+}
+
+TestTrace
+VectorGenerator::generate(const graph::StateGraph &graph,
+                          const graph::Trace &trace, size_t trace_index)
+{
+    if (!graph.statesRetained())
+        fatal("vector generation needs retained states "
+              "(EnumOptions::retainStates)");
+
+    TestTrace out;
+    out.traceIndex = trace_index;
+    out.cycles.reserve(trace.edges.size());
+
+    // ------------------------------------------------------------------
+    // Pass 1: walk the tour, record forced signals, track pipeline
+    // occupancy for squash filtering and conflict constraints.
+    // ------------------------------------------------------------------
+    std::vector<Skeleton> skeletons;
+    int rd_hold = -1, ex_hold = -1, mem_hold = -1;
+    int pending_store = -1;
+
+    for (graph::EdgeId e : trace.edges) {
+        const graph::Edge &edge = graph.edge(e);
+        const BitVec &src = graph.packedState(edge.src);
+        rtl::PpControlState st = model_.unpack(src);
+        fsm::Choice choice = codec_.decode(edge.choiceCode);
+        rtl::PpOutputs cycle_out = model_.outputsFor(src, choice);
+
+        // Record the forced-signal vector for this cycle verbatim.
+        rtl::ForcedSignals forced{};
+        for (size_t i = 0; i < rtl::numPpChoiceVars && i < choice.size();
+             ++i)
+            forced[i] = choice[i];
+        out.cycles.push_back(forced);
+        out.instructions += cycle_out.fetchCount;
+
+        // Conflict-check constraint: the control examined SameLine
+        // this cycle for the load in MEM against the pending store.
+        // (A control mutated to skip the check never examines it, so
+        // no constraint is recorded and the load's address falls
+        // back to biased-random — which is how such a bug gets the
+        // chance to collide and manifest.)
+        if (st.memClass == InstrClass::Load && !st.memDone &&
+            st.drefill == DRefill::Idle && st.storePending &&
+            !model_.config().mutations.test(static_cast<size_t>(
+                rtl::MutationId::ConflictDropsLoadCheck))) {
+            if (mem_hold >= 0 && pending_store >= 0) {
+                Skeleton &load = skeletons[mem_hold];
+                if (!load.hasConstraint)
+                    ++stats_.constrainedLoads;
+                load.hasConstraint = true;
+                load.sameLine =
+                    choice[varIndex(PpChoiceVar::SameLine)] != 0;
+                load.storeRef = pending_store;
+            }
+        }
+
+        // Pending-store tracking (before the commit clears it).
+        if (cycle_out.storeProbe ||
+            (cycle_out.critWord && st.memClass == InstrClass::Store)) {
+            pending_store = mem_hold;
+        }
+        if (cycle_out.storeCommit)
+            pending_store = -1;
+
+        // Branch resolution bookkeeping (the branch sits in EX).
+        if (st.exClass == InstrClass::Branch && cycle_out.advance &&
+            ex_hold >= 0) {
+            skeletons[ex_hold].branchTaken = cycle_out.branchTaken;
+        }
+
+        // Pipeline occupancy.
+        if (cycle_out.advance) {
+            mem_hold = ex_hold;
+            if (cycle_out.branchTaken) {
+                if (rd_hold >= 0) {
+                    skeletons[rd_hold].squashed = true;
+                    ++stats_.squashedPackets;
+                }
+                ex_hold = -1;
+                rd_hold = -1;
+            } else {
+                ex_hold = rd_hold;
+                if (cycle_out.fetch) {
+                    Skeleton skel;
+                    skel.cls = cycle_out.fetchClass;
+                    skel.count = cycle_out.fetchCount;
+                    skeletons.push_back(skel);
+                    rd_hold = static_cast<int>(skeletons.size()) - 1;
+                } else {
+                    rd_hold = -1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 2: materialize concrete instructions. Everything the
+    // control does not see is biased-random; load addresses honour
+    // the recorded conflict constraints.
+    // ------------------------------------------------------------------
+    const uint32_t dmem_words = model_.config().machine.dmemWords;
+    const uint32_t line_bytes = model_.config().lineWords * 4;
+
+    auto random_addr = [&]() -> uint32_t {
+        return static_cast<uint32_t>(rng_.index(dmem_words)) * 4;
+    };
+
+    auto random_alu = [&]() -> uint32_t {
+        unsigned rd = 1 + static_cast<unsigned>(rng_.index(31));
+        unsigned rs = static_cast<unsigned>(rng_.index(32));
+        unsigned rt = static_cast<unsigned>(rng_.index(32));
+        switch (rng_.index(8)) {
+          case 0:
+            return pp::encodeRType(pp::Funct::Add, rd, rs, rt);
+          case 1:
+            return pp::encodeRType(pp::Funct::Sub, rd, rs, rt);
+          case 2:
+            return pp::encodeRType(pp::Funct::Xor, rd, rs, rt);
+          case 3:
+            return pp::encodeRType(pp::Funct::Or, rd, rs, rt);
+          case 4:
+            return pp::encodeRType(pp::Funct::Slt, rd, rs, rt);
+          case 5:
+            return pp::encodeIType(
+                pp::Opcode::Addi, rd, rs,
+                static_cast<int16_t>(rng_.next() & 0xffff));
+          case 6:
+            return pp::encodeIType(
+                pp::Opcode::Xori, rd, rs,
+                static_cast<int16_t>(rng_.next() & 0x7fff));
+          default:
+            return pp::encodeRType(pp::Funct::Sll, rd, 0, rt,
+                                   static_cast<unsigned>(
+                                       rng_.index(32)));
+        }
+    };
+
+    // Biased-random addressing: unconstrained loads occasionally
+    // reuse the most recent store's address, so ordering bugs that
+    // need an exact collision still get exercised.
+    bool have_store_addr = false;
+    uint32_t last_store_addr = 0;
+
+    for (Skeleton &skel : skeletons) {
+        uint32_t slot0 = 0;
+        switch (skel.cls) {
+          case InstrClass::Alu:
+            slot0 = random_alu();
+            break;
+          case InstrClass::Load: {
+            uint32_t addr;
+            if (!skel.hasConstraint && have_store_addr &&
+                rng_.chance(1, 8)) {
+                addr = last_store_addr;
+                skel.memAddr = addr;
+                slot0 = pp::encodeLw(
+                    1 + static_cast<unsigned>(rng_.index(31)), 0,
+                    static_cast<int16_t>(addr));
+                break;
+            }
+            if (skel.hasConstraint && skel.storeRef >= 0) {
+                uint32_t store_addr =
+                    skeletons[skel.storeRef].memAddr;
+                if (skel.sameLine) {
+                    // Mostly the exact word (makes stale-data bugs
+                    // visible), sometimes elsewhere in the line.
+                    if (rng_.chance(3, 4)) {
+                        addr = store_addr;
+                    } else {
+                        addr = (store_addr & ~(line_bytes - 1)) +
+                               static_cast<uint32_t>(rng_.index(
+                                   model_.config().lineWords)) * 4;
+                    }
+                } else {
+                    do {
+                        addr = random_addr();
+                    } while (addr / line_bytes ==
+                             store_addr / line_bytes);
+                }
+            } else {
+                addr = random_addr();
+            }
+            skel.memAddr = addr;
+            slot0 = pp::encodeLw(
+                1 + static_cast<unsigned>(rng_.index(31)), 0,
+                static_cast<int16_t>(addr));
+            break;
+          }
+          case InstrClass::Store: {
+            uint32_t addr = random_addr();
+            skel.memAddr = addr;
+            have_store_addr = true;
+            last_store_addr = addr;
+            slot0 = pp::encodeSw(static_cast<unsigned>(rng_.index(32)),
+                                 0, static_cast<int16_t>(addr));
+            break;
+          }
+          case InstrClass::Switch:
+            slot0 = pp::encodeSwitch(
+                1 + static_cast<unsigned>(rng_.index(31)));
+            break;
+          case InstrClass::Send:
+            slot0 = pp::encodeSend(
+                static_cast<unsigned>(rng_.index(32)));
+            break;
+          case InstrClass::Branch:
+            // The outcome is dictated by the tour: encode a branch
+            // that always resolves the chosen way.
+            slot0 = skel.branchTaken
+                        ? pp::encodeBranch(pp::Opcode::Beq, 0, 0, 0)
+                        : pp::encodeBranch(pp::Opcode::Bne, 0, 0, 0);
+            break;
+          default:
+            panic("unexpected instruction class in skeleton");
+        }
+
+        out.fetchStream.push_back(slot0);
+        uint32_t slot1 = 0;
+        if (skel.count == 2) {
+            slot1 = random_alu();
+            out.fetchStream.push_back(slot1);
+        }
+
+        if (!skel.squashed) {
+            out.retiredStream.push_back(slot0);
+            if (skel.count == 2)
+                out.retiredStream.push_back(slot1);
+            if (skel.cls == InstrClass::Switch) {
+                out.inbox.push_back(
+                    static_cast<uint32_t>(rng_.next()));
+            }
+        }
+    }
+
+    if (out.instructions != trace.instructions) {
+        panic(formatString(
+            "vector generator instruction accounting mismatch: "
+            "%llu generated vs %llu in the tour",
+            static_cast<unsigned long long>(out.instructions),
+            static_cast<unsigned long long>(trace.instructions)));
+    }
+
+    ++stats_.traces;
+    stats_.cycles += out.cycles.size();
+    stats_.instructions += out.instructions;
+    return out;
+}
+
+std::vector<TestTrace>
+VectorGenerator::generateAll(const graph::StateGraph &graph,
+                             const std::vector<graph::Trace> &traces)
+{
+    std::vector<TestTrace> out;
+    out.reserve(traces.size());
+    for (size_t i = 0; i < traces.size(); ++i)
+        out.push_back(generate(graph, traces[i], i));
+    return out;
+}
+
+std::string
+VectorGenerator::renderForceScript(const TestTrace &trace) const
+{
+    const auto &vars = codec_.vars();
+    std::string script;
+    script += formatString(
+        "// trace %zu: %zu cycles, %llu instructions, %zu fetch "
+        "words\n",
+        trace.traceIndex, trace.cycles.size(),
+        static_cast<unsigned long long>(trace.instructions),
+        trace.fetchStream.size());
+    script += "initial begin\n";
+    size_t fetch_pos = 0;
+    for (size_t cycle = 0; cycle < trace.cycles.size(); ++cycle) {
+        const auto &signals = trace.cycles[cycle];
+        script += formatString("  @cycle_%zu;", cycle);
+        for (size_t v = 0; v < vars.size(); ++v) {
+            if (vars[v].cardinality > 1) {
+                script += formatString(" force %s = %u;",
+                                       vars[v].name.c_str(),
+                                       signals[v]);
+            }
+        }
+        // Annotate the instruction entering on a fetch cycle.
+        // ihit is canonical: non-zero only on cycles where the
+        // control fetched, so it marks instruction consumption.
+        uint32_t ihit = signals[varIndex(PpChoiceVar::IHit)];
+        if (ihit && fetch_pos < trace.fetchStream.size()) {
+            script += formatString(
+                " // fetch %s",
+                pp::decode(trace.fetchStream[fetch_pos])
+                    .toString()
+                    .c_str());
+            fetch_pos += 1 + signals[varIndex(PpChoiceVar::Dual)];
+        }
+        script += "\n";
+    }
+    script += "  release_all;\nend\n";
+    return script;
+}
+
+} // namespace archval::vecgen

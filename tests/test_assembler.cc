@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the PP assembler: mnemonics, labels, error paths,
+ * disassembly round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pp/assembler.hh"
+#include "pp/isa.hh"
+
+namespace archval::pp
+{
+namespace
+{
+
+TEST(Assembler, BasicProgram)
+{
+    auto result = assemble(R"(
+        addi r1, r0, 5
+        addi r2, r0, 7
+        add r3, r1, r2
+        halt
+    )");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &words = result.value();
+    ASSERT_EQ(words.size(), 4u);
+    EXPECT_EQ(decode(words[2]).toString(), "add r3, r1, r2");
+    EXPECT_EQ(decode(words[3]).op, Opcode::Halt);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto result = assemble(
+        "; leading comment\n"
+        "\n"
+        "nop # trailing comment\n"
+        "halt\n");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    auto result = assemble("lw r4, 16(r2)\nsw r4, -4(r3)\nhalt");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    DecodedInstr lw = decode(result.value()[0]);
+    EXPECT_EQ(lw.op, Opcode::Lw);
+    EXPECT_EQ(lw.rt, 4);
+    EXPECT_EQ(lw.rs, 2);
+    EXPECT_EQ(lw.imm, 16);
+    DecodedInstr sw = decode(result.value()[1]);
+    EXPECT_EQ(sw.imm, -4);
+}
+
+TEST(Assembler, MemoryOperandDefaultOffset)
+{
+    auto result = assemble("lw r1, (r2)\nhalt");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(decode(result.value()[0]).imm, 0);
+}
+
+TEST(Assembler, BranchToLabel)
+{
+    auto result = assemble(R"(
+        addi r1, r0, 3
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    DecodedInstr bne = decode(result.value()[2]);
+    EXPECT_EQ(bne.op, Opcode::Bne);
+    // Branch from word 2 back to word 1: offset -2 (relative to
+    // next instruction).
+    EXPECT_EQ(bne.imm, -2);
+}
+
+TEST(Assembler, JumpToLabel)
+{
+    auto result = assemble(R"(
+    start:
+        nop
+        j start
+    )");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(decode(result.value()[1]).target, 0u);
+}
+
+TEST(Assembler, SwitchAndSend)
+{
+    auto result = assemble("switch r5\nsend r5\nhalt");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(classOfWord(result.value()[0]), InstrClass::Switch);
+    EXPECT_EQ(classOfWord(result.value()[1]), InstrClass::Send);
+}
+
+TEST(Assembler, ShiftInstructions)
+{
+    auto result = assemble("sll r1, r2, 4\nsrl r3, r4, 1\nsra r5, r6, 31");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(decode(result.value()[0]).shamt, 4);
+    EXPECT_EQ(decode(result.value()[2]).shamt, 31);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    auto result = assemble("ori r1, r0, 0xff\nhalt");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(decode(result.value()[0]).imm, 0xff);
+}
+
+TEST(Assembler, UnknownMnemonicFails)
+{
+    auto result = assemble("frobnicate r1, r2");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("unknown mnemonic"),
+              std::string::npos);
+}
+
+TEST(Assembler, BadRegisterFails)
+{
+    EXPECT_FALSE(assemble("add r1, r99, r2").ok());
+    EXPECT_FALSE(assemble("add r1, x2, r3").ok());
+}
+
+TEST(Assembler, WrongArityFails)
+{
+    EXPECT_FALSE(assemble("add r1, r2").ok());
+    EXPECT_FALSE(assemble("send").ok());
+}
+
+TEST(Assembler, DuplicateLabelFails)
+{
+    auto result = assemble("a:\nnop\na:\nnop");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("duplicate label"),
+              std::string::npos);
+}
+
+TEST(Assembler, ErrorNamesLineNumber)
+{
+    auto result = assemble("nop\nnop\nbogus");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("line 3"), std::string::npos);
+}
+
+TEST(Assembler, DisassembleReassembles)
+{
+    auto result = assemble(R"(
+        addi r1, r0, 5
+        lw r2, 8(r1)
+        sw r2, 12(r1)
+        switch r3
+        send r3
+        halt
+    )");
+    ASSERT_TRUE(result.ok());
+    std::string text = disassemble(result.value());
+    EXPECT_NE(text.find("addi r1, r0, 5"), std::string::npos);
+    EXPECT_NE(text.find("lw r2, 8(r1)"), std::string::npos);
+    EXPECT_NE(text.find("switch r3"), std::string::npos);
+}
+
+} // namespace
+} // namespace archval::pp

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the explicit-state enumerator, including the
+ * FirstCondition vs AllConditions edge-recording modes that the
+ * paper's Section 4 discusses (Figure 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fsm/built_model.hh"
+#include "murphi/enumerator.hh"
+#include "support/status.hh"
+
+namespace archval
+{
+namespace
+{
+
+/** Modulo-N counter where the choice adds 0..2. */
+std::unique_ptr<fsm::Model>
+counterModel(unsigned bits)
+{
+    return std::make_unique<fsm::LambdaModel>(
+        "counter",
+        std::vector<fsm::StateVarInfo>{{"count", bits, 0}},
+        std::vector<fsm::ChoiceVarInfo>{{"delta", 3}},
+        [bits](const BitVec &state, const fsm::Choice &choice)
+            -> std::optional<BitVec> {
+            uint64_t mask = (uint64_t(1) << bits) - 1;
+            BitVec next(bits);
+            next.setField(0, bits,
+                          (state.getField(0, bits) + choice[0]) & mask);
+            return next;
+        });
+}
+
+TEST(Enumerator, CounterReachesAllStates)
+{
+    auto model = counterModel(4);
+    murphi::Enumerator enumerator(*model);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 16u);
+    // FirstCondition: delta 0,1,2 reach three distinct successors.
+    EXPECT_EQ(graph.numEdges(), 16u * 3u);
+    EXPECT_EQ(enumerator.stats().numStates, 16u);
+    EXPECT_EQ(enumerator.stats().bitsPerState, 4u);
+}
+
+TEST(Enumerator, ResetStateIsStateZero)
+{
+    auto model = counterModel(3);
+    murphi::Enumerator enumerator(*model);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.resetState(), 0u);
+    EXPECT_EQ(graph.packedState(0), model->resetState());
+}
+
+TEST(Enumerator, UnreachableStatesNotEnumerated)
+{
+    // Counter that can only ever add 2: odd states unreachable.
+    auto model = std::make_unique<fsm::LambdaModel>(
+        "even",
+        std::vector<fsm::StateVarInfo>{{"count", 4, 0}},
+        std::vector<fsm::ChoiceVarInfo>{{"go", 2}},
+        [](const BitVec &state, const fsm::Choice &choice)
+            -> std::optional<BitVec> {
+            BitVec next(4);
+            next.setField(0, 4,
+                          (state.getField(0, 4) + 2 * choice[0]) & 15);
+            return next;
+        });
+    murphi::Enumerator enumerator(*model);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 8u);
+}
+
+TEST(Enumerator, RejectedChoicesNotEdges)
+{
+    auto model = std::make_unique<fsm::LambdaModel>(
+        "reject",
+        std::vector<fsm::StateVarInfo>{{"s", 2, 0}},
+        std::vector<fsm::ChoiceVarInfo>{{"c", 4}},
+        [](const BitVec &state, const fsm::Choice &choice)
+            -> std::optional<BitVec> {
+            if (choice[0] >= 2)
+                return std::nullopt; // only choices 0,1 legal
+            BitVec next(2);
+            next.setField(0, 2,
+                          (state.getField(0, 2) + choice[0]) & 3);
+            return next;
+        });
+    murphi::Enumerator enumerator(*model);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 4u);
+    EXPECT_EQ(graph.numEdges(), 8u); // 2 per state
+    EXPECT_EQ(enumerator.stats().transitionsTried, 16u);
+    EXPECT_EQ(enumerator.stats().transitionsValid, 8u);
+}
+
+/**
+ * The Figure 4.2 model: two inputs "a" (0) and "c" (1) both move
+ * A -> B (the implementation erroneously merged them). FirstCondition
+ * records a single A->B edge labelled with "a"; AllConditions records
+ * both.
+ */
+std::unique_ptr<fsm::Model>
+mergedTransitionModel()
+{
+    return std::make_unique<fsm::LambdaModel>(
+        "fig42",
+        std::vector<fsm::StateVarInfo>{{"s", 1, 0}},
+        std::vector<fsm::ChoiceVarInfo>{{"in", 2}},
+        [](const BitVec &state, const fsm::Choice &)
+            -> std::optional<BitVec> {
+            BitVec next(1);
+            next.setField(0, 1, 1 - state.getField(0, 1));
+            return next;
+        });
+}
+
+TEST(Enumerator, FirstConditionMergesParallelEdges)
+{
+    auto model = mergedTransitionModel();
+    murphi::EnumOptions options;
+    options.recording = murphi::EdgeRecording::FirstCondition;
+    murphi::Enumerator enumerator(*model, options);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 2u);
+    EXPECT_EQ(graph.numEdges(), 2u); // one per (src,dst) pair
+    // The recorded label is the *first* condition tried (choice 0,
+    // i.e. input "a") — exactly the paper's failure mode.
+    EXPECT_EQ(graph.edge(graph.outEdges(0)[0]).choiceCode, 0u);
+}
+
+TEST(Enumerator, AllConditionsKeepsParallelEdges)
+{
+    auto model = mergedTransitionModel();
+    murphi::EnumOptions options;
+    options.recording = murphi::EdgeRecording::AllConditions;
+    murphi::Enumerator enumerator(*model, options);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 2u);
+    EXPECT_EQ(graph.numEdges(), 4u); // both conditions per pair
+    std::set<uint64_t> codes;
+    for (auto e : graph.outEdges(0))
+        codes.insert(graph.edge(e).choiceCode);
+    EXPECT_EQ(codes, (std::set<uint64_t>{0, 1}));
+}
+
+TEST(Enumerator, MaxStatesGuardFires)
+{
+    auto model = counterModel(10);
+    murphi::EnumOptions options;
+    options.maxStates = 100;
+    murphi::Enumerator enumerator(*model, options);
+    EXPECT_THROW(enumerator.run(), FatalError);
+}
+
+TEST(Enumerator, InstructionCountsLandOnEdges)
+{
+    auto model = std::make_unique<fsm::LambdaModel>(
+        "instr",
+        std::vector<fsm::StateVarInfo>{{"s", 1, 0}},
+        std::vector<fsm::ChoiceVarInfo>{{"c", 2}},
+        [](const BitVec &state, const fsm::Choice &) { return state; },
+        [](const BitVec &, const fsm::Choice &choice) -> unsigned {
+            return choice[0] ? 2 : 0;
+        });
+    murphi::EnumOptions options;
+    options.recording = murphi::EdgeRecording::AllConditions;
+    murphi::Enumerator enumerator(*model, options);
+    auto graph = enumerator.run();
+    ASSERT_EQ(graph.numEdges(), 2u);
+    EXPECT_EQ(graph.totalEdgeInstructions(), 2u);
+}
+
+TEST(Enumerator, StateRetentionOptional)
+{
+    auto model = counterModel(3);
+    murphi::EnumOptions options;
+    options.retainStates = false;
+    murphi::Enumerator enumerator(*model, options);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 8u);
+    EXPECT_FALSE(graph.statesRetained());
+}
+
+TEST(Enumerator, StatsRenderMentionsRows)
+{
+    auto model = counterModel(3);
+    murphi::Enumerator enumerator(*model);
+    enumerator.run();
+    auto text = enumerator.stats().render();
+    EXPECT_NE(text.find("Number of states"), std::string::npos);
+    EXPECT_NE(text.find("Number of edges"), std::string::npos);
+}
+
+TEST(Enumerator, BfsOrderIsBreadthFirst)
+{
+    // Line graph 0 -> 1 -> 2 -> ...: BFS ids must equal distance.
+    auto model = std::make_unique<fsm::LambdaModel>(
+        "line",
+        std::vector<fsm::StateVarInfo>{{"s", 4, 0}},
+        std::vector<fsm::ChoiceVarInfo>{{"go", 2}},
+        [](const BitVec &state, const fsm::Choice &choice)
+            -> std::optional<BitVec> {
+            uint64_t v = state.getField(0, 4);
+            BitVec next(4);
+            uint64_t target = choice[0] && v < 15 ? v + 1 : v;
+            next.setField(0, 4, target);
+            return next;
+        });
+    murphi::Enumerator enumerator(*model);
+    auto graph = enumerator.run();
+    ASSERT_EQ(graph.numStates(), 16u);
+    for (uint32_t id = 0; id < 16; ++id)
+        EXPECT_EQ(graph.packedState(id).getField(0, 4), id);
+}
+
+} // namespace
+} // namespace archval

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the top-level ValidationFlow API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/validation_flow.hh"
+#include "hdl/translate.hh"
+
+namespace archval::core
+{
+namespace
+{
+
+TEST(Flow, FullRunBugFreeIsClean)
+{
+    PpValidationFlow flow(rtl::PpConfig::smallPreset());
+    FlowReport report = flow.run();
+    EXPECT_FALSE(report.bugFound());
+    EXPECT_GT(report.tracesPlayed, 0u);
+    EXPECT_GT(report.cyclesSimulated, 0u);
+    EXPECT_EQ(report.lockstepErrors, 0u);
+}
+
+TEST(Flow, PhasesAreLazyAndCached)
+{
+    PpValidationFlow flow(rtl::PpConfig::smallPreset());
+    const auto &graph1 = flow.enumerate();
+    const auto &graph2 = flow.enumerate();
+    EXPECT_EQ(&graph1, &graph2);
+    EXPECT_GT(flow.enumStats().numStates, 0u);
+    const auto &tours = flow.makeTours();
+    EXPECT_GT(tours.size(), 0u);
+    EXPECT_EQ(flow.tourStats().numTraces, tours.size());
+}
+
+TEST(Flow, InjectedBugIsReported)
+{
+    FlowOptions options;
+    options.stopAtFirstDivergence = true;
+    PpValidationFlow flow(rtl::PpConfig::smallPreset(), options);
+    rtl::BugSet bugs;
+    bugs.set(static_cast<size_t>(rtl::BugId::Bug2RefillLatch));
+    FlowReport report = flow.run(bugs);
+    EXPECT_TRUE(report.bugFound());
+    ASSERT_FALSE(report.divergences.empty());
+    EXPECT_NE(report.render().find("divergence"), std::string::npos);
+}
+
+TEST(Flow, LockstepOptionChecksCleanly)
+{
+    FlowOptions options;
+    options.checkLockstep = true;
+    PpValidationFlow flow(rtl::PpConfig::smallPreset(), options);
+    FlowReport report = flow.run();
+    EXPECT_EQ(report.lockstepErrors, 0u);
+    EXPECT_FALSE(report.bugFound());
+}
+
+TEST(Flow, TourLimitPropagates)
+{
+    FlowOptions options;
+    options.tour.maxInstructionsPerTrace = 50;
+    PpValidationFlow flow(rtl::PpConfig::smallPreset(), options);
+    flow.makeTours();
+    EXPECT_GT(flow.tourStats().tracesTerminatedByLimit, 0u);
+}
+
+TEST(Flow, ExploreModelOnHdlDesign)
+{
+    auto translated = hdl::translateSource(R"(
+        module gray(clk, step);
+          input clk;
+          input step;
+          reg [2:0] count;
+          always @(posedge clk) if (step) count <= count + 3'd1;
+        endmodule
+    )", "gray");
+    ASSERT_TRUE(translated.ok()) << translated.errorMessage();
+    ModelExploration exploration =
+        exploreModel(*translated.value().model);
+    EXPECT_EQ(exploration.enumStats.numStates, 8u);
+    EXPECT_GT(exploration.tourStats.totalEdgeTraversals, 0u);
+    EXPECT_NE(exploration.render().find("state enumeration"),
+              std::string::npos);
+}
+
+TEST(Flow, ReportRenderHasAllRows)
+{
+    PpValidationFlow flow(rtl::PpConfig::smallPreset());
+    FlowReport report = flow.run();
+    std::string text = report.render();
+    EXPECT_NE(text.find("traces played"), std::string::npos);
+    EXPECT_NE(text.find("instructions"), std::string::npos);
+}
+
+} // namespace
+} // namespace archval::core

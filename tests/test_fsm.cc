@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the FSM IR: choice codec, state layout, lambda and
+ * explicit-table models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fsm/built_model.hh"
+#include "fsm/model.hh"
+#include "support/status.hh"
+
+namespace archval::fsm
+{
+namespace
+{
+
+TEST(ChoiceCodec, EncodeDecodeRoundTrip)
+{
+    ChoiceCodec codec({{"a", 3}, {"b", 2}, {"c", 5}});
+    EXPECT_EQ(codec.numCombinations(), 30u);
+    for (uint64_t code = 0; code < 30; ++code) {
+        Choice choice = codec.decode(code);
+        EXPECT_EQ(codec.encode(choice), code);
+    }
+}
+
+TEST(ChoiceCodec, ComponentsMatchDecode)
+{
+    ChoiceCodec codec({{"a", 4}, {"b", 7}});
+    for (uint64_t code = 0; code < 28; ++code) {
+        Choice choice = codec.decode(code);
+        EXPECT_EQ(codec.component(code, 0), choice[0]);
+        EXPECT_EQ(codec.component(code, 1), choice[1]);
+    }
+}
+
+TEST(ChoiceCodec, SingleVariable)
+{
+    ChoiceCodec codec({{"only", 9}});
+    EXPECT_EQ(codec.numCombinations(), 9u);
+    EXPECT_EQ(codec.decode(7)[0], 7u);
+}
+
+TEST(ChoiceCodec, EmptyHasOneCombination)
+{
+    ChoiceCodec codec(std::vector<ChoiceVarInfo>{});
+    EXPECT_EQ(codec.numCombinations(), 1u);
+    EXPECT_TRUE(codec.decode(0).empty());
+}
+
+TEST(ChoiceCodec, ZeroCardinalityIsFatal)
+{
+    EXPECT_THROW(ChoiceCodec({{"bad", 0}}), FatalError);
+}
+
+TEST(StateLayout, OffsetsAndWidths)
+{
+    StateLayout layout({{"a", 3, 0}, {"b", 1, 0}, {"c", 5, 0}});
+    EXPECT_EQ(layout.totalBits(), 9u);
+    EXPECT_EQ(layout.offsetOf(0), 0u);
+    EXPECT_EQ(layout.offsetOf(1), 3u);
+    EXPECT_EQ(layout.offsetOf(2), 4u);
+    EXPECT_EQ(layout.widthOf(2), 5u);
+}
+
+TEST(StateLayout, GetSetByIndexAndName)
+{
+    StateLayout layout({{"a", 3, 0}, {"b", 4, 0}});
+    BitVec state(layout.totalBits());
+    layout.set(state, 0, 5);
+    layout.set(state, 1, 9);
+    EXPECT_EQ(layout.get(state, 0), 5u);
+    EXPECT_EQ(layout.get(state, 1), 9u);
+    EXPECT_EQ(layout.getByName(state, "b"), 9u);
+    EXPECT_EQ(layout.indexOf("a"), 0u);
+}
+
+TEST(LambdaModel, CounterModel)
+{
+    // 3-bit counter: choice "step" in {0,1} increments.
+    std::vector<StateVarInfo> svars = {{"count", 3, 2}};
+    std::vector<ChoiceVarInfo> cvars = {{"step", 2}};
+    LambdaModel model(
+        "counter", svars, cvars,
+        [](const BitVec &state, const Choice &choice)
+            -> std::optional<BitVec> {
+            BitVec next(3);
+            next.setField(0, 3,
+                          (state.getField(0, 3) + choice[0]) & 7);
+            return next;
+        });
+
+    EXPECT_EQ(model.stateBits(), 3u);
+    BitVec reset = model.resetState();
+    EXPECT_EQ(reset.getField(0, 3), 2u);
+
+    auto t = model.next(reset, {1});
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->next.getField(0, 3), 3u);
+    EXPECT_EQ(t->instructions, 0u);
+}
+
+TEST(LambdaModel, RejectionPropagates)
+{
+    LambdaModel model(
+        "rejecting", {{"s", 1, 0}}, {{"c", 3}},
+        [](const BitVec &state, const Choice &choice)
+            -> std::optional<BitVec> {
+            if (choice[0] == 2)
+                return std::nullopt;
+            return state;
+        });
+    EXPECT_TRUE(model.next(model.resetState(), {0}).has_value());
+    EXPECT_FALSE(model.next(model.resetState(), {2}).has_value());
+}
+
+TEST(LambdaModel, InstructionCounterHook)
+{
+    LambdaModel model(
+        "instr", {{"s", 1, 0}}, {{"c", 2}},
+        [](const BitVec &state, const Choice &) { return state; },
+        [](const BitVec &, const Choice &choice) -> unsigned {
+            return choice[0];
+        });
+    EXPECT_EQ(model.next(model.resetState(), {0})->instructions, 0u);
+    EXPECT_EQ(model.next(model.resetState(), {1})->instructions, 1u);
+}
+
+TEST(ExplicitFsm, DefaultSelfLoop)
+{
+    ExplicitFsm fsm("t");
+    fsm.addState("A");
+    fsm.addState("B");
+    fsm.addInput("x");
+    // No transitions declared: everything self-loops.
+    EXPECT_EQ(fsm.step(0, 0), std::optional<size_t>(0));
+    EXPECT_EQ(fsm.step(1, 0), std::optional<size_t>(1));
+}
+
+TEST(ExplicitFsm, TransitionsAndForbidden)
+{
+    ExplicitFsm fsm("t");
+    fsm.addState("A");
+    fsm.addState("B");
+    fsm.addInput("go");
+    fsm.addInput("halt");
+    fsm.addTransition("A", "go", "B");
+    fsm.forbid("B", "go");
+    EXPECT_EQ(fsm.step(0, 0), std::optional<size_t>(1));
+    EXPECT_EQ(fsm.step(0, 1), std::optional<size_t>(0));
+    EXPECT_FALSE(fsm.step(1, 0).has_value());
+}
+
+TEST(ExplicitFsm, DuplicateStateIsFatal)
+{
+    ExplicitFsm fsm("t");
+    fsm.addState("A");
+    EXPECT_THROW(fsm.addState("A"), FatalError);
+}
+
+TEST(ExplicitFsm, ToModelMatchesTable)
+{
+    ExplicitFsm fsm("abc");
+    fsm.addState("A");
+    fsm.addState("B");
+    fsm.addState("C");
+    fsm.addInput("a");
+    fsm.addInput("b");
+    fsm.addTransition("A", "a", "B");
+    fsm.addTransition("B", "b", "C");
+    fsm.addTransition("C", "a", "A");
+
+    auto model = fsm.toModel();
+    ASSERT_EQ(model->choiceVars().size(), 1u);
+    EXPECT_EQ(model->choiceVars()[0].cardinality, 2u);
+
+    BitVec state = model->resetState();
+    auto step = [&](uint32_t input) {
+        auto t = model->next(state, {input});
+        ASSERT_TRUE(t.has_value());
+        state = t->next;
+    };
+    step(0); // A -a-> B
+    EXPECT_EQ(state.getField(0, model->stateBits()), 1u);
+    step(1); // B -b-> C
+    EXPECT_EQ(state.getField(0, model->stateBits()), 2u);
+    step(1); // C -b-> C (self loop)
+    EXPECT_EQ(state.getField(0, model->stateBits()), 2u);
+    step(0); // C -a-> A
+    EXPECT_EQ(state.getField(0, model->stateBits()), 0u);
+}
+
+TEST(Model, DescribeStateNamesEveryVar)
+{
+    LambdaModel model(
+        "d", {{"alpha", 2, 1}, {"beta", 3, 4}}, {{"c", 2}},
+        [](const BitVec &state, const Choice &) { return state; });
+    std::string text = model.describeState(model.resetState());
+    EXPECT_NE(text.find("alpha=1"), std::string::npos);
+    EXPECT_NE(text.find("beta=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace archval::fsm

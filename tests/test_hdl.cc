@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the HDL frontend: lexer, parser, elaboration (parameters,
+ * hierarchy), and translation to an enumerable FSM model, including
+ * latch inference and the annotation directives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/tour.hh"
+#include "hdl/elaborate.hh"
+#include "hdl/lexer.hh"
+#include "hdl/parser.hh"
+#include "hdl/translate.hh"
+#include "murphi/enumerator.hh"
+
+namespace archval::hdl
+{
+namespace
+{
+
+TEST(Lexer, TokenKinds)
+{
+    auto tokens = lex("module foo; wire [3:0] x; // vfsm state x\n"
+                      "assign x = 4'b1010; endmodule");
+    ASSERT_TRUE(tokens.ok()) << tokens.errorMessage();
+    const auto &toks = tokens.value();
+    EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[0].text, "module");
+    bool saw_directive = false, saw_sized = false;
+    for (const auto &tok : toks) {
+        if (tok.kind == TokKind::Directive) {
+            saw_directive = true;
+            EXPECT_EQ(tok.text, "state x");
+        }
+        if (tok.kind == TokKind::Number && tok.width == 4) {
+            saw_sized = true;
+            EXPECT_EQ(tok.value, 10u);
+        }
+    }
+    EXPECT_TRUE(saw_directive);
+    EXPECT_TRUE(saw_sized);
+}
+
+TEST(Lexer, SizedLiteralBases)
+{
+    auto tokens = lex("8'hff 3'd5 6'o17 4'b10_01");
+    ASSERT_TRUE(tokens.ok()) << tokens.errorMessage();
+    const auto &toks = tokens.value();
+    EXPECT_EQ(toks[0].value, 0xffu);
+    EXPECT_EQ(toks[1].value, 5u);
+    EXPECT_EQ(toks[2].value, 15u);
+    EXPECT_EQ(toks[3].value, 9u);
+}
+
+TEST(Lexer, SkipsOrdinaryComments)
+{
+    auto tokens = lex("a // plain comment\n/* block\ncomment */ b");
+    ASSERT_TRUE(tokens.ok());
+    ASSERT_EQ(tokens.value().size(), 3u); // a, b, eof
+    EXPECT_EQ(tokens.value()[1].text, "b");
+    EXPECT_EQ(tokens.value()[1].line, 3u);
+}
+
+TEST(Lexer, ErrorsOnBadLiteral)
+{
+    EXPECT_FALSE(lex("4'q0").ok());
+    EXPECT_FALSE(lex("4'").ok());
+}
+
+const char *trafficLight = R"(
+// Classic traffic light with a pedestrian request input.
+module traffic(clk, walk_req);
+  input clk;
+  input walk_req;
+  reg [1:0] state;   // vfsm state state reset 0
+  reg [1:0] timer;   // vfsm state timer reset 0
+
+  always @(posedge clk) begin
+    case (state)
+      2'd0: begin              // green
+        if (walk_req && timer == 2'd3) begin
+          state <= 2'd1;
+          timer <= 2'd0;
+        end else if (timer != 2'd3)
+          timer <= timer + 2'd1;
+      end
+      2'd1: state <= 2'd2;     // yellow
+      2'd2: begin              // red
+        if (timer == 2'd2) begin
+          state <= 2'd0;
+          timer <= 2'd0;
+        end else
+          timer <= timer + 2'd1;
+      end
+      default: state <= 2'd0;
+    endcase
+  end
+endmodule
+)";
+
+TEST(Parser, TrafficLightParses)
+{
+    auto design = parse(trafficLight);
+    ASSERT_TRUE(design.ok()) << design.errorMessage();
+    ASSERT_EQ(design.value().modules.size(), 1u);
+    const Module &m = design.value().modules[0];
+    EXPECT_EQ(m.name, "traffic");
+    EXPECT_EQ(m.portOrder.size(), 2u);
+    EXPECT_EQ(m.annotations.size(), 2u);
+    EXPECT_EQ(m.always.size(), 1u);
+    EXPECT_TRUE(m.always[0].sequential);
+    EXPECT_EQ(m.always[0].clock, "clk");
+}
+
+TEST(Parser, ReportsLineNumbersInErrors)
+{
+    auto design = parse("module m();\nwire x\nendmodule");
+    ASSERT_FALSE(design.ok());
+    EXPECT_NE(design.errorMessage().find("line 3"), std::string::npos);
+}
+
+TEST(Parser, RejectsInitialBlocks)
+{
+    auto design = parse("module m(); initial x = 1; endmodule");
+    EXPECT_FALSE(design.ok());
+}
+
+TEST(Parser, VfsmOffSkipsTranslation)
+{
+    auto design = parse(R"(
+        module m(clk);
+          input clk;
+          wire a, b;
+          assign a = 1'b1;
+          // vfsm off
+          assign b = 1'b0;
+          // vfsm on
+        endmodule
+    )");
+    ASSERT_TRUE(design.ok()) << design.errorMessage();
+    const Module &m = design.value().modules[0];
+    ASSERT_EQ(m.assigns.size(), 2u);
+    EXPECT_TRUE(m.assigns[0].translated);
+    EXPECT_FALSE(m.assigns[1].translated);
+}
+
+TEST(Elaborate, ParameterWidths)
+{
+    auto design = parse(R"(
+        module m(clk);
+          input clk;
+          parameter W = 5;
+          reg [W-1:0] counter;
+          always @(posedge clk) counter <= counter + 1;
+        endmodule
+    )");
+    ASSERT_TRUE(design.ok()) << design.errorMessage();
+    auto elab = elaborate(design.value(), "m");
+    ASSERT_TRUE(elab.ok()) << elab.errorMessage();
+    const ElabNet *net = elab.value().findNet("counter");
+    ASSERT_NE(net, nullptr);
+    EXPECT_EQ(net->width, 5u);
+}
+
+TEST(Elaborate, HierarchyFlattensWithPrefixes)
+{
+    auto design = parse(R"(
+        module child(clk, in, out);
+          input clk;
+          input in;
+          output out;
+          reg bit;  // vfsm state bit
+          always @(posedge clk) bit <= in;
+          assign out = bit;
+        endmodule
+        module top(clk, x);
+          input clk;
+          input x;
+          wire y;
+          child c0 (.clk(clk), .in(x), .out(y));
+        endmodule
+    )");
+    ASSERT_TRUE(design.ok()) << design.errorMessage();
+    auto elab = elaborate(design.value(), "top");
+    ASSERT_TRUE(elab.ok()) << elab.errorMessage();
+    EXPECT_NE(elab.value().findNet("c0.bit"), nullptr);
+    EXPECT_NE(elab.value().findNet("c0.in"), nullptr);
+    // Annotation name carried the prefix too.
+    bool found = false;
+    for (const auto &ann : elab.value().annotations)
+        found |= ann.name == "c0.bit";
+    EXPECT_TRUE(found);
+}
+
+TEST(Elaborate, ParameterOverride)
+{
+    auto design = parse(R"(
+        module counter(clk);
+          input clk;
+          parameter W = 2;
+          reg [W-1:0] value;
+          always @(posedge clk) value <= value + 1;
+        endmodule
+        module top(clk);
+          input clk;
+          counter #(.W(7)) c (.clk(clk));
+        endmodule
+    )");
+    ASSERT_TRUE(design.ok()) << design.errorMessage();
+    auto elab = elaborate(design.value(), "top");
+    ASSERT_TRUE(elab.ok()) << elab.errorMessage();
+    EXPECT_EQ(elab.value().findNet("c.value")->width, 7u);
+}
+
+TEST(Elaborate, UnknownModuleFails)
+{
+    auto design = parse("module top(clk); input clk; "
+                        "nosuch u (.clk(clk)); endmodule");
+    ASSERT_TRUE(design.ok()) << design.errorMessage();
+    EXPECT_FALSE(elaborate(design.value(), "top").ok());
+}
+
+TEST(Translate, TrafficLightEnumerates)
+{
+    auto result = translateSource(trafficLight, "traffic");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+
+    // walk_req is a free 1-bit input; clk was consumed.
+    ASSERT_EQ(model.choiceVars().size(), 1u);
+    EXPECT_EQ(model.choiceVars()[0].name, "walk_req");
+    EXPECT_EQ(model.choiceVars()[0].cardinality, 2u);
+    EXPECT_EQ(model.stateBits(), 4u);
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    // Reachable: green with timer 0..3, yellow, red timer 0..2.
+    EXPECT_GT(graph.numStates(), 5u);
+    EXPECT_LT(graph.numStates(), 16u);
+
+    graph::TourGenerator tours(graph);
+    auto traces = tours.run();
+    EXPECT_EQ(checkTourCoverage(graph, traces), "");
+}
+
+TEST(Translate, CombinationalOutputsEvaluate)
+{
+    auto result = translateSource(R"(
+        module m(clk, go);
+          input clk;
+          input go;
+          reg [2:0] count;  // vfsm state count reset 2
+          wire at_max;
+          wire [2:0] next;
+          assign at_max = count == 3'd7;
+          assign next = at_max ? 3'd0 : count + 3'd1;
+          always @(posedge clk) if (go) count <= next;
+        endmodule
+    )", "m");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    BitVec reset = model.resetState();
+    EXPECT_EQ(model.evalNet("at_max", reset, {0}), 0u);
+    EXPECT_EQ(model.evalNet("next", reset, {0}), 3u);
+
+    auto t = model.next(reset, {1});
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->next.getField(0, 3), 3u);
+    auto hold = model.next(reset, {0});
+    EXPECT_EQ(hold->next.getField(0, 3), 2u);
+}
+
+TEST(Translate, LatchInferenceMakesState)
+{
+    auto result = translateSource(R"(
+        module m(clk, en, d);
+          input clk;
+          input en;
+          input d;
+          reg q;
+          always @(*) begin
+            if (en) q = d;   // no else: transparent latch
+          end
+        endmodule
+    )", "m");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    bool note_found = false;
+    for (const auto &note : result.value().notes)
+        note_found |= note.find("latch") != std::string::npos;
+    EXPECT_TRUE(note_found);
+
+    const auto &model = *result.value().model;
+    ASSERT_EQ(model.stateVars().size(), 1u);
+    EXPECT_EQ(model.stateVars()[0].name, "q");
+
+    // Latch semantics: q follows d while en, holds otherwise.
+    BitVec zero = model.resetState();
+    auto codec = model.makeChoiceCodec();
+    fsm::Choice choice(2, 0);
+    size_t en_idx = codec.vars()[0].name == "en" ? 0 : 1;
+    size_t d_idx = 1 - en_idx;
+    choice[en_idx] = 1;
+    choice[d_idx] = 1;
+    auto t = model.next(zero, choice);
+    EXPECT_EQ(t->next.getField(0, 1), 1u);
+    choice[en_idx] = 0;
+    choice[d_idx] = 0;
+    auto held = model.next(t->next, choice);
+    EXPECT_EQ(held->next.getField(0, 1), 1u); // held
+}
+
+TEST(Translate, CombinationalLoopFails)
+{
+    auto result = translateSource(R"(
+        module m(clk);
+          input clk;
+          wire a, b;
+          assign a = b;
+          assign b = a;
+        endmodule
+    )", "m");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("combinational loop"),
+              std::string::npos);
+}
+
+TEST(Translate, MultipleDriversFail)
+{
+    auto result = translateSource(R"(
+        module m(clk);
+          input clk;
+          wire a;
+          assign a = 1'b0;
+          assign a = 1'b1;
+        endmodule
+    )", "m");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("multiple drivers"),
+              std::string::npos);
+}
+
+TEST(Translate, BlockingInSequentialFails)
+{
+    auto result = translateSource(R"(
+        module m(clk);
+          input clk;
+          reg q;
+          always @(posedge clk) q = 1'b1;
+        endmodule
+    )", "m");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("non-blocking"),
+              std::string::npos);
+}
+
+TEST(Translate, WideFreeInputNeedsAnnotation)
+{
+    auto bad = translateSource(R"(
+        module m(clk, bus);
+          input clk;
+          input [31:0] bus;
+          reg q;
+          always @(posedge clk) q <= bus == 32'd5;
+        endmodule
+    )", "m");
+    EXPECT_FALSE(bad.ok());
+
+    auto good = translateSource(R"(
+        module m(clk, bus);
+          input clk;
+          input [31:0] bus;   // vfsm input bus 3
+          reg q;
+          always @(posedge clk) q <= bus == 32'd2;
+        endmodule
+    )", "m");
+    ASSERT_TRUE(good.ok()) << good.errorMessage();
+    EXPECT_EQ(good.value().model->choiceVars()[0].cardinality, 3u);
+}
+
+TEST(Translate, InstrAnnotationCountsInstructions)
+{
+    auto result = translateSource(R"(
+        module m(clk, fetch);
+          input clk;
+          input fetch;
+          reg [1:0] count;
+          wire issued;
+          assign issued = fetch;   // vfsm instr issued
+          always @(posedge clk) if (fetch) count <= count + 2'd1;
+        endmodule
+    )", "m");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    auto t1 = model.next(model.resetState(), {1});
+    auto t0 = model.next(model.resetState(), {0});
+    EXPECT_EQ(t1->instructions, 1u);
+    EXPECT_EQ(t0->instructions, 0u);
+}
+
+TEST(Translate, PartSelectAssignment)
+{
+    auto result = translateSource(R"(
+        module m(clk, hi);
+          input clk;
+          input hi;
+          reg [3:0] q;
+          always @(posedge clk) begin
+            q[1:0] <= 2'b11;
+            if (hi) q[3:2] <= 2'b10;
+          end
+        endmodule
+    )", "m");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    auto t = model.next(model.resetState(), {1});
+    EXPECT_EQ(t->next.getField(0, 4), 0xbu); // 10_11
+    auto t0 = model.next(model.resetState(), {0});
+    EXPECT_EQ(t0->next.getField(0, 4), 0x3u); // high bits held (0)
+}
+
+TEST(Translate, CaseWithMultipleLabels)
+{
+    auto result = translateSource(R"(
+        module m(clk, in);
+          input clk;
+          input [1:0] in;
+          reg hit;
+          always @(posedge clk) begin
+            case (in)
+              2'd0, 2'd3: hit <= 1'b1;
+              default: hit <= 1'b0;
+            endcase
+          end
+        endmodule
+    )", "m");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    EXPECT_EQ(model.next(model.resetState(), {0})->next.getField(0, 1),
+              1u);
+    EXPECT_EQ(model.next(model.resetState(), {1})->next.getField(0, 1),
+              0u);
+    EXPECT_EQ(model.next(model.resetState(), {3})->next.getField(0, 1),
+              1u);
+}
+
+TEST(Translate, HierarchicalHandshakeEnumerates)
+{
+    // Two interacting FSMs (requester and responder) connected in a
+    // top module — the "interacting FSMs with interlock" shape the
+    // paper describes.
+    auto result = translateSource(R"(
+        module requester(clk, start, ack, req);
+          input clk;
+          input start;
+          input ack;
+          output req;
+          reg state;  // vfsm state state
+          assign req = state;
+          always @(posedge clk) begin
+            if (state == 1'b0) begin
+              if (start) state <= 1'b1;
+            end else begin
+              if (ack) state <= 1'b0;
+            end
+          end
+        endmodule
+        module responder(clk, req, ack);
+          input clk;
+          input req;
+          output ack;
+          reg [1:0] state;  // vfsm state state
+          assign ack = state == 2'd2;
+          always @(posedge clk) begin
+            case (state)
+              2'd0: if (req) state <= 2'd1;
+              2'd1: state <= 2'd2;       // service delay
+              2'd2: if (!req) state <= 2'd0;
+              default: state <= 2'd0;
+            endcase
+          end
+        endmodule
+        module top(clk, start);
+          input clk;
+          input start;
+          wire req, ack;
+          requester r (.clk(clk), .start(start), .ack(ack),
+                       .req(req));
+          responder s (.clk(clk), .req(req), .ack(ack));
+        endmodule
+    )", "top");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    EXPECT_EQ(model.stateBits(), 3u);
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    // The interlock keeps this well under the 2^3 x choices bound.
+    EXPECT_GE(graph.numStates(), 4u);
+    EXPECT_LE(graph.numStates(), 8u);
+
+    graph::TourGenerator tours(graph);
+    auto traces = tours.run();
+    EXPECT_EQ(checkTourCoverage(graph, traces), "");
+}
+
+} // namespace
+} // namespace archval::hdl

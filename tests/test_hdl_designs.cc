@@ -1,0 +1,231 @@
+/**
+ * @file
+ * End-to-end tests of realistic annotated-Verilog controllers
+ * through the full generic pipeline: parse -> elaborate -> translate
+ * -> enumerate -> tour. Each design is the kind of control/datapath-
+ * separable hardware Section 4 says the method generalizes to.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/validation_flow.hh"
+#include "hdl/translate.hh"
+#include "murphi/enumerator.hh"
+
+namespace archval::hdl
+{
+namespace
+{
+
+/** Two-floor elevator with door timer and request latching. */
+const char *elevator = R"(
+module elevator(clk, req0, req1);
+  input clk;
+  input req0;
+  input req1;
+  reg floor;        // vfsm state floor reset 0
+  reg [1:0] mode;   // vfsm state mode reset 0  (0=idle,1=move,2=door)
+  reg [1:0] timer;  // vfsm state timer reset 0
+  reg pend0;        // vfsm state pend0 reset 0
+  reg pend1;        // vfsm state pend1 reset 0
+
+  wire want_here;
+  wire want_there;
+  assign want_here = (floor == 1'b0 && pend0) ||
+                     (floor == 1'b1 && pend1);
+  assign want_there = (floor == 1'b0 && pend1) ||
+                      (floor == 1'b1 && pend0);
+
+  always @(posedge clk) begin
+    // Latch requests whenever they pulse.
+    if (req0) pend0 <= 1'b1;
+    if (req1) pend1 <= 1'b1;
+
+    case (mode)
+      2'd0: begin                 // idle
+        if (want_here) begin
+          mode <= 2'd2;           // open the door here
+          timer <= 2'd0;
+        end else if (want_there)
+          mode <= 2'd1;           // start moving
+      end
+      2'd1: begin                 // moving (one cycle per floor)
+        floor <= !floor;
+        mode <= 2'd2;
+        timer <= 2'd0;
+      end
+      2'd2: begin                 // door open, 2-cycle dwell
+        if (timer == 2'd1) begin
+          if (floor == 1'b0) pend0 <= 1'b0;
+          else pend1 <= 1'b0;
+          mode <= 2'd0;
+        end else
+          timer <= timer + 2'd1;
+      end
+      default: mode <= 2'd0;
+    endcase
+  end
+endmodule
+)";
+
+TEST(HdlDesigns, ElevatorFullPipeline)
+{
+    auto result = translateSource(elevator, "elevator");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    EXPECT_EQ(model.stateVars().size(), 5u);
+    EXPECT_EQ(model.choiceVars().size(), 2u);
+
+    core::ModelExploration exploration = core::exploreModel(model);
+    EXPECT_GT(exploration.enumStats.numStates, 10u);
+    EXPECT_LT(exploration.enumStats.numStates, 200u);
+    EXPECT_GT(exploration.tourStats.totalEdgeTraversals,
+              exploration.enumStats.numEdges / 2);
+}
+
+TEST(HdlDesigns, ElevatorNeverOpensWithoutRequest)
+{
+    // Safety property over the full reachable space: the door only
+    // opens (mode 2) when some request is pending or being served.
+    auto result = translateSource(elevator, "elevator");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    fsm::StateLayout layout(model.stateVars());
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    size_t mode_idx = layout.indexOf("mode");
+    size_t pend0_idx = layout.indexOf("pend0");
+    size_t pend1_idx = layout.indexOf("pend1");
+    for (graph::StateId s = 0; s < graph.numStates(); ++s) {
+        const BitVec &packed = graph.packedState(s);
+        if (layout.get(packed, mode_idx) == 2) {
+            EXPECT_TRUE(layout.get(packed, pend0_idx) ||
+                        layout.get(packed, pend1_idx))
+                << "door open with no request in state " << s;
+        }
+    }
+}
+
+/** Credit-based flow-control sender: a classic protocol FSM. */
+const char *creditSender = R"(
+module credit_sender(clk, want_send, credit_return);
+  input clk;
+  input want_send;
+  input credit_return;
+  parameter MAX = 3;
+  reg [1:0] credits;  // vfsm state credits reset 3
+  wire can_send;
+  assign can_send = credits != 2'd0;  // vfsm instr sent
+  wire sent;
+  assign sent = want_send && can_send;
+
+  always @(posedge clk) begin
+    if (sent && !credit_return)
+      credits <= credits - 2'd1;
+    else if (!sent && credit_return && credits != MAX)
+      credits <= credits + 2'd1;
+  end
+endmodule
+)";
+
+TEST(HdlDesigns, CreditSenderNeverOverflowsOrUnderflows)
+{
+    auto result = translateSource(creditSender, "credit_sender");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    // credits stays in [0, MAX]: exactly 4 reachable states.
+    EXPECT_EQ(graph.numStates(), 4u);
+
+    graph::TourGenerator tours(graph);
+    auto traces = tours.run();
+    EXPECT_EQ(checkTourCoverage(graph, traces), "");
+}
+
+/** A controller split across vfsm off/on regions: diagnostics are
+ *  excluded from translation exactly as the paper describes. */
+TEST(HdlDesigns, DiagnosticLogicExcluded)
+{
+    auto result = translateSource(R"(
+        module m(clk, go);
+          input clk;
+          input go;
+          reg [1:0] state;   // vfsm state state
+          wire active;
+          assign active = state != 2'd0;
+          // vfsm off
+          wire debug_mirror;
+          assign debug_mirror = active;
+          // vfsm on
+          always @(posedge clk) begin
+            if (go) state <= state + 2'd1;
+          end
+        endmodule
+    )", "m");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    // The mirror wire is outside the translated region: evaluating
+    // it must fail while 'active' works.
+    BitVec reset = model.resetState();
+    EXPECT_EQ(model.evalNet("active", reset, {0}), 0u);
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    EXPECT_EQ(graph.numStates(), 4u);
+}
+
+/** Three-deep hierarchy with parameter overrides at each level. */
+TEST(HdlDesigns, DeepHierarchyElaborates)
+{
+    auto result = translateSource(R"(
+        module leaf(clk, tick);
+          input clk;
+          input tick;
+          parameter W = 2;
+          reg [W-1:0] count;  // vfsm state count
+          always @(posedge clk) if (tick) count <= count + 1;
+        endmodule
+        module mid(clk, tick);
+          input clk;
+          input tick;
+          parameter W = 2;
+          leaf #(.W(W)) inner (.clk(clk), .tick(tick));
+        endmodule
+        module top(clk, tick);
+          input clk;
+          input tick;
+          mid #(.W(3)) a (.clk(clk), .tick(tick));
+          mid b (.clk(clk), .tick(tick));
+        endmodule
+    )", "top");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+    // a.inner.count is 3 bits, b.inner.count is 2 bits.
+    ASSERT_EQ(model.stateVars().size(), 2u);
+    size_t total_bits = model.stateBits();
+    EXPECT_EQ(total_bits, 5u);
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    // Both counters tick together: reachable = lcm-cycle of 8 and 4.
+    EXPECT_EQ(graph.numStates(), 8u);
+}
+
+TEST(HdlDesigns, InstrAnnotationDrivesTourAccounting)
+{
+    auto result = translateSource(creditSender, "credit_sender");
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    const auto &model = *result.value().model;
+
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.run();
+    // Some edges carry the "sent" instruction marker.
+    EXPECT_GT(graph.totalEdgeInstructions(), 0u);
+    EXPECT_LT(graph.totalEdgeInstructions(), graph.numEdges());
+}
+
+} // namespace
+} // namespace archval::hdl

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the PP ISA: encode/decode round trips, instruction
+ * classification (Table 3.1), disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pp/isa.hh"
+
+namespace archval::pp
+{
+namespace
+{
+
+TEST(Isa, RTypeRoundTrip)
+{
+    uint32_t word = encodeRType(Funct::Add, 3, 1, 2);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.op, Opcode::Special);
+    EXPECT_EQ(d.funct, Funct::Add);
+    EXPECT_EQ(d.rd, 3);
+    EXPECT_EQ(d.rs, 1);
+    EXPECT_EQ(d.rt, 2);
+    EXPECT_EQ(encode(d), word);
+}
+
+TEST(Isa, ITypeRoundTripNegativeImm)
+{
+    uint32_t word = encodeIType(Opcode::Addi, 5, 6, -42);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.op, Opcode::Addi);
+    EXPECT_EQ(d.rt, 5);
+    EXPECT_EQ(d.rs, 6);
+    EXPECT_EQ(d.imm, -42);
+    EXPECT_EQ(encode(d), word);
+}
+
+TEST(Isa, ShiftEncodesShamt)
+{
+    uint32_t word = encodeRType(Funct::Sll, 4, 0, 2, 13);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.funct, Funct::Sll);
+    EXPECT_EQ(d.shamt, 13);
+}
+
+TEST(Isa, JumpTargetRoundTrip)
+{
+    uint32_t word = encodeJump(0x123456);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.op, Opcode::J);
+    EXPECT_EQ(d.target, 0x123456u);
+}
+
+TEST(Isa, NopIsSllZero)
+{
+    DecodedInstr d = decode(encodeNop());
+    EXPECT_TRUE(d.isNop());
+    EXPECT_EQ(d.cls(), InstrClass::Alu);
+}
+
+TEST(Isa, ClassificationMatchesTable31)
+{
+    EXPECT_EQ(classOfWord(encodeRType(Funct::Add, 1, 2, 3)),
+              InstrClass::Alu);
+    EXPECT_EQ(classOfWord(encodeIType(Opcode::Ori, 1, 2, 3)),
+              InstrClass::Alu);
+    EXPECT_EQ(classOfWord(encodeLw(1, 2, 8)), InstrClass::Load);
+    EXPECT_EQ(classOfWord(encodeSw(1, 2, 8)), InstrClass::Store);
+    EXPECT_EQ(classOfWord(encodeSwitch(9)), InstrClass::Switch);
+    EXPECT_EQ(classOfWord(encodeSend(9)), InstrClass::Send);
+    EXPECT_EQ(classOfWord(encodeBranch(Opcode::Beq, 1, 2, -4)),
+              InstrClass::Branch);
+    EXPECT_EQ(classOfWord(encodeJump(0)), InstrClass::Branch);
+    EXPECT_EQ(classOfWord(encodeHalt()), InstrClass::Alu);
+}
+
+TEST(Isa, ClassNames)
+{
+    EXPECT_STREQ(instrClassName(InstrClass::Alu), "ALU");
+    EXPECT_STREQ(instrClassName(InstrClass::Load), "LD");
+    EXPECT_STREQ(instrClassName(InstrClass::Store), "SD");
+    EXPECT_STREQ(instrClassName(InstrClass::Switch), "SWITCH");
+    EXPECT_STREQ(instrClassName(InstrClass::Send), "SEND");
+}
+
+TEST(Isa, SwitchDestinationInRt)
+{
+    DecodedInstr d = decode(encodeSwitch(17));
+    EXPECT_EQ(d.rt, 17);
+}
+
+TEST(Isa, SendSourceInRs)
+{
+    DecodedInstr d = decode(encodeSend(23));
+    EXPECT_EQ(d.rs, 23);
+}
+
+TEST(Isa, ToStringSamples)
+{
+    EXPECT_EQ(decode(encodeRType(Funct::Add, 3, 1, 2)).toString(),
+              "add r3, r1, r2");
+    EXPECT_EQ(decode(encodeLw(4, 5, -8)).toString(), "lw r4, -8(r5)");
+    EXPECT_EQ(decode(encodeSwitch(2)).toString(), "switch r2");
+    EXPECT_EQ(decode(encodeSend(7)).toString(), "send r7");
+    EXPECT_EQ(decode(encodeNop()).toString(), "nop");
+    EXPECT_EQ(decode(encodeHalt()).toString(), "halt");
+}
+
+TEST(Isa, RegisterFieldsMasked)
+{
+    uint32_t word = encodeRType(Funct::Add, 35, 33, 34);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.rd, 3);
+    EXPECT_EQ(d.rs, 1);
+    EXPECT_EQ(d.rt, 2);
+}
+
+class AllFunctsFixture : public ::testing::TestWithParam<Funct>
+{
+};
+
+TEST_P(AllFunctsFixture, RoundTrips)
+{
+    uint32_t word = encodeRType(GetParam(), 1, 2, 3, 4);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.funct, GetParam());
+    EXPECT_EQ(encode(d), word);
+}
+
+INSTANTIATE_TEST_SUITE_P(Isa, AllFunctsFixture,
+                         ::testing::Values(Funct::Sll, Funct::Srl,
+                                           Funct::Sra, Funct::Add,
+                                           Funct::Sub, Funct::And,
+                                           Funct::Or, Funct::Xor,
+                                           Funct::Slt));
+
+class AllOpcodesFixture : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(AllOpcodesFixture, RoundTrips)
+{
+    uint32_t word = encodeIType(GetParam(), 7, 8, 99);
+    DecodedInstr d = decode(word);
+    EXPECT_EQ(d.op, GetParam());
+    EXPECT_EQ(encode(d), word);
+}
+
+INSTANTIATE_TEST_SUITE_P(Isa, AllOpcodesFixture,
+                         ::testing::Values(Opcode::Addi, Opcode::Slti,
+                                           Opcode::Andi, Opcode::Ori,
+                                           Opcode::Xori, Opcode::Lui,
+                                           Opcode::Lw, Opcode::Sw,
+                                           Opcode::Beq, Opcode::Bne,
+                                           Opcode::Switch,
+                                           Opcode::Send));
+
+} // namespace
+} // namespace archval::pp

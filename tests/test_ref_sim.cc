@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the instruction-level reference simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pp/assembler.hh"
+#include "pp/ref_sim.hh"
+#include "support/status.hh"
+
+namespace archval::pp
+{
+namespace
+{
+
+std::vector<uint32_t>
+mustAssemble(const std::string &text)
+{
+    auto result = assemble(text);
+    EXPECT_TRUE(result.ok()) << result.errorMessage();
+    return result.value();
+}
+
+TEST(RefSim, AluArithmetic)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, 10
+        addi r2, r0, 3
+        add r3, r1, r2
+        sub r4, r1, r2
+        and r5, r1, r2
+        or  r6, r1, r2
+        xor r7, r1, r2
+        slt r8, r2, r1
+        slt r9, r1, r2
+        halt
+    )"));
+    EXPECT_EQ(sim.run(), StopReason::Halted);
+    EXPECT_EQ(sim.reg(3), 13u);
+    EXPECT_EQ(sim.reg(4), 7u);
+    EXPECT_EQ(sim.reg(5), 2u);
+    EXPECT_EQ(sim.reg(6), 11u);
+    EXPECT_EQ(sim.reg(7), 9u);
+    EXPECT_EQ(sim.reg(8), 1u);
+    EXPECT_EQ(sim.reg(9), 0u);
+}
+
+TEST(RefSim, R0IsHardwiredZero)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble("addi r0, r0, 99\nhalt"));
+    sim.run();
+    EXPECT_EQ(sim.reg(0), 0u);
+}
+
+TEST(RefSim, Shifts)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, -8
+        sll r2, r1, 2
+        srl r3, r1, 2
+        sra r4, r1, 2
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.reg(2), static_cast<uint32_t>(-32));
+    EXPECT_EQ(sim.reg(3), 0x3ffffffeu);
+    EXPECT_EQ(sim.reg(4), static_cast<uint32_t>(-2));
+}
+
+TEST(RefSim, LuiAndOriBuildConstants)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        lui r1, 0x1234
+        ori r1, r1, 0x5678
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.reg(1), 0x12345678u);
+}
+
+TEST(RefSim, LoadStoreRoundTrip)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, 0x44
+        addi r2, r0, 64
+        sw r1, 0(r2)
+        lw r3, 0(r2)
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.reg(3), 0x44u);
+    EXPECT_EQ(sim.archState().dmem[16], 0x44u);
+}
+
+TEST(RefSim, MemoryAddressWraps)
+{
+    MachineConfig config;
+    config.dmemWords = 16;
+    RefSim sim(config);
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, 0x77
+        addi r2, r0, 68   ; word 17 wraps to word 1
+        sw r1, 0(r2)
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.archState().dmem[1], 0x77u);
+}
+
+TEST(RefSim, SwitchPopsInbox)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble("switch r1\nswitch r2\nhalt"));
+    sim.setInbox({0xaa, 0xbb});
+    EXPECT_EQ(sim.run(), StopReason::Halted);
+    EXPECT_EQ(sim.reg(1), 0xaau);
+    EXPECT_EQ(sim.reg(2), 0xbbu);
+}
+
+TEST(RefSim, SwitchOnEmptyInboxStops)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble("switch r1\nhalt"));
+    EXPECT_EQ(sim.run(), StopReason::InboxEmpty);
+}
+
+TEST(RefSim, SendPushesOutbox)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, 11
+        send r1
+        addi r1, r0, 22
+        send r1
+        halt
+    )"));
+    sim.run();
+    auto outbox = sim.archState().outbox;
+    ASSERT_EQ(outbox.size(), 2u);
+    EXPECT_EQ(outbox[0], 11u);
+    EXPECT_EQ(outbox[1], 22u);
+}
+
+TEST(RefSim, BranchLoop)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, 5
+        addi r2, r0, 0
+    loop:
+        add r2, r2, r1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    )"));
+    EXPECT_EQ(sim.run(), StopReason::Halted);
+    EXPECT_EQ(sim.reg(2), 15u); // 5+4+3+2+1
+}
+
+TEST(RefSim, BeqTakenAndNotTaken)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        addi r1, r0, 1
+        beq r1, r0, skip   ; not taken
+        addi r2, r0, 7
+        beq r1, r1, skip   ; taken
+        addi r2, r0, 99    ; skipped
+    skip:
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.reg(2), 7u);
+}
+
+TEST(RefSim, JumpRedirects)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble(R"(
+        j over
+        addi r1, r0, 1   ; skipped
+    over:
+        addi r2, r0, 2
+        halt
+    )"));
+    sim.run();
+    EXPECT_EQ(sim.reg(1), 0u);
+    EXPECT_EQ(sim.reg(2), 2u);
+}
+
+TEST(RefSim, StepLimitStopsRunawayLoop)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble("spin:\nj spin"));
+    EXPECT_EQ(sim.run(100), StopReason::StepLimit);
+    EXPECT_EQ(sim.instructionsRetired(), 100u);
+}
+
+TEST(RefSim, RunOffEnd)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble("nop\nnop"));
+    EXPECT_EQ(sim.run(), StopReason::RanOffEnd);
+}
+
+TEST(RefSim, ArchStateDiffFindsRegisterMismatch)
+{
+    RefSim a, b;
+    a.loadProgram(mustAssemble("addi r1, r0, 1\nhalt"));
+    b.loadProgram(mustAssemble("addi r1, r0, 2\nhalt"));
+    a.run();
+    b.run();
+    auto diff = a.archState().diff(b.archState());
+    EXPECT_NE(diff.find("r1"), std::string::npos);
+}
+
+TEST(RefSim, ArchStateDiffFindsMemoryMismatch)
+{
+    RefSim a, b;
+    a.loadProgram(mustAssemble("halt"));
+    b.loadProgram(mustAssemble("halt"));
+    a.pokeDmem(5, 1);
+    a.run();
+    b.run();
+    // pokeDmem happens after loadProgram resets memory, so re-poke.
+    a.pokeDmem(5, 1);
+    EXPECT_NE(a.archState().diff(b.archState()), "");
+}
+
+TEST(RefSim, ArchStateEqualWhenSameRun)
+{
+    RefSim a, b;
+    auto program = mustAssemble(R"(
+        addi r1, r0, 3
+        sw r1, 4(r0)
+        send r1
+        halt
+    )");
+    a.loadProgram(program);
+    b.loadProgram(program);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.archState().diff(b.archState()), "");
+    EXPECT_EQ(a.archState(), b.archState());
+}
+
+TEST(RefSim, PokeDmemVisibleToLoads)
+{
+    RefSim sim;
+    sim.loadProgram(mustAssemble("lw r1, 12(r0)\nhalt"));
+    sim.pokeDmem(3, 0xdead);
+    sim.run();
+    EXPECT_EQ(sim.reg(1), 0xdeadu);
+}
+
+TEST(RefSim, BadDmemConfigIsFatal)
+{
+    MachineConfig config;
+    config.dmemWords = 100; // not a power of two
+    EXPECT_THROW(RefSim sim(config), FatalError);
+}
+
+} // namespace
+} // namespace archval::pp

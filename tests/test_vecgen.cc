@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the vector generator: stream/cycle accounting, class
+ * agreement between tour edges and generated instructions, conflict
+ * address constraints, squash filtering, force-script rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "murphi/enumerator.hh"
+#include "rtl/pp_fsm_model.hh"
+#include "vecgen/vector_gen.hh"
+
+namespace archval::vecgen
+{
+namespace
+{
+
+using rtl::PpChoiceVar;
+using rtl::PpConfig;
+using rtl::PpFsmModel;
+
+/** Shared enumeration of the small preset. */
+class VecGenFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        model_ = new PpFsmModel(PpConfig::smallPreset());
+        murphi::Enumerator enumerator(*model_);
+        graph_ = new graph::StateGraph(enumerator.run());
+        graph::TourGenerator tours(*graph_);
+        traces_ = new std::vector<graph::Trace>(tours.run());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete traces_;
+        delete graph_;
+        delete model_;
+        traces_ = nullptr;
+        graph_ = nullptr;
+        model_ = nullptr;
+    }
+
+    static PpFsmModel *model_;
+    static graph::StateGraph *graph_;
+    static std::vector<graph::Trace> *traces_;
+};
+
+PpFsmModel *VecGenFixture::model_ = nullptr;
+graph::StateGraph *VecGenFixture::graph_ = nullptr;
+std::vector<graph::Trace> *VecGenFixture::traces_ = nullptr;
+
+TEST_F(VecGenFixture, TourCoversGraph)
+{
+    EXPECT_EQ(checkTourCoverage(*graph_, *traces_), "");
+    EXPECT_GT(traces_->size(), 0u);
+}
+
+TEST_F(VecGenFixture, CycleAndInstructionAccounting)
+{
+    VectorGenerator generator(*model_, 7);
+    for (size_t i = 0; i < std::min<size_t>(traces_->size(), 10); ++i) {
+        TestTrace trace =
+            generator.generate(*graph_, (*traces_)[i], i);
+        EXPECT_EQ(trace.cycles.size(), (*traces_)[i].edges.size());
+        EXPECT_EQ(trace.instructions, (*traces_)[i].instructions);
+        EXPECT_EQ(trace.fetchStream.size(), trace.instructions);
+        // No branches in the small preset: nothing squashed.
+        EXPECT_EQ(trace.retiredStream.size(), trace.fetchStream.size());
+    }
+}
+
+TEST_F(VecGenFixture, FetchClassesMatchTourChoices)
+{
+    VectorGenerator generator(*model_, 11);
+    auto codec = model_->makeChoiceCodec();
+    const auto &tour = (*traces_)[0];
+    TestTrace trace = generator.generate(*graph_, tour, 0);
+
+    size_t fetch_pos = 0;
+    for (size_t i = 0; i < tour.edges.size(); ++i) {
+        const auto &edge = graph_->edge(tour.edges[i]);
+        auto choice = codec.decode(edge.choiceCode);
+        uint32_t ihit =
+            choice[static_cast<size_t>(PpChoiceVar::IHit)];
+        if (!ihit)
+            continue; // no fetch this cycle
+        ASSERT_LT(fetch_pos, trace.fetchStream.size());
+        pp::InstrClass expected = static_cast<pp::InstrClass>(
+            choice[static_cast<size_t>(PpChoiceVar::FetchClass)] + 1);
+        EXPECT_EQ(pp::classOfWord(trace.fetchStream[fetch_pos]),
+                  expected)
+            << "cycle " << i;
+        fetch_pos += 1 + choice[static_cast<size_t>(PpChoiceVar::Dual)];
+    }
+    EXPECT_EQ(fetch_pos, trace.fetchStream.size());
+}
+
+TEST_F(VecGenFixture, InboxWordPerRetiredSwitch)
+{
+    VectorGenerator generator(*model_, 13);
+    for (size_t i = 0; i < std::min<size_t>(traces_->size(), 20); ++i) {
+        TestTrace trace =
+            generator.generate(*graph_, (*traces_)[i], i);
+        size_t switches = 0;
+        for (uint32_t word : trace.retiredStream) {
+            if (pp::classOfWord(word) == pp::InstrClass::Switch)
+                ++switches;
+        }
+        EXPECT_EQ(trace.inbox.size(), switches);
+    }
+}
+
+TEST_F(VecGenFixture, MemOpsUseR0BaseWithinDmem)
+{
+    VectorGenerator generator(*model_, 17);
+    TestTrace trace = generator.generate(*graph_, (*traces_)[0], 0);
+    const uint32_t dmem_bytes =
+        model_->config().machine.dmemWords * 4;
+    for (uint32_t word : trace.fetchStream) {
+        auto d = pp::decode(word);
+        if (d.cls() == pp::InstrClass::Load ||
+            d.cls() == pp::InstrClass::Store) {
+            EXPECT_EQ(d.rs, 0);
+            EXPECT_GE(d.imm, 0);
+            EXPECT_LT(static_cast<uint32_t>(d.imm), dmem_bytes);
+            EXPECT_EQ(d.imm % 4, 0);
+        }
+    }
+}
+
+TEST_F(VecGenFixture, DeterministicForSameSeed)
+{
+    VectorGenerator a(*model_, 99), b(*model_, 99);
+    TestTrace ta = a.generate(*graph_, (*traces_)[0], 0);
+    TestTrace tb = b.generate(*graph_, (*traces_)[0], 0);
+    EXPECT_EQ(ta.fetchStream, tb.fetchStream);
+    EXPECT_EQ(ta.inbox, tb.inbox);
+}
+
+TEST_F(VecGenFixture, DifferentSeedsDifferInOperands)
+{
+    VectorGenerator a(*model_, 1), b(*model_, 2);
+    TestTrace ta = a.generate(*graph_, (*traces_)[0], 0);
+    TestTrace tb = b.generate(*graph_, (*traces_)[0], 0);
+    // Same classes, same length; operand bits should differ somewhere.
+    ASSERT_EQ(ta.fetchStream.size(), tb.fetchStream.size());
+    bool any_diff = false;
+    for (size_t i = 0; i < ta.fetchStream.size(); ++i)
+        any_diff |= ta.fetchStream[i] != tb.fetchStream[i];
+    if (!ta.fetchStream.empty()) {
+        EXPECT_TRUE(any_diff);
+    }
+}
+
+TEST_F(VecGenFixture, ForceScriptMentionsSignalsAndInstructions)
+{
+    VectorGenerator generator(*model_, 23);
+    TestTrace trace = generator.generate(*graph_, (*traces_)[0], 0);
+    std::string script = generator.renderForceScript(trace);
+    EXPECT_NE(script.find("force icache.hit"), std::string::npos);
+    EXPECT_NE(script.find("initial begin"), std::string::npos);
+    EXPECT_NE(script.find("// fetch"), std::string::npos);
+}
+
+TEST_F(VecGenFixture, StatsAccumulate)
+{
+    VectorGenerator generator(*model_, 29);
+    generator.generate(*graph_, (*traces_)[0], 0);
+    generator.generate(*graph_, (*traces_)[1 % traces_->size()], 1);
+    EXPECT_EQ(generator.stats().traces, 2u);
+    EXPECT_GT(generator.stats().cycles, 0u);
+}
+
+} // namespace
+} // namespace archval::vecgen
