@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mutation_sweep"
+  "../bench/bench_mutation_sweep.pdb"
+  "CMakeFiles/bench_mutation_sweep.dir/bench_mutation_sweep.cc.o"
+  "CMakeFiles/bench_mutation_sweep.dir/bench_mutation_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

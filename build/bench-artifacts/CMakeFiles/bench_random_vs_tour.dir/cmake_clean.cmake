@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_random_vs_tour"
+  "../bench/bench_random_vs_tour.pdb"
+  "CMakeFiles/bench_random_vs_tour.dir/bench_random_vs_tour.cc.o"
+  "CMakeFiles/bench_random_vs_tour.dir/bench_random_vs_tour.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_vs_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_validation.dir/hdl_validation.cpp.o"
+  "CMakeFiles/hdl_validation.dir/hdl_validation.cpp.o.d"
+  "hdl_validation"
+  "hdl_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

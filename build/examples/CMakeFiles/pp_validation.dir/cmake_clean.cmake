@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_validation.dir/pp_validation.cpp.o"
+  "CMakeFiles/pp_validation.dir/pp_validation.cpp.o.d"
+  "pp_validation"
+  "pp_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

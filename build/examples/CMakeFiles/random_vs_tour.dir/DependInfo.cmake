@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/random_vs_tour.cpp" "examples/CMakeFiles/random_vs_tour.dir/random_vs_tour.cpp.o" "gcc" "examples/CMakeFiles/random_vs_tour.dir/random_vs_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/archval_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/murphi/CMakeFiles/archval_murphi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecgen/CMakeFiles/archval_vecgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/archval_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/archval_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/archval_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/archval_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/archval_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

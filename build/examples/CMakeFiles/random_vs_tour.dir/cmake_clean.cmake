@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_vs_tour.dir/random_vs_tour.cpp.o"
+  "CMakeFiles/random_vs_tour.dir/random_vs_tour.cpp.o.d"
+  "random_vs_tour"
+  "random_vs_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_vs_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_core.dir/validation_flow.cc.o"
+  "CMakeFiles/archval_core.dir/validation_flow.cc.o.d"
+  "libarchval_core.a"
+  "libarchval_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_fsm.dir/built_model.cc.o"
+  "CMakeFiles/archval_fsm.dir/built_model.cc.o.d"
+  "CMakeFiles/archval_fsm.dir/model.cc.o"
+  "CMakeFiles/archval_fsm.dir/model.cc.o.d"
+  "libarchval_fsm.a"
+  "libarchval_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/postman.cc" "src/graph/CMakeFiles/archval_graph.dir/postman.cc.o" "gcc" "src/graph/CMakeFiles/archval_graph.dir/postman.cc.o.d"
+  "/root/repo/src/graph/state_graph.cc" "src/graph/CMakeFiles/archval_graph.dir/state_graph.cc.o" "gcc" "src/graph/CMakeFiles/archval_graph.dir/state_graph.cc.o.d"
+  "/root/repo/src/graph/tour.cc" "src/graph/CMakeFiles/archval_graph.dir/tour.cc.o" "gcc" "src/graph/CMakeFiles/archval_graph.dir/tour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/archval_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

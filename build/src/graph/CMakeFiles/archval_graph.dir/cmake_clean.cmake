@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_graph.dir/postman.cc.o"
+  "CMakeFiles/archval_graph.dir/postman.cc.o.d"
+  "CMakeFiles/archval_graph.dir/state_graph.cc.o"
+  "CMakeFiles/archval_graph.dir/state_graph.cc.o.d"
+  "CMakeFiles/archval_graph.dir/tour.cc.o"
+  "CMakeFiles/archval_graph.dir/tour.cc.o.d"
+  "libarchval_graph.a"
+  "libarchval_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

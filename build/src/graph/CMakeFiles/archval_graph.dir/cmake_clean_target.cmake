@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarchval_graph.a"
+)

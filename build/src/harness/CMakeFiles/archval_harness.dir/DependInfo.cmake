@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/baselines.cc" "src/harness/CMakeFiles/archval_harness.dir/baselines.cc.o" "gcc" "src/harness/CMakeFiles/archval_harness.dir/baselines.cc.o.d"
+  "/root/repo/src/harness/bug5_scenario.cc" "src/harness/CMakeFiles/archval_harness.dir/bug5_scenario.cc.o" "gcc" "src/harness/CMakeFiles/archval_harness.dir/bug5_scenario.cc.o.d"
+  "/root/repo/src/harness/bug_hunt.cc" "src/harness/CMakeFiles/archval_harness.dir/bug_hunt.cc.o" "gcc" "src/harness/CMakeFiles/archval_harness.dir/bug_hunt.cc.o.d"
+  "/root/repo/src/harness/coverage.cc" "src/harness/CMakeFiles/archval_harness.dir/coverage.cc.o" "gcc" "src/harness/CMakeFiles/archval_harness.dir/coverage.cc.o.d"
+  "/root/repo/src/harness/vector_player.cc" "src/harness/CMakeFiles/archval_harness.dir/vector_player.cc.o" "gcc" "src/harness/CMakeFiles/archval_harness.dir/vector_player.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vecgen/CMakeFiles/archval_vecgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/archval_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pp/CMakeFiles/archval_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/archval_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/archval_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/archval_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

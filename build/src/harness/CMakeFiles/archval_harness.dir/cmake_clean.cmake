@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_harness.dir/baselines.cc.o"
+  "CMakeFiles/archval_harness.dir/baselines.cc.o.d"
+  "CMakeFiles/archval_harness.dir/bug5_scenario.cc.o"
+  "CMakeFiles/archval_harness.dir/bug5_scenario.cc.o.d"
+  "CMakeFiles/archval_harness.dir/bug_hunt.cc.o"
+  "CMakeFiles/archval_harness.dir/bug_hunt.cc.o.d"
+  "CMakeFiles/archval_harness.dir/coverage.cc.o"
+  "CMakeFiles/archval_harness.dir/coverage.cc.o.d"
+  "CMakeFiles/archval_harness.dir/vector_player.cc.o"
+  "CMakeFiles/archval_harness.dir/vector_player.cc.o.d"
+  "libarchval_harness.a"
+  "libarchval_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_hdl.dir/ast.cc.o"
+  "CMakeFiles/archval_hdl.dir/ast.cc.o.d"
+  "CMakeFiles/archval_hdl.dir/elaborate.cc.o"
+  "CMakeFiles/archval_hdl.dir/elaborate.cc.o.d"
+  "CMakeFiles/archval_hdl.dir/lexer.cc.o"
+  "CMakeFiles/archval_hdl.dir/lexer.cc.o.d"
+  "CMakeFiles/archval_hdl.dir/parser.cc.o"
+  "CMakeFiles/archval_hdl.dir/parser.cc.o.d"
+  "CMakeFiles/archval_hdl.dir/translate.cc.o"
+  "CMakeFiles/archval_hdl.dir/translate.cc.o.d"
+  "libarchval_hdl.a"
+  "libarchval_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_murphi.dir/enumerator.cc.o"
+  "CMakeFiles/archval_murphi.dir/enumerator.cc.o.d"
+  "libarchval_murphi.a"
+  "libarchval_murphi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_murphi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for archval_murphi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pp/assembler.cc" "src/pp/CMakeFiles/archval_pp.dir/assembler.cc.o" "gcc" "src/pp/CMakeFiles/archval_pp.dir/assembler.cc.o.d"
+  "/root/repo/src/pp/isa.cc" "src/pp/CMakeFiles/archval_pp.dir/isa.cc.o" "gcc" "src/pp/CMakeFiles/archval_pp.dir/isa.cc.o.d"
+  "/root/repo/src/pp/ref_sim.cc" "src/pp/CMakeFiles/archval_pp.dir/ref_sim.cc.o" "gcc" "src/pp/CMakeFiles/archval_pp.dir/ref_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/archval_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_pp.dir/assembler.cc.o"
+  "CMakeFiles/archval_pp.dir/assembler.cc.o.d"
+  "CMakeFiles/archval_pp.dir/isa.cc.o"
+  "CMakeFiles/archval_pp.dir/isa.cc.o.d"
+  "CMakeFiles/archval_pp.dir/ref_sim.cc.o"
+  "CMakeFiles/archval_pp.dir/ref_sim.cc.o.d"
+  "libarchval_pp.a"
+  "libarchval_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

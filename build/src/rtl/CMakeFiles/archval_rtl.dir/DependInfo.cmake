@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/faults.cc" "src/rtl/CMakeFiles/archval_rtl.dir/faults.cc.o" "gcc" "src/rtl/CMakeFiles/archval_rtl.dir/faults.cc.o.d"
+  "/root/repo/src/rtl/mutations.cc" "src/rtl/CMakeFiles/archval_rtl.dir/mutations.cc.o" "gcc" "src/rtl/CMakeFiles/archval_rtl.dir/mutations.cc.o.d"
+  "/root/repo/src/rtl/pp_config.cc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_config.cc.o" "gcc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_config.cc.o.d"
+  "/root/repo/src/rtl/pp_control.cc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_control.cc.o" "gcc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_control.cc.o.d"
+  "/root/repo/src/rtl/pp_core.cc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_core.cc.o" "gcc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_core.cc.o.d"
+  "/root/repo/src/rtl/pp_fsm_model.cc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_fsm_model.cc.o" "gcc" "src/rtl/CMakeFiles/archval_rtl.dir/pp_fsm_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pp/CMakeFiles/archval_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/archval_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/archval_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

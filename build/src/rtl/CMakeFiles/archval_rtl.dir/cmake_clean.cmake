@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_rtl.dir/faults.cc.o"
+  "CMakeFiles/archval_rtl.dir/faults.cc.o.d"
+  "CMakeFiles/archval_rtl.dir/mutations.cc.o"
+  "CMakeFiles/archval_rtl.dir/mutations.cc.o.d"
+  "CMakeFiles/archval_rtl.dir/pp_config.cc.o"
+  "CMakeFiles/archval_rtl.dir/pp_config.cc.o.d"
+  "CMakeFiles/archval_rtl.dir/pp_control.cc.o"
+  "CMakeFiles/archval_rtl.dir/pp_control.cc.o.d"
+  "CMakeFiles/archval_rtl.dir/pp_core.cc.o"
+  "CMakeFiles/archval_rtl.dir/pp_core.cc.o.d"
+  "CMakeFiles/archval_rtl.dir/pp_fsm_model.cc.o"
+  "CMakeFiles/archval_rtl.dir/pp_fsm_model.cc.o.d"
+  "libarchval_rtl.a"
+  "libarchval_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_support.dir/bitvec.cc.o"
+  "CMakeFiles/archval_support.dir/bitvec.cc.o.d"
+  "CMakeFiles/archval_support.dir/logging.cc.o"
+  "CMakeFiles/archval_support.dir/logging.cc.o.d"
+  "CMakeFiles/archval_support.dir/memusage.cc.o"
+  "CMakeFiles/archval_support.dir/memusage.cc.o.d"
+  "CMakeFiles/archval_support.dir/rng.cc.o"
+  "CMakeFiles/archval_support.dir/rng.cc.o.d"
+  "CMakeFiles/archval_support.dir/stats.cc.o"
+  "CMakeFiles/archval_support.dir/stats.cc.o.d"
+  "CMakeFiles/archval_support.dir/status.cc.o"
+  "CMakeFiles/archval_support.dir/status.cc.o.d"
+  "CMakeFiles/archval_support.dir/strings.cc.o"
+  "CMakeFiles/archval_support.dir/strings.cc.o.d"
+  "libarchval_support.a"
+  "libarchval_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

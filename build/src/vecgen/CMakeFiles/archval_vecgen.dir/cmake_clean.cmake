@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archval_vecgen.dir/trace_io.cc.o"
+  "CMakeFiles/archval_vecgen.dir/trace_io.cc.o.d"
+  "CMakeFiles/archval_vecgen.dir/vector_gen.cc.o"
+  "CMakeFiles/archval_vecgen.dir/vector_gen.cc.o.d"
+  "libarchval_vecgen.a"
+  "libarchval_vecgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archval_vecgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

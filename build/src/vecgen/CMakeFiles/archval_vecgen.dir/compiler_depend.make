@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for archval_vecgen.
+# This may be replaced when dependencies are built.

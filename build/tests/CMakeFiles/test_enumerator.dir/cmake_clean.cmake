@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enumerator.dir/test_enumerator.cc.o"
+  "CMakeFiles/test_enumerator.dir/test_enumerator.cc.o.d"
+  "test_enumerator"
+  "test_enumerator.pdb"
+  "test_enumerator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enumerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

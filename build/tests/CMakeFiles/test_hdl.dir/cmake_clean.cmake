@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl.dir/test_hdl.cc.o"
+  "CMakeFiles/test_hdl.dir/test_hdl.cc.o.d"
+  "test_hdl"
+  "test_hdl.pdb"
+  "test_hdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdl_designs.dir/test_hdl_designs.cc.o"
+  "CMakeFiles/test_hdl_designs.dir/test_hdl_designs.cc.o.d"
+  "test_hdl_designs"
+  "test_hdl_designs.pdb"
+  "test_hdl_designs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdl_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutations.dir/test_mutations.cc.o"
+  "CMakeFiles/test_mutations.dir/test_mutations.cc.o.d"
+  "test_mutations"
+  "test_mutations.pdb"
+  "test_mutations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

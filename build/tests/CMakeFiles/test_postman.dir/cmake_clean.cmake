@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postman.dir/test_postman.cc.o"
+  "CMakeFiles/test_postman.dir/test_postman.cc.o.d"
+  "test_postman"
+  "test_postman.pdb"
+  "test_postman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pp_control.dir/test_pp_control.cc.o"
+  "CMakeFiles/test_pp_control.dir/test_pp_control.cc.o.d"
+  "test_pp_control"
+  "test_pp_control.pdb"
+  "test_pp_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

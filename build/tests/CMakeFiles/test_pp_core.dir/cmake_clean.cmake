@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pp_core.dir/test_pp_core.cc.o"
+  "CMakeFiles/test_pp_core.dir/test_pp_core.cc.o.d"
+  "test_pp_core"
+  "test_pp_core.pdb"
+  "test_pp_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

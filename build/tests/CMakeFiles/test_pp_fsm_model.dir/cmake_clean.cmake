@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pp_fsm_model.dir/test_pp_fsm_model.cc.o"
+  "CMakeFiles/test_pp_fsm_model.dir/test_pp_fsm_model.cc.o.d"
+  "test_pp_fsm_model"
+  "test_pp_fsm_model.pdb"
+  "test_pp_fsm_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pp_fsm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

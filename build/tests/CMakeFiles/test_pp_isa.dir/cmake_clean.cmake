@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pp_isa.dir/test_pp_isa.cc.o"
+  "CMakeFiles/test_pp_isa.dir/test_pp_isa.cc.o.d"
+  "test_pp_isa"
+  "test_pp_isa.pdb"
+  "test_pp_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_sim.dir/test_ref_sim.cc.o"
+  "CMakeFiles/test_ref_sim.dir/test_ref_sim.cc.o.d"
+  "test_ref_sim"
+  "test_ref_sim.pdb"
+  "test_ref_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vecgen.dir/test_vecgen.cc.o"
+  "CMakeFiles/test_vecgen.dir/test_vecgen.cc.o.d"
+  "test_vecgen"
+  "test_vecgen.pdb"
+  "test_vecgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vecgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

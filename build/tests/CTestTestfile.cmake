@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_fsm[1]_include.cmake")
+include("/root/repo/build/tests/test_enumerator[1]_include.cmake")
+include("/root/repo/build/tests/test_tour[1]_include.cmake")
+include("/root/repo/build/tests/test_postman[1]_include.cmake")
+include("/root/repo/build/tests/test_pp_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_ref_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_pp_control[1]_include.cmake")
+include("/root/repo/build/tests/test_pp_fsm_model[1]_include.cmake")
+include("/root/repo/build/tests/test_pp_core[1]_include.cmake")
+include("/root/repo/build/tests/test_vecgen[1]_include.cmake")
+include("/root/repo/build/tests/test_player[1]_include.cmake")
+include("/root/repo/build/tests/test_hdl[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_mutations[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_config_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_hdl_designs[1]_include.cmake")
