@@ -1,0 +1,56 @@
+#include "corpus.hh"
+
+#include <algorithm>
+
+#include "support/status.hh"
+
+namespace archval::fuzz
+{
+
+size_t
+Corpus::add(Candidate candidate, uint64_t energy, uint64_t new_arcs,
+            bool new_state)
+{
+    CorpusEntry entry;
+    entry.candidate = std::move(candidate);
+    entry.energy = std::max<uint64_t>(energy, 1);
+    entry.newArcs = new_arcs;
+    entry.newState = new_state;
+    entries_.push_back(std::move(entry));
+    if (maxEntries_ && entries_.size() > maxEntries_)
+        evictOne();
+    return entries_.size() - 1;
+}
+
+size_t
+Corpus::pick(Rng &rng)
+{
+    if (entries_.empty())
+        panic("Corpus::pick on empty corpus");
+    uint64_t total = 0;
+    for (const CorpusEntry &entry : entries_)
+        total += entry.energy;
+    uint64_t draw = rng.below(total);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (draw < entries_[i].energy) {
+            entries_[i].energy =
+                std::max<uint64_t>(entries_[i].energy / 2, 1);
+            return i;
+        }
+        draw -= entries_[i].energy;
+    }
+    return entries_.size() - 1; // unreachable
+}
+
+void
+Corpus::evictOne()
+{
+    size_t victim = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].energy < entries_[victim].energy)
+            victim = i;
+    }
+    entries_.erase(entries_.begin() + victim);
+}
+
+} // namespace archval::fuzz

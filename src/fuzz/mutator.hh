@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Structure-preserving mutations over reset-rooted traces.
+ *
+ * Unlike byte-level fuzzers, every mutant must remain a legal walk in
+ * the enumerated state graph — otherwise the vector generator cannot
+ * concretize it and the player cannot force the control along it. The
+ * mutator therefore edits traces only with graph-aware operators:
+ *
+ *  - splice: keep a prefix of one trace and continue with another
+ *    trace's suffix from a shared state;
+ *  - truncate-and-extend: cut a trace and random-walk onward from
+ *    the cut state;
+ *  - edge flip: replace one edge with a different out-edge of the
+ *    same state, then re-legalize the tail (rejoin the original
+ *    suffix where possible, random-walk otherwise);
+ *  - class resample: keep the walk, redraw the operand/opcode
+ *    randomness seed so every instruction is re-concretized within
+ *    its class (the datapath-value dimension the control walk does
+ *    not pin down).
+ */
+
+#ifndef ARCHVAL_FUZZ_MUTATOR_HH
+#define ARCHVAL_FUZZ_MUTATOR_HH
+
+#include <cstdint>
+
+#include "fuzz/corpus.hh"
+#include "graph/state_graph.hh"
+#include "support/rng.hh"
+
+namespace archval::fuzz
+{
+
+/** Mutation operators (drawn uniformly unless weighted). */
+enum class MutationOp : uint8_t
+{
+    Splice = 0,
+    TruncateExtend,
+    EdgeFlip,
+    ClassResample,
+    NumOps,
+};
+
+/** @return printable operator name. */
+const char *mutationOpName(MutationOp op);
+
+/**
+ * Applies graph-aware mutations to candidates. Stateless apart from
+ * the graph reference; all randomness comes from the caller's Rng so
+ * per-worker determinism is preserved.
+ */
+class TraceMutator
+{
+  public:
+    /**
+     * @param graph Graph the traces walk (must outlive the mutator).
+     * @param max_instructions Length bound for mutant traces.
+     */
+    TraceMutator(const graph::StateGraph &graph,
+                 uint64_t max_instructions);
+
+    /**
+     * Produce a mutant of @p base. The @p donor (for splices) may be
+     * any other corpus trace; when splicing fails to find a shared
+     * state the operator falls back to truncate-and-extend.
+     * @return a valid reset-rooted candidate.
+     */
+    Candidate mutate(const Candidate &base, const Candidate &donor,
+                     Rng &rng);
+
+    /** Apply a specific operator (exposed for tests). */
+    Candidate apply(MutationOp op, const Candidate &base,
+                    const Candidate &donor, Rng &rng);
+
+    /**
+     * @return the state sequence of @p trace: position i is the
+     * state *before* edge i; the final entry is the end state.
+     */
+    std::vector<graph::StateId>
+    stateSequence(const graph::Trace &trace) const;
+
+  private:
+    /** Append uniform random-walk edges from @p state until the
+     *  instruction bound or @p max_extra edges. */
+    void extendRandomly(graph::Trace &trace, graph::StateId state,
+                        uint64_t max_extra, Rng &rng) const;
+
+    /** Recompute instruction totals of @p trace from its edges. */
+    void refreshAccounting(graph::Trace &trace) const;
+
+    Candidate splice(const Candidate &base, const Candidate &donor,
+                     Rng &rng);
+    Candidate truncateExtend(const Candidate &base, Rng &rng);
+    Candidate edgeFlip(const Candidate &base, Rng &rng);
+    Candidate classResample(const Candidate &base, Rng &rng);
+
+    const graph::StateGraph &graph_;
+    uint64_t maxInstructions_;
+};
+
+/**
+ * Verify that @p trace is a connected walk starting at reset with
+ * consistent instruction accounting. @return empty string on
+ * success, else a description of the violation (test helper).
+ */
+std::string checkTraceValid(const graph::StateGraph &graph,
+                            const graph::Trace &trace);
+
+} // namespace archval::fuzz
+
+#endif // ARCHVAL_FUZZ_MUTATOR_HH

@@ -75,16 +75,29 @@ BugHunt::hunt(rtl::BugId bug, uint64_t random_budget, uint64_t seed)
         }
     }
 
+    // Coverage-guided fuzzing, when an arm is installed.
+    if (fuzzArm_) {
+        result.fuzz = fuzzArm_(bug);
+        result.fuzzRan = true;
+    }
+
     return result;
 }
 
 std::string
 renderHuntTable(const std::vector<HuntResult> &results)
 {
+    bool with_fuzz = false;
+    for (const auto &r : results)
+        with_fuzz = with_fuzz || r.fuzzRan;
+
     std::string out;
-    out += formatString("%-5s  %-28s  %-28s  %-28s\n", "bug",
+    out += formatString("%-5s  %-28s  %-28s  %-28s", "bug",
                         "tour vectors", "random vectors",
                         "directed tests");
+    if (with_fuzz)
+        out += formatString("  %-28s", "fuzz campaign");
+    out += "\n";
     auto cell = [](const Detection &d) {
         if (!d.detected)
             return std::string("not detected");
@@ -92,11 +105,17 @@ renderHuntTable(const std::vector<HuntResult> &results)
                             withCommas(d.instructions).c_str());
     };
     for (const auto &r : results) {
-        out += formatString("%-5s  %-28s  %-28s  %-28s\n",
+        out += formatString("%-5s  %-28s  %-28s  %-28s",
                             rtl::bugName(r.bug),
                             cell(r.tour).c_str(),
                             cell(r.random).c_str(),
                             cell(r.directed).c_str());
+        if (with_fuzz) {
+            out += formatString(
+                "  %-28s",
+                r.fuzzRan ? cell(r.fuzz).c_str() : "not run");
+        }
+        out += "\n";
     }
     return out;
 }

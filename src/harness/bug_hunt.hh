@@ -9,6 +9,7 @@
 #ifndef ARCHVAL_HARNESS_BUG_HUNT_HH
 #define ARCHVAL_HARNESS_BUG_HUNT_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,7 +35,17 @@ struct HuntResult
     Detection tour;     ///< generated transition-tour vectors
     Detection random;   ///< biased-random stimulus (same player)
     Detection directed; ///< hand-written program suite
+    Detection fuzz;     ///< coverage-guided fuzzing (optional arm)
+    bool fuzzRan = false; ///< true when the fuzz arm was installed
 };
+
+/**
+ * Pluggable fourth stimulus arm: a coverage-guided fuzz campaign
+ * against one bug. Implemented by src/fuzz (which layers on this
+ * library, hence the inversion); installed per-hunt via
+ * BugHunt::setFuzzArm().
+ */
+using FuzzArm = std::function<Detection(rtl::BugId bug)>;
 
 /**
  * Runs the three stimulus sources against an injected bug.
@@ -61,11 +72,15 @@ class BugHunt
     HuntResult hunt(rtl::BugId bug, uint64_t random_budget,
                     uint64_t seed = 12345);
 
+    /** Install (or clear) the coverage-guided fuzz arm. */
+    void setFuzzArm(FuzzArm arm) { fuzzArm_ = std::move(arm); }
+
   private:
     rtl::PpConfig config_;
     const rtl::PpFsmModel &model_;
     const graph::StateGraph &graph_;
     const std::vector<vecgen::TestTrace> &tourTraces_;
+    FuzzArm fuzzArm_;
 };
 
 /** Render hunt results as the bench table. */

@@ -1,5 +1,7 @@
 #include "coverage.hh"
 
+#include "support/status.hh"
+
 namespace archval::harness
 {
 
@@ -30,6 +32,32 @@ void
 CoverageTracker::samplePoint()
 {
     curve_.push_back({instructions_, cycles_, coveredCount_});
+}
+
+void
+CoverageTracker::merge(const CoverageTracker &other)
+{
+    if (covered_.size() != other.covered_.size())
+        fatal("CoverageTracker::merge: trackers observe different "
+              "graphs");
+    for (size_t e = 0; e < covered_.size(); ++e) {
+        if (other.covered_[e] && !covered_[e]) {
+            covered_[e] = true;
+            ++coveredCount_;
+        }
+    }
+    instructions_ += other.instructions_;
+    cycles_ += other.cycles_;
+}
+
+void
+CoverageTracker::reset()
+{
+    covered_.assign(covered_.size(), false);
+    coveredCount_ = 0;
+    instructions_ = 0;
+    cycles_ = 0;
+    curve_.clear();
 }
 
 double

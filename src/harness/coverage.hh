@@ -43,8 +43,22 @@ class CoverageTracker
     /** Sample the current totals onto the curve. */
     void samplePoint();
 
+    /**
+     * Fold @p other into this tracker: the covered-edge sets are
+     * OR-ed and the instruction/cycle totals summed. Both trackers
+     * must observe the same graph. Sampled curves are per-tracker
+     * and are not merged. Used to combine per-worker trackers.
+     */
+    void merge(const CoverageTracker &other);
+
+    /** Clear all coverage, totals and the sampled curve. */
+    void reset();
+
     /** @return distinct edges covered. */
     uint64_t coveredEdges() const { return coveredCount_; }
+
+    /** @return true when @p edge has been exercised. */
+    bool covered(graph::EdgeId edge) const { return covered_[edge]; }
 
     /** @return covered fraction in [0,1]. */
     double fraction() const;
