@@ -28,7 +28,7 @@ main()
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     graph::TourGenerator tour_gen(graph);
     // A 10k trace limit keeps per-bug re-runs short (the paper's
     // rationale for splitting traces).

@@ -38,7 +38,7 @@ measure(const rtl::PpConfig &config, murphi::EdgeRecording recording)
     murphi::EnumOptions options;
     options.recording = recording;
     murphi::Enumerator enumerator(model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     graph::TourGenerator tours(graph);
     auto traces = tours.run();
     return {enumerator.stats().numStates, enumerator.stats().numEdges,

@@ -17,6 +17,7 @@
 #include "murphi/enumerator.hh"
 #include "rtl/pp_fsm_model.hh"
 #include "support/strings.hh"
+#include "support/timer.hh"
 
 using namespace archval;
 
@@ -28,7 +29,7 @@ measure(const char *label, const rtl::PpConfig &config)
 {
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     const auto &stats = enumerator.stats();
     double density =
         100.0 * double(stats.numStates) /
@@ -38,6 +39,62 @@ measure(const char *label, const rtl::PpConfig &config)
                 withCommas(stats.numStates).c_str(),
                 withCommas(stats.numEdges).c_str(),
                 stats.cpuSeconds, density);
+}
+
+/** FNV-1a over every observable byte of the graph. */
+uint64_t
+graphFingerprint(const graph::StateGraph &graph)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t value) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (value >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(graph.numStates());
+    for (graph::EdgeId e = 0; e < graph.numEdges(); ++e) {
+        const graph::Edge &edge = graph.edge(e);
+        mix(edge.src);
+        mix(edge.dst);
+        mix(edge.choiceCode);
+        mix(edge.instrCount);
+    }
+    for (graph::StateId s = 0; s < graph.numStates(); ++s) {
+        for (size_t b = 0; b < graph.packedState(s).numBits(); ++b)
+            mix(graph.packedState(s).get(b));
+    }
+    return h;
+}
+
+void
+threadSweep(const rtl::PpConfig &config)
+{
+    std::printf("\nthread sweep on the largest design (wall-clock):\n");
+    std::printf("%8s %12s %14s %9s %9s %10s\n", "threads", "states",
+                "edges", "wall s", "speedup", "identical");
+
+    rtl::PpFsmModel model(config);
+    double base_seconds = 0.0;
+    uint64_t base_fingerprint = 0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        murphi::EnumOptions options;
+        options.numThreads = threads;
+        murphi::Enumerator enumerator(model, options);
+        WallTimer timer;
+        auto graph = enumerator.runOrThrow();
+        double seconds = timer.seconds();
+        uint64_t fp = graphFingerprint(graph);
+        if (threads == 1) {
+            base_seconds = seconds;
+            base_fingerprint = fp;
+        }
+        std::printf("%8u %12s %14s %9.2f %8.2fx %10s\n", threads,
+                    withCommas(graph.numStates()).c_str(),
+                    withCommas(graph.numEdges()).c_str(), seconds,
+                    seconds > 0.0 ? base_seconds / seconds : 0.0,
+                    fp == base_fingerprint ? "yes" : "NO");
+    }
 }
 
 } // namespace
@@ -79,6 +136,8 @@ main()
     l8.lineWords = 8;
     if (std::getenv("ARCHVAL_SCALING_L8"))
         measure("full with L=8", l8);
+
+    threadSweep(align);
 
     std::printf(
         "\nshape: every knob multiplies raw state bits, yet "

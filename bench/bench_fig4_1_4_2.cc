@@ -81,7 +81,7 @@ enumerateAndTour(const fsm::ExplicitFsm &fsm,
     murphi::EnumOptions options;
     options.recording = recording;
     murphi::Enumerator enumerator(*model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     graph::TourGenerator tours(graph);
     auto traces = tours.run();
     return {std::move(graph), std::move(traces)};

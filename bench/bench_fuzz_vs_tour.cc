@@ -70,7 +70,7 @@ main()
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     graph::TourOptions tour_options;
     tour_options.maxInstructionsPerTrace = 10'000;
     graph::TourGenerator tour_gen(graph, tour_options);
@@ -147,7 +147,7 @@ main()
         mutated.mutations.set(m);
         rtl::PpFsmModel mutated_model(mutated);
         murphi::Enumerator mutated_enum(mutated_model);
-        auto mutated_graph = mutated_enum.run();
+        auto mutated_graph = mutated_enum.runOrThrow();
         graph::TourGenerator mutated_tour_gen(mutated_graph,
                                               tour_options);
         auto mutated_tours = mutated_tour_gen.run();

@@ -67,7 +67,7 @@ BM_Enumeration(benchmark::State &state)
     for (auto _ : state) {
         rtl::PpFsmModel model(config);
         murphi::Enumerator enumerator(model);
-        auto graph = enumerator.run();
+        auto graph = enumerator.runOrThrow();
         benchmark::DoNotOptimize(graph.numStates());
         state.counters["states/s"] = benchmark::Counter(
             static_cast<double>(graph.numStates()),
@@ -81,7 +81,7 @@ BM_TourGeneration(benchmark::State &state)
 {
     rtl::PpFsmModel model(rtl::PpConfig::smallPreset());
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     for (auto _ : state) {
         graph::TourGenerator generator(graph);
         auto traces = generator.run();

@@ -31,7 +31,7 @@ main()
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
 
     graph::TourGenerator tour_gen(graph);
     auto tours = tour_gen.run();

@@ -27,7 +27,7 @@ main()
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     // The 10,000-instruction trace limit of Table 3.3: short traces
     // localize a divergence to a small re-runnable test.
     graph::TourOptions tour_options;

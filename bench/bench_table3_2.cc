@@ -45,7 +45,7 @@ main()
     }
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     const auto &stats = enumerator.stats();
 
     std::printf("\n");

@@ -34,7 +34,7 @@ main()
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     std::printf("\ngraph: %s states, %s edges\n",
                 withCommas(graph.numStates()).c_str(),
                 withCommas(graph.numEdges()).c_str());

@@ -116,7 +116,7 @@ main()
     // Show the edge conditions leaving reset — the transition
     // condition mapping the vectors are made of.
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     auto codec = model.makeChoiceCodec();
     std::printf("transitions out of reset:\n");
     for (auto e : graph.outEdges(graph.resetState())) {

@@ -26,7 +26,7 @@ main()
     rtl::PpConfig config = rtl::PpConfig::smallPreset();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     std::printf("PP control graph: %s states, %s edges\n\n",
                 withCommas(graph.numStates()).c_str(),
                 withCommas(graph.numEdges()).c_str());

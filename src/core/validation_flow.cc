@@ -41,7 +41,7 @@ PpValidationFlow::enumerate()
 {
     if (!graph_) {
         murphi::Enumerator enumerator(*model_, options_.enumeration);
-        graph_ = enumerator.run();
+        graph_ = enumerator.runOrThrow();
         enumStats_ = enumerator.stats();
     }
     return *graph_;
@@ -132,7 +132,7 @@ exploreModel(const fsm::Model &model, murphi::EnumOptions enum_options,
 {
     ModelExploration exploration;
     murphi::Enumerator enumerator(model, enum_options);
-    graph::StateGraph graph = enumerator.run();
+    graph::StateGraph graph = enumerator.runOrThrow();
     exploration.enumStats = enumerator.stats();
     exploration.summary = graph::summarize(graph);
 

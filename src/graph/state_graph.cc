@@ -8,17 +8,68 @@
 namespace archval::graph
 {
 
+void
+StateGraph::setRetention(bool retain)
+{
+    if (!retentionSet_) {
+        retainStates_ = retain;
+        retentionSet_ = true;
+    } else if (retainStates_ != retain) {
+        fatal(retain
+                  ? "StateGraph: retained state added to a graph "
+                    "built without state retention"
+                  : "StateGraph: unretained state added to a graph "
+                    "built with state retention");
+    }
+}
+
 StateId
 StateGraph::addState(BitVec packed)
 {
+    setRetention(true);
     StateId id = static_cast<StateId>(outEdges_.size());
     outEdges_.emplace_back();
-    if (packed.numBits() > 0) {
-        if (packedStates_.size() != id)
-            panic("StateGraph: inconsistent state retention");
-        packedStates_.push_back(std::move(packed));
-    }
+    packedStates_.push_back(std::move(packed));
     return id;
+}
+
+StateId
+StateGraph::addStateUnretained()
+{
+    setRetention(false);
+    StateId id = static_cast<StateId>(outEdges_.size());
+    outEdges_.emplace_back();
+    return id;
+}
+
+void
+StateGraph::addStates(std::vector<BitVec> &&packed)
+{
+    setRetention(true);
+    outEdges_.resize(outEdges_.size() + packed.size());
+    if (packedStates_.empty()) {
+        packedStates_ = std::move(packed);
+    } else {
+        packedStates_.reserve(packedStates_.size() + packed.size());
+        for (BitVec &state : packed)
+            packedStates_.push_back(std::move(state));
+    }
+    packed.clear();
+}
+
+void
+StateGraph::addStatesUnretained(size_t count)
+{
+    setRetention(false);
+    outEdges_.resize(outEdges_.size() + count);
+}
+
+void
+StateGraph::reserveStates(size_t expected)
+{
+    outEdges_.reserve(expected);
+    if (retainStates_)
+        packedStates_.reserve(expected);
 }
 
 EdgeId
@@ -33,6 +84,19 @@ StateGraph::addEdge(StateId src, StateId dst, uint64_t choice_code,
     return id;
 }
 
+void
+StateGraph::addEdges(const std::vector<Edge> &batch)
+{
+    EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.reserve(edges_.size() + batch.size());
+    for (const Edge &e : batch) {
+        if (e.src >= outEdges_.size() || e.dst >= outEdges_.size())
+            panic("StateGraph::addEdges out of range");
+        edges_.push_back(e);
+        outEdges_[e.src].push_back(id++);
+    }
+}
+
 const std::vector<EdgeId> &
 StateGraph::outEdges(StateId state) const
 {
@@ -44,8 +108,10 @@ StateGraph::outEdges(StateId state) const
 const BitVec &
 StateGraph::packedState(StateId state) const
 {
+    if (!retainStates_)
+        panic("StateGraph::packedState: states were not retained");
     if (state >= packedStates_.size())
-        panic("StateGraph::packedState unavailable (retention off?)");
+        panic("StateGraph::packedState out of range");
     return packedStates_[state];
 }
 

@@ -45,13 +45,36 @@ struct Edge
 class StateGraph
 {
   public:
-    /** Add a state; @p packed may be empty when state retention is
-     *  disabled. @return the new state's id. */
+    /**
+     * Add a state whose packed vector is retained (a zero-width
+     * vector is legal: a model whose control state is fully
+     * implicit). The first insertion fixes the graph's retention
+     * mode; mixing retained and unretained states is a FatalError.
+     * @return the new state's id.
+     */
     StateId addState(BitVec packed);
+
+    /** Add a state without retaining a packed vector (see
+     *  addState() for the retention-mode contract). */
+    StateId addStateUnretained();
+
+    /** Bulk-append retained states in order; ids are assigned
+     *  consecutively starting at the current numStates(). */
+    void addStates(std::vector<BitVec> &&packed);
+
+    /** Bulk-append @p count unretained states. */
+    void addStatesUnretained(size_t count);
 
     /** Add an edge; @return the new edge's id. */
     EdgeId addEdge(StateId src, StateId dst, uint64_t choice_code,
                    uint32_t instr_count);
+
+    /** Bulk-append edges (one adjacency pass, no per-edge calls);
+     *  sources and destinations must already exist. */
+    void addEdges(const std::vector<Edge> &batch);
+
+    /** Pre-size the state containers for @p expected states. */
+    void reserveStates(size_t expected);
 
     /** @return number of states. */
     size_t numStates() const { return outEdges_.size(); }
@@ -65,11 +88,14 @@ class StateGraph
     /** @return ids of edges leaving @p state. */
     const std::vector<EdgeId> &outEdges(StateId state) const;
 
-    /** @return the packed state vector (empty when not retained). */
+    /** @return the packed state vector; panics when retention is
+     *  off or @p state is out of range. */
     const BitVec &packedState(StateId state) const;
 
-    /** @return true when packed states were retained. */
-    bool statesRetained() const { return !packedStates_.empty(); }
+    /** @return true when packed states are retained. An empty graph
+     *  reports true (retention is decided by the first insertion,
+     *  and nothing contradicts it yet). */
+    bool statesRetained() const { return retainStates_; }
 
     /** @return the reset (initial) state id; always 0 by construction. */
     StateId resetState() const { return 0; }
@@ -81,9 +107,13 @@ class StateGraph
     size_t memoryBytes() const;
 
   private:
+    void setRetention(bool retain);
+
     std::vector<Edge> edges_;
     std::vector<std::vector<EdgeId>> outEdges_;
     std::vector<BitVec> packedStates_;
+    bool retainStates_ = true;  ///< retention mode (see statesRetained)
+    bool retentionSet_ = false; ///< first insertion happened
 };
 
 /** Strongly-connected-component decomposition (iterative Tarjan). */

@@ -1,13 +1,15 @@
 #include "enumerator.hh"
 
+#include <algorithm>
 #include <deque>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "support/logging.hh"
-#include "support/memusage.hh"
-#include "support/status.hh"
 #include "support/strings.hh"
+#include "support/table_memory.hh"
 #include "support/timer.hh"
 
 namespace archval::murphi
@@ -29,16 +31,113 @@ EnumStats::render() const
     out += formatString("Transitions tried/valid %s / %s\n",
                         withCommas(transitionsTried).c_str(),
                         withCommas(transitionsValid).c_str());
+    if (numThreads > 1) {
+        uint64_t widest = 0;
+        double peak = 0.0;
+        for (const LevelStats &level : levels) {
+            widest = std::max(widest, level.frontierWidth);
+            peak = std::max(peak, level.statesPerSec());
+        }
+        out += formatString("Worker threads          %u over %zu shards\n",
+                            numThreads, numShards);
+        out += formatString("BFS levels              %zu (max frontier %s)\n",
+                            levels.size(), withCommas(widest).c_str());
+        out += formatString("Peak throughput         %s states/sec\n",
+                            withCommas(uint64_t(peak)).c_str());
+        out += formatString("Shard occupancy         min %s / max %s\n",
+                            withCommas(minShardStates).c_str(),
+                            withCommas(maxShardStates).c_str());
+    }
     return out;
 }
+
+std::string
+EnumStats::renderLevels() const
+{
+    std::string out = formatString("%6s %12s %12s %12s %12s\n", "level",
+                                   "frontier", "new states", "new edges",
+                                   "states/sec");
+    for (size_t i = 0; i < levels.size(); ++i) {
+        const LevelStats &level = levels[i];
+        out += formatString("%6zu %12s %12s %12s %12s\n", i,
+                            withCommas(level.frontierWidth).c_str(),
+                            withCommas(level.newStates).c_str(),
+                            withCommas(level.newEdges).c_str(),
+                            withCommas(uint64_t(
+                                level.statesPerSec())).c_str());
+    }
+    return out;
+}
+
+namespace
+{
+
+using StateTable =
+    std::unordered_map<BitVec, graph::StateId, BitVecHash>;
+
+/** High bit marks a provisional (not yet canonically numbered) id. */
+constexpr graph::StateId kPendingFlag = 0x8000'0000u;
+
+/** Footprint of one interning table, buckets + nodes + key words. */
+size_t
+stateTableBytes(const StateTable &table)
+{
+    size_t payload = 0;
+    for (const auto &[key, id] : table)
+        payload += key.memoryBytes();
+    return hashTableFootprint(table.bucket_count(), table.size(),
+                              sizeof(StateTable::value_type), payload)
+        .total();
+}
+
+std::string
+stateExplosionMessage(uint64_t max_states)
+{
+    return formatString(
+        "state explosion: search exceeds %llu states",
+        static_cast<unsigned long long>(max_states));
+}
+
+std::string
+resetWidthMessage(size_t reset_bits, size_t state_bits)
+{
+    return formatString(
+        "model reset state is %zu bits but the state layout "
+        "declares %zu",
+        reset_bits, state_bits);
+}
+
+} // namespace
 
 Enumerator::Enumerator(const fsm::Model &model, EnumOptions options)
     : model_(model), options_(options)
 {
 }
 
-graph::StateGraph
+Result<graph::StateGraph>
 Enumerator::run()
+{
+    unsigned threads = options_.numThreads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    stats_ = EnumStats{};
+    return threads == 1 ? runSequential() : runParallel(threads);
+}
+
+graph::StateGraph
+Enumerator::runOrThrow()
+{
+    Result<graph::StateGraph> result = run();
+    if (!result.ok())
+        fatal(result.errorMessage());
+    return result.take();
+}
+
+Result<graph::StateGraph>
+Enumerator::runSequential()
 {
     CpuTimer timer;
 
@@ -47,7 +146,7 @@ Enumerator::run()
     const size_t state_bits = model_.stateBits();
 
     graph::StateGraph graph;
-    std::unordered_map<BitVec, graph::StateId, BitVecHash> known;
+    StateTable known;
     std::deque<graph::StateId> frontier;
 
     // BFS needs the packed vector of every state to expand it; retain
@@ -62,8 +161,9 @@ Enumerator::run()
         auto it = known.find(state);
         if (it != known.end())
             return {it->second, false};
-        graph::StateId id =
-            graph.addState(options_.retainStates ? state : BitVec());
+        graph::StateId id = options_.retainStates
+                                ? graph.addState(state)
+                                : graph.addStateUnretained();
         if (!options_.retainStates)
             privateStates.push_back(state);
         known.emplace(std::move(state), id);
@@ -71,17 +171,41 @@ Enumerator::run()
     };
 
     BitVec reset = model_.resetState();
-    if (reset.numBits() != state_bits)
-        panic("model reset state width mismatch");
-    intern(reset);
+    if (reset.numBits() != state_bits) {
+        return Result<graph::StateGraph>::error(
+            resetWidthMessage(reset.numBits(), state_bits));
+    }
+    intern(std::move(reset));
     frontier.push_back(0);
 
     // Per-source dedup of destinations (FirstCondition mode).
     std::unordered_set<uint64_t> dst_seen;
 
-    while (!frontier.empty()) {
+    // BFS level watermarks: ids below level_end are the current
+    // level; everything interned beyond it belongs to the next.
+    uint64_t level_first = 0;
+    uint64_t level_end = 1;
+    uint64_t level_start_edges = 0;
+    WallTimer level_timer;
+    auto close_level = [&] {
+        LevelStats level;
+        level.frontierWidth = level_end - level_first;
+        level.newStates = graph.numStates() - level_end;
+        level.newEdges = graph.numEdges() - level_start_edges;
+        level.seconds = level_timer.seconds();
+        stats_.levels.push_back(level);
+        level_first = level_end;
+        level_end = graph.numStates();
+        level_start_edges = graph.numEdges();
+        level_timer.reset();
+    };
+
+    std::string error;
+    while (!frontier.empty() && error.empty()) {
         graph::StateId src = frontier.front();
         frontier.pop_front();
+        if (src == level_end)
+            close_level();
 
         dst_seen.clear();
         stats_.transitionsTried += combos;
@@ -93,18 +217,21 @@ Enumerator::run()
             src_packed,
             [&](uint64_t code, fsm::Transition &&transition) {
                 ++stats_.transitionsValid;
+                if (!error.empty())
+                    return;
                 unsigned instrs = transition.instructions;
+                // Enforce the cap *before* interning: the over-limit
+                // state must not enter the graph or the table.
+                if (options_.maxStates &&
+                    graph.numStates() >= options_.maxStates &&
+                    known.find(transition.next) == known.end()) {
+                    error = stateExplosionMessage(options_.maxStates);
+                    return;
+                }
                 auto [dst, is_new] =
                     intern(std::move(transition.next));
                 if (is_new) {
                     frontier.push_back(dst);
-                    if (options_.maxStates &&
-                        graph.numStates() > options_.maxStates) {
-                        fatal(formatString(
-                            "state explosion: more than %llu states",
-                            static_cast<unsigned long long>(
-                                options_.maxStates)));
-                    }
                     if (options_.progressInterval &&
                         graph.numStates() %
                                 options_.progressInterval == 0) {
@@ -131,19 +258,313 @@ Enumerator::run()
                 }
             });
     }
+    if (!error.empty())
+        return Result<graph::StateGraph>::error(error);
+    close_level();
 
     stats_.numStates = graph.numStates();
     stats_.numEdges = graph.numEdges();
     stats_.bitsPerState = state_bits;
     stats_.cpuSeconds = timer.seconds();
-    // Footprint: the graph itself plus the hash table's keys and
-    // buckets (approximate; matches what the paper's "memory
-    // requirement" row reports for the enumeration).
-    size_t table_bytes = known.size() *
-        (sizeof(BitVec) + sizeof(graph::StateId) + 2 * sizeof(void *));
-    for (const auto &[key, id] : known)
-        table_bytes += key.memoryBytes();
-    stats_.memoryBytes = graph.memoryBytes() + table_bytes;
+    stats_.numThreads = 1;
+    stats_.numShards = 1;
+    stats_.minShardStates = known.size();
+    stats_.maxShardStates = known.size();
+    size_t private_bytes = 0;
+    for (const BitVec &state : privateStates)
+        private_bytes += state.memoryBytes() + sizeof(state);
+    stats_.memoryBytes =
+        graph.memoryBytes() + stateTableBytes(known) + private_bytes;
+    return graph;
+}
+
+Result<graph::StateGraph>
+Enumerator::runParallel(unsigned num_threads)
+{
+    CpuTimer timer;
+
+    const fsm::ChoiceCodec codec = model_.makeChoiceCodec();
+    const uint64_t combos = codec.numCombinations();
+    const size_t state_bits = model_.stateBits();
+    const bool retain = options_.retainStates;
+    const bool first_condition =
+        options_.recording == EdgeRecording::FirstCondition;
+
+    // Shard count: a power of two comfortably above the worker count
+    // so that stripes stay short and contention stays low.
+    size_t num_shards = 1;
+    unsigned shard_bits = 0;
+    while (num_shards < size_t(num_threads) * 4) {
+        num_shards <<= 1;
+        ++shard_bits;
+    }
+    const size_t shard_mask = num_shards - 1;
+
+    /**
+     * One stripe of the state table. During a level's expansion,
+     * workers insert unseen states under the shard lock with a
+     * *provisional* id naming the shard and its pending slot; at the
+     * level barrier the provisional ids are rewritten (through the
+     * stable pointers below) to canonical BFS ids assigned in
+     * first-occurrence order over the canonical transition walk.
+     */
+    struct Shard
+    {
+        std::mutex mutex;
+        StateTable map;
+        // unordered_map nodes are stable across rehash, so raw
+        // pointers into the map survive the level.
+        std::vector<const BitVec *> pendingKeys;
+        std::vector<graph::StateId *> pendingIds;
+    };
+    std::vector<Shard> shards(num_shards);
+
+    graph::StateGraph graph;
+    std::vector<BitVec> privateStates;
+    auto packed_of = [&](graph::StateId id) -> const BitVec & {
+        return retain ? graph.packedState(id) : privateStates[id];
+    };
+
+    BitVec reset = model_.resetState();
+    if (reset.numBits() != state_bits) {
+        return Result<graph::StateGraph>::error(
+            resetWidthMessage(reset.numBits(), state_bits));
+    }
+    {
+        const size_t hash = BitVecHash{}(reset);
+        if (retain) {
+            graph.addState(reset);
+        } else {
+            graph.addStateUnretained();
+            privateStates.push_back(reset);
+        }
+        shards[hash & shard_mask].map.emplace(std::move(reset), 0);
+    }
+
+    /** One worker-discovered transition; dst may be provisional. */
+    struct TransRec
+    {
+        uint64_t code;
+        graph::StateId dst;
+        uint32_t instrs;
+    };
+    /** All transitions found by one worker, grouped per source. */
+    struct WorkerOut
+    {
+        std::vector<TransRec> trans;
+        std::vector<uint64_t> perSource;
+        uint64_t valid = 0;
+    };
+
+    std::vector<graph::StateId> level = {0};
+    std::string error;
+
+    while (!level.empty() && error.empty()) {
+        WallTimer level_timer;
+        const size_t width = level.size();
+        const unsigned workers = static_cast<unsigned>(
+            std::min<size_t>(num_threads, width));
+        std::vector<WorkerOut> outs(workers);
+
+        // Expand a disjoint contiguous slice of the level. Sources
+        // are visited in level order and transitions buffered in
+        // generation order, so the concatenation of all worker
+        // buffers is exactly the sequential expansion order.
+        auto expand = [&](unsigned w) {
+            const size_t begin = width * w / workers;
+            const size_t end = width * (w + 1) / workers;
+            WorkerOut &out = outs[w];
+            out.perSource.reserve(end - begin);
+            std::unordered_set<uint64_t> dst_seen;
+            for (size_t i = begin; i < end; ++i) {
+                const BitVec &src_packed = packed_of(level[i]);
+                const size_t before = out.trans.size();
+                dst_seen.clear();
+                model_.forEachTransition(
+                    src_packed,
+                    [&](uint64_t code, fsm::Transition &&transition) {
+                        ++out.valid;
+                        uint32_t instrs = transition.instructions;
+                        BitVec state = std::move(transition.next);
+                        const size_t hash = BitVecHash{}(state);
+                        Shard &shard = shards[hash & shard_mask];
+                        graph::StateId dst;
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                shard.mutex);
+                            auto [it, inserted] =
+                                shard.map.try_emplace(
+                                    std::move(state), 0);
+                            if (inserted) {
+                                uint32_t slot = static_cast<uint32_t>(
+                                    shard.pendingKeys.size());
+                                if (slot >=
+                                    (kPendingFlag >> shard_bits)) {
+                                    panic("enumerator: provisional "
+                                          "id space exhausted");
+                                }
+                                it->second =
+                                    kPendingFlag |
+                                    (slot << shard_bits) |
+                                    static_cast<uint32_t>(
+                                        hash & shard_mask);
+                                shard.pendingKeys.push_back(
+                                    &it->first);
+                                shard.pendingIds.push_back(
+                                    &it->second);
+                            }
+                            dst = it->second;
+                        }
+                        // Provisional ids are stable per state for
+                        // the whole level, so FirstCondition dedup
+                        // on them equals dedup on canonical ids.
+                        if (first_condition &&
+                            !dst_seen.insert(dst).second) {
+                            return;
+                        }
+                        out.trans.push_back({code, dst, instrs});
+                    });
+                out.perSource.push_back(out.trans.size() - before);
+            }
+        };
+
+        if (workers == 1) {
+            expand(0);
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(workers);
+            for (unsigned w = 0; w < workers; ++w)
+                threads.emplace_back(expand, w);
+            for (std::thread &t : threads)
+                t.join();
+        }
+
+        stats_.transitionsTried += uint64_t(width) * combos;
+        for (const WorkerOut &out : outs)
+            stats_.transitionsValid += out.valid;
+
+        // --- Level barrier: canonical id assignment ----------------
+        // Walk workers in index order, sources in level order and
+        // transitions in generation order — the sequential BFS
+        // discovery order — assigning the next id to each pending
+        // state at its first occurrence. This makes ids, states and
+        // edges bit-identical to the sequential search for every
+        // worker count.
+        const uint64_t interned = graph.numStates();
+        const uint64_t edges_before = graph.numEdges();
+        std::vector<graph::StateId> next_level;
+        std::vector<BitVec> new_states;
+        std::vector<graph::Edge> new_edges;
+        for (unsigned w = 0; w < workers && error.empty(); ++w) {
+            WorkerOut &out = outs[w];
+            const size_t begin = width * w / workers;
+            size_t cursor = 0;
+            for (size_t i = 0; i < out.perSource.size() &&
+                               error.empty(); ++i) {
+                const graph::StateId src = level[begin + i];
+                for (uint64_t t = 0; t < out.perSource[i];
+                     ++t, ++cursor) {
+                    const TransRec &rec = out.trans[cursor];
+                    graph::StateId dst = rec.dst;
+                    if (dst & kPendingFlag) {
+                        const uint32_t raw = dst & ~kPendingFlag;
+                        Shard &shard = shards[raw & shard_mask];
+                        const uint32_t slot = raw >> shard_bits;
+                        graph::StateId current =
+                            *shard.pendingIds[slot];
+                        if (current & kPendingFlag) {
+                            if (options_.maxStates &&
+                                interned + new_states.size() >=
+                                    options_.maxStates) {
+                                error = stateExplosionMessage(
+                                    options_.maxStates);
+                                break;
+                            }
+                            current = static_cast<graph::StateId>(
+                                interned + new_states.size());
+                            *shard.pendingIds[slot] = current;
+                            new_states.push_back(
+                                *shard.pendingKeys[slot]);
+                            next_level.push_back(current);
+                        }
+                        dst = current;
+                    }
+                    new_edges.push_back(
+                        {src, dst, rec.code, rec.instrs});
+                }
+            }
+        }
+        if (!error.empty())
+            break;
+
+        if (retain) {
+            graph.addStates(std::move(new_states));
+        } else {
+            graph.addStatesUnretained(new_states.size());
+            privateStates.reserve(privateStates.size() +
+                                  new_states.size());
+            for (BitVec &state : new_states)
+                privateStates.push_back(std::move(state));
+            new_states.clear();
+        }
+        graph.addEdges(new_edges);
+        for (Shard &shard : shards) {
+            shard.pendingKeys.clear();
+            shard.pendingIds.clear();
+        }
+
+        LevelStats level_stats;
+        level_stats.frontierWidth = width;
+        level_stats.newStates = graph.numStates() - interned;
+        level_stats.newEdges = graph.numEdges() - edges_before;
+        level_stats.seconds = level_timer.seconds();
+        stats_.levels.push_back(level_stats);
+
+        if (options_.progressInterval) {
+            const uint64_t interval = options_.progressInterval;
+            if (graph.numStates() / interval > interned / interval) {
+                logInfo(formatString(
+                    "enumerated %zu states, %zu edges",
+                    graph.numStates(), graph.numEdges()));
+            }
+            logInfo(formatString(
+                "level %zu: frontier %llu, +%llu states, "
+                "%llu states/sec",
+                stats_.levels.size() - 1,
+                static_cast<unsigned long long>(
+                    level_stats.frontierWidth),
+                static_cast<unsigned long long>(
+                    level_stats.newStates),
+                static_cast<unsigned long long>(
+                    level_stats.statesPerSec())));
+        }
+
+        level = std::move(next_level);
+    }
+    if (!error.empty())
+        return Result<graph::StateGraph>::error(error);
+
+    stats_.numStates = graph.numStates();
+    stats_.numEdges = graph.numEdges();
+    stats_.bitsPerState = state_bits;
+    stats_.cpuSeconds = timer.seconds();
+    stats_.numThreads = num_threads;
+    stats_.numShards = num_shards;
+    size_t table_bytes = 0;
+    size_t min_occupancy = SIZE_MAX;
+    size_t max_occupancy = 0;
+    for (const Shard &shard : shards) {
+        table_bytes += stateTableBytes(shard.map);
+        min_occupancy = std::min(min_occupancy, shard.map.size());
+        max_occupancy = std::max(max_occupancy, shard.map.size());
+    }
+    stats_.minShardStates = min_occupancy;
+    stats_.maxShardStates = max_occupancy;
+    size_t private_bytes = 0;
+    for (const BitVec &state : privateStates)
+        private_bytes += state.memoryBytes() + sizeof(state);
+    stats_.memoryBytes =
+        graph.memoryBytes() + table_bytes + private_bytes;
     return graph;
 }
 

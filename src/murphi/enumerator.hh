@@ -13,6 +13,16 @@
  *  - AllConditions (the fix proposed in Section 4): one edge per
  *    distinct (src, dst, condition), which catches the Figure 4.2
  *    "fewer behaviours" bug class at the cost of a larger graph.
+ *
+ * The search runs either sequentially (numThreads == 1) or as a
+ * level-synchronous parallel BFS (numThreads > 1): the state hash
+ * table is striped into shards keyed by BitVecHash, worker threads
+ * expand disjoint slices of the current BFS level interning newly
+ * discovered states into the shards under per-shard locks, and state
+ * ids are assigned in canonical BFS order at each level barrier. The
+ * produced StateGraph is bit-identical for any worker count and
+ * matches the sequential search state-for-state and edge-for-edge
+ * (see DESIGN.md, "Parallel sharded enumeration").
  */
 
 #ifndef ARCHVAL_MURPHI_ENUMERATOR_HH
@@ -20,9 +30,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fsm/model.hh"
 #include "graph/state_graph.hh"
+#include "support/status.hh"
 
 namespace archval::murphi
 {
@@ -39,16 +51,40 @@ struct EnumOptions
 {
     EdgeRecording recording = EdgeRecording::FirstCondition;
 
-    /** Abort with an error once this many states are reached
-     *  (0 = unlimited). Guards against state explosion. */
+    /** Stop with an error once interning another state would exceed
+     *  this many (0 = unlimited). Guards against state explosion;
+     *  the over-limit state is never interned. */
     uint64_t maxStates = 0;
 
     /** Retain packed state vectors in the graph (needed by the
      *  vector generator's condition mapping and by debug output). */
     bool retainStates = true;
 
-    /** Emit progress to the log every this many states (0 = never). */
+    /** Emit progress to the log every this many states (0 = never).
+     *  In parallel mode progress is emitted at level barriers. */
     uint64_t progressInterval = 0;
+
+    /** Worker threads for the level-synchronous parallel search.
+     *  1 = the sequential search; 0 = one per hardware thread. The
+     *  resulting graph is bit-identical for every value. */
+    unsigned numThreads = 1;
+};
+
+/** Per-BFS-level observability (frontier shape and throughput). */
+struct LevelStats
+{
+    uint64_t frontierWidth = 0; ///< states expanded at this level
+    uint64_t newStates = 0;     ///< states first reached here
+    uint64_t newEdges = 0;      ///< edges recorded at this level
+    double seconds = 0.0;       ///< wall-clock time for the level
+
+    /** @return expansion throughput for this level (0 when the
+     *  level completed faster than the clock resolution). */
+    double
+    statesPerSec() const
+    {
+        return seconds > 0.0 ? double(frontierWidth) / seconds : 0.0;
+    }
 };
 
 /** Statistics matching the paper's Table 3.2 rows. */
@@ -62,8 +98,17 @@ struct EnumStats
     uint64_t transitionsTried = 0; ///< choice tuples evaluated
     uint64_t transitionsValid = 0; ///< tuples that were legal actions
 
+    unsigned numThreads = 1;      ///< worker threads actually used
+    size_t numShards = 1;         ///< hash table stripes
+    size_t minShardStates = 0;    ///< final occupancy, emptiest shard
+    size_t maxShardStates = 0;    ///< final occupancy, fullest shard
+    std::vector<LevelStats> levels; ///< per-BFS-level breakdown
+
     /** Render as an aligned table next to the paper's values. */
     std::string render() const;
+
+    /** Render the per-level breakdown as its own table. */
+    std::string renderLevels() const;
 };
 
 /**
@@ -81,14 +126,30 @@ class Enumerator
 
     /**
      * Run BFS to a fixpoint.
-     * @return the complete reachable state graph; state 0 is reset.
+     *
+     * Never terminates the process: exceeding maxStates or a model
+     * whose reset state width disagrees with its declared layout
+     * come back as error results, so long-running callers (BugHunt,
+     * fuzz campaigns) can skip the configuration and keep going.
+     *
+     * @return the complete reachable state graph (state 0 is reset),
+     *         or an error describing why the search was abandoned.
      */
-    graph::StateGraph run();
+    Result<graph::StateGraph> run();
+
+    /**
+     * Convenience wrapper over run() for callers without a recovery
+     * path: @return the graph, or throw FatalError on failure.
+     */
+    graph::StateGraph runOrThrow();
 
     /** @return statistics of the completed run. */
     const EnumStats &stats() const { return stats_; }
 
   private:
+    Result<graph::StateGraph> runSequential();
+    Result<graph::StateGraph> runParallel(unsigned num_threads);
+
     const fsm::Model &model_;
     EnumOptions options_;
     EnumStats stats_;

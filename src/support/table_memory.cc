@@ -1,0 +1,21 @@
+#include "table_memory.hh"
+
+namespace archval
+{
+
+TableFootprint
+hashTableFootprint(size_t bucket_count, size_t num_entries,
+                   size_t entry_bytes, size_t payload_bytes)
+{
+    TableFootprint footprint;
+    // Separate chaining: one pointer per bucket, plus per node the
+    // entry itself, a next pointer, and (libstdc++/libc++ both cache
+    // it for non-trivial keys) the stored hash.
+    footprint.bucketBytes = bucket_count * sizeof(void *);
+    footprint.nodeBytes =
+        num_entries * (entry_bytes + sizeof(void *) + sizeof(size_t));
+    footprint.payloadBytes = payload_bytes;
+    return footprint;
+}
+
+} // namespace archval

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic memory accounting for node-based hash tables.
+ *
+ * The enumerator reports a "memory requirement" row (the paper's
+ * Table 3.2); rather than hand-rolled per-call-site constants, the
+ * footprint of every shard is computed here from the table's actual
+ * bucket count and size plus the measured per-node layout of the
+ * standard library's unordered_map.
+ */
+
+#ifndef ARCHVAL_SUPPORT_TABLE_MEMORY_HH
+#define ARCHVAL_SUPPORT_TABLE_MEMORY_HH
+
+#include <cstddef>
+
+namespace archval
+{
+
+/** Breakdown of one hash-table shard's heap footprint. */
+struct TableFootprint
+{
+    size_t bucketBytes = 0;  ///< bucket array (pointers)
+    size_t nodeBytes = 0;    ///< per-node entry + link overhead
+    size_t payloadBytes = 0; ///< out-of-line key/value heap data
+
+    /** @return total bytes across all components. */
+    size_t
+    total() const
+    {
+        return bucketBytes + nodeBytes + payloadBytes;
+    }
+
+    /** Accumulate another shard's footprint into this one. */
+    TableFootprint &
+    operator+=(const TableFootprint &other)
+    {
+        bucketBytes += other.bucketBytes;
+        nodeBytes += other.nodeBytes;
+        payloadBytes += other.payloadBytes;
+        return *this;
+    }
+};
+
+/**
+ * Footprint of one separate-chaining hash table shard.
+ *
+ * @param bucket_count The table's bucket_count().
+ * @param num_entries The table's size().
+ * @param entry_bytes sizeof the stored entry (e.g. the value_type
+ *        pair), excluding out-of-line heap data.
+ * @param payload_bytes Total out-of-line heap bytes owned by the
+ *        entries (e.g. the summed BitVec word storage).
+ */
+TableFootprint hashTableFootprint(size_t bucket_count,
+                                  size_t num_entries,
+                                  size_t entry_bytes,
+                                  size_t payload_bytes);
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_TABLE_MEMORY_HH

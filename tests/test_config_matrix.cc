@@ -63,7 +63,7 @@ TEST_P(ConfigMatrix, EnumeratesToursAndReplaysClean)
     murphi::EnumOptions options;
     options.maxStates = 400'000;
     murphi::Enumerator enumerator(model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
 
     ASSERT_GT(graph.numStates(), 50u) << pointName(GetParam());
 

@@ -40,7 +40,7 @@ TEST(Enumerator, CounterReachesAllStates)
 {
     auto model = counterModel(4);
     murphi::Enumerator enumerator(*model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 16u);
     // FirstCondition: delta 0,1,2 reach three distinct successors.
     EXPECT_EQ(graph.numEdges(), 16u * 3u);
@@ -52,7 +52,7 @@ TEST(Enumerator, ResetStateIsStateZero)
 {
     auto model = counterModel(3);
     murphi::Enumerator enumerator(*model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.resetState(), 0u);
     EXPECT_EQ(graph.packedState(0), model->resetState());
 }
@@ -72,7 +72,7 @@ TEST(Enumerator, UnreachableStatesNotEnumerated)
             return next;
         });
     murphi::Enumerator enumerator(*model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 8u);
 }
 
@@ -92,7 +92,7 @@ TEST(Enumerator, RejectedChoicesNotEdges)
             return next;
         });
     murphi::Enumerator enumerator(*model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 4u);
     EXPECT_EQ(graph.numEdges(), 8u); // 2 per state
     EXPECT_EQ(enumerator.stats().transitionsTried, 16u);
@@ -126,7 +126,7 @@ TEST(Enumerator, FirstConditionMergesParallelEdges)
     murphi::EnumOptions options;
     options.recording = murphi::EdgeRecording::FirstCondition;
     murphi::Enumerator enumerator(*model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 2u);
     EXPECT_EQ(graph.numEdges(), 2u); // one per (src,dst) pair
     // The recorded label is the *first* condition tried (choice 0,
@@ -140,7 +140,7 @@ TEST(Enumerator, AllConditionsKeepsParallelEdges)
     murphi::EnumOptions options;
     options.recording = murphi::EdgeRecording::AllConditions;
     murphi::Enumerator enumerator(*model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 2u);
     EXPECT_EQ(graph.numEdges(), 4u); // both conditions per pair
     std::set<uint64_t> codes;
@@ -149,13 +149,143 @@ TEST(Enumerator, AllConditionsKeepsParallelEdges)
     EXPECT_EQ(codes, (std::set<uint64_t>{0, 1}));
 }
 
-TEST(Enumerator, MaxStatesGuardFires)
+TEST(Enumerator, MaxStatesGuardReturnsError)
 {
     auto model = counterModel(10);
     murphi::EnumOptions options;
     options.maxStates = 100;
     murphi::Enumerator enumerator(*model, options);
-    EXPECT_THROW(enumerator.run(), FatalError);
+    auto result = enumerator.run();
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("state explosion"),
+              std::string::npos);
+}
+
+TEST(Enumerator, MaxStatesGuardFiresInParallelMode)
+{
+    auto model = counterModel(10);
+    murphi::EnumOptions options;
+    options.maxStates = 100;
+    options.numThreads = 4;
+    murphi::Enumerator enumerator(*model, options);
+    auto result = enumerator.run();
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.errorMessage().find("state explosion"),
+              std::string::npos);
+}
+
+TEST(Enumerator, MaxStatesExactlyAtLimitSucceeds)
+{
+    // The limit is enforced *before* interning: a model with exactly
+    // maxStates reachable states completes, one fewer errors out.
+    auto model = counterModel(4);
+    murphi::EnumOptions options;
+    options.maxStates = 16;
+    murphi::Enumerator enumerator(*model, options);
+    auto result = enumerator.run();
+    ASSERT_TRUE(result.ok()) << result.errorMessage();
+    EXPECT_EQ(result.value().numStates(), 16u);
+
+    options.maxStates = 15;
+    murphi::Enumerator limited(*model, options);
+    EXPECT_FALSE(limited.run().ok());
+}
+
+TEST(Enumerator, RunOrThrowRaisesFatalError)
+{
+    auto model = counterModel(10);
+    murphi::EnumOptions options;
+    options.maxStates = 100;
+    murphi::Enumerator enumerator(*model, options);
+    EXPECT_THROW(enumerator.runOrThrow(), FatalError);
+}
+
+/** Model whose reset state disagrees with its declared layout. */
+class BadResetModel : public fsm::Model
+{
+  public:
+    std::string name() const override { return "bad_reset"; }
+
+    const std::vector<fsm::StateVarInfo> &
+    stateVars() const override
+    {
+        static const std::vector<fsm::StateVarInfo> vars{
+            {"s", 4, 0}};
+        return vars;
+    }
+
+    const std::vector<fsm::ChoiceVarInfo> &
+    choiceVars() const override
+    {
+        static const std::vector<fsm::ChoiceVarInfo> vars{{"c", 2}};
+        return vars;
+    }
+
+    BitVec resetState() const override { return BitVec(3); }
+
+    std::optional<fsm::Transition>
+    next(const BitVec &state, const fsm::Choice &) const override
+    {
+        fsm::Transition t;
+        t.next = state;
+        return t;
+    }
+};
+
+TEST(Enumerator, ResetWidthMismatchReturnsError)
+{
+    BadResetModel model;
+    for (unsigned threads : {1u, 4u}) {
+        murphi::EnumOptions options;
+        options.numThreads = threads;
+        murphi::Enumerator enumerator(model, options);
+        auto result = enumerator.run();
+        ASSERT_FALSE(result.ok());
+        EXPECT_NE(result.errorMessage().find("reset state"),
+                  std::string::npos);
+    }
+}
+
+TEST(Enumerator, ZeroBitModelEnumerates)
+{
+    // A model whose control state is fully implicit is legal: one
+    // reachable (empty) state, self-loop edges, retention intact.
+    auto model = std::make_unique<fsm::LambdaModel>(
+        "zerobit", std::vector<fsm::StateVarInfo>{},
+        std::vector<fsm::ChoiceVarInfo>{{"c", 2}},
+        [](const BitVec &, const fsm::Choice &)
+            -> std::optional<BitVec> { return BitVec(0); });
+    murphi::EnumOptions options;
+    options.recording = murphi::EdgeRecording::AllConditions;
+    murphi::Enumerator enumerator(*model, options);
+    auto graph = enumerator.runOrThrow();
+    EXPECT_EQ(graph.numStates(), 1u);
+    EXPECT_EQ(graph.numEdges(), 2u);
+    EXPECT_TRUE(graph.statesRetained());
+    EXPECT_EQ(graph.packedState(0).numBits(), 0u);
+}
+
+TEST(Enumerator, MemoryAccountingWithinTwiceLowerBound)
+{
+    // The reported footprint comes from shard bucket counts and node
+    // layouts; sanity-check it against an independently computed
+    // lower bound: the graph itself plus, per interned state, one
+    // table entry (key object + id) and the key's heap words.
+    auto model = counterModel(8);
+    for (unsigned threads : {1u, 4u}) {
+        murphi::EnumOptions options;
+        options.numThreads = threads;
+        murphi::Enumerator enumerator(*model, options);
+        auto graph = enumerator.runOrThrow();
+        size_t lower = graph.memoryBytes();
+        for (graph::StateId s = 0; s < graph.numStates(); ++s) {
+            lower += sizeof(BitVec) + sizeof(graph::StateId) +
+                     graph.packedState(s).memoryBytes();
+        }
+        size_t reported = enumerator.stats().memoryBytes;
+        EXPECT_GE(reported, lower) << "threads=" << threads;
+        EXPECT_LE(reported, 2 * lower) << "threads=" << threads;
+    }
 }
 
 TEST(Enumerator, InstructionCountsLandOnEdges)
@@ -171,7 +301,7 @@ TEST(Enumerator, InstructionCountsLandOnEdges)
     murphi::EnumOptions options;
     options.recording = murphi::EdgeRecording::AllConditions;
     murphi::Enumerator enumerator(*model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     ASSERT_EQ(graph.numEdges(), 2u);
     EXPECT_EQ(graph.totalEdgeInstructions(), 2u);
 }
@@ -182,7 +312,7 @@ TEST(Enumerator, StateRetentionOptional)
     murphi::EnumOptions options;
     options.retainStates = false;
     murphi::Enumerator enumerator(*model, options);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 8u);
     EXPECT_FALSE(graph.statesRetained());
 }
@@ -191,7 +321,7 @@ TEST(Enumerator, StatsRenderMentionsRows)
 {
     auto model = counterModel(3);
     murphi::Enumerator enumerator(*model);
-    enumerator.run();
+    enumerator.runOrThrow();
     auto text = enumerator.stats().render();
     EXPECT_NE(text.find("Number of states"), std::string::npos);
     EXPECT_NE(text.find("Number of edges"), std::string::npos);
@@ -213,10 +343,37 @@ TEST(Enumerator, BfsOrderIsBreadthFirst)
             return next;
         });
     murphi::Enumerator enumerator(*model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     ASSERT_EQ(graph.numStates(), 16u);
     for (uint32_t id = 0; id < 16; ++id)
         EXPECT_EQ(graph.packedState(id).getField(0, 4), id);
+}
+
+TEST(Enumerator, LevelStatsCoverEveryState)
+{
+    // The per-level breakdown must account for every state and edge
+    // exactly once, and every state is expanded exactly once, in
+    // both sequential and parallel modes.
+    auto model = counterModel(4);
+    for (unsigned threads : {1u, 2u}) {
+        murphi::EnumOptions options;
+        options.numThreads = threads;
+        murphi::Enumerator enumerator(*model, options);
+        auto graph = enumerator.runOrThrow();
+        const auto &stats = enumerator.stats();
+        ASSERT_FALSE(stats.levels.empty());
+        uint64_t states = 1, edges = 0, expanded = 0;
+        for (const auto &level : stats.levels) {
+            states += level.newStates;
+            edges += level.newEdges;
+            expanded += level.frontierWidth;
+        }
+        EXPECT_EQ(states, graph.numStates()) << "threads=" << threads;
+        EXPECT_EQ(edges, graph.numEdges()) << "threads=" << threads;
+        EXPECT_EQ(expanded, graph.numStates())
+            << "threads=" << threads;
+        EXPECT_FALSE(stats.renderLevels().empty());
+    }
 }
 
 } // namespace

@@ -63,7 +63,7 @@ class FuzzFixture : public ::testing::Test
         config_ = new PpConfig(PpConfig::smallPreset());
         model_ = new PpFsmModel(*config_);
         murphi::Enumerator enumerator(*model_);
-        graph_ = new graph::StateGraph(enumerator.run());
+        graph_ = new graph::StateGraph(enumerator.runOrThrow());
         graph::TourGenerator tour_gen(*graph_);
         tours_ = new std::vector<graph::Trace>(tour_gen.run());
     }

@@ -12,6 +12,7 @@
 #include "graph/tour.hh"
 #include "murphi/enumerator.hh"
 #include "rtl/pp_fsm_model.hh"
+#include "support/status.hh"
 
 namespace archval::graph
 {
@@ -41,11 +42,80 @@ TEST(StateGraph, AddStateAndEdgeBookkeeping)
     EXPECT_GT(g.memoryBytes(), 0u);
 }
 
+TEST(StateGraph, RetentionTrackedByFlagNotContents)
+{
+    // A zero-bit packed state is still a retained state: retention
+    // is decided by which insertion API ran, not by vector width.
+    StateGraph g;
+    g.addState(BitVec(0));
+    EXPECT_TRUE(g.statesRetained());
+    EXPECT_EQ(g.packedState(0).numBits(), 0u);
+
+    StateGraph u;
+    u.addStateUnretained();
+    EXPECT_FALSE(u.statesRetained());
+
+    // An empty graph has nothing contradicting retention.
+    StateGraph empty;
+    EXPECT_TRUE(empty.statesRetained());
+}
+
+TEST(StateGraph, MixedRetentionRejected)
+{
+    StateGraph g;
+    g.addState(BitVec(4));
+    EXPECT_THROW(g.addStateUnretained(), FatalError);
+    EXPECT_THROW(g.addStatesUnretained(2), FatalError);
+
+    StateGraph u;
+    u.addStateUnretained();
+    EXPECT_THROW(u.addState(BitVec(4)), FatalError);
+    std::vector<BitVec> bulk(1, BitVec(4));
+    EXPECT_THROW(u.addStates(std::move(bulk)), FatalError);
+}
+
+TEST(StateGraph, BulkInsertionMatchesIncremental)
+{
+    StateGraph bulk;
+    std::vector<BitVec> states;
+    for (uint64_t i = 0; i < 4; ++i) {
+        BitVec v(4);
+        v.setField(0, 4, i);
+        states.push_back(v);
+    }
+    bulk.addStates(std::move(states));
+    std::vector<Edge> edges = {{0, 1, 5, 1}, {1, 2, 6, 0},
+                               {0, 2, 7, 2}, {2, 3, 8, 0}};
+    bulk.addEdges(edges);
+
+    StateGraph one;
+    for (uint64_t i = 0; i < 4; ++i) {
+        BitVec v(4);
+        v.setField(0, 4, i);
+        one.addState(v);
+    }
+    for (const Edge &e : edges)
+        one.addEdge(e.src, e.dst, e.choiceCode, e.instrCount);
+
+    ASSERT_EQ(bulk.numStates(), one.numStates());
+    ASSERT_EQ(bulk.numEdges(), one.numEdges());
+    for (StateId s = 0; s < bulk.numStates(); ++s) {
+        EXPECT_EQ(bulk.packedState(s), one.packedState(s));
+        EXPECT_EQ(bulk.outEdges(s), one.outEdges(s));
+    }
+    for (EdgeId e = 0; e < bulk.numEdges(); ++e) {
+        EXPECT_EQ(bulk.edge(e).src, one.edge(e).src);
+        EXPECT_EQ(bulk.edge(e).dst, one.edge(e).dst);
+        EXPECT_EQ(bulk.edge(e).choiceCode, one.edge(e).choiceCode);
+        EXPECT_EQ(bulk.edge(e).instrCount, one.edge(e).instrCount);
+    }
+}
+
 TEST(StateGraph, ParallelEdgesPreserved)
 {
     StateGraph g;
-    g.addState(BitVec());
-    g.addState(BitVec());
+    g.addStateUnretained();
+    g.addStateUnretained();
     g.addEdge(0, 1, 0, 0);
     g.addEdge(0, 1, 1, 0);
     g.addEdge(0, 1, 2, 0);
@@ -56,7 +126,7 @@ TEST(StateGraph, ParallelEdgesPreserved)
 TEST(StateGraph, SelfLoopsCount)
 {
     StateGraph g;
-    g.addState(BitVec());
+    g.addStateUnretained();
     g.addEdge(0, 0, 0, 1);
     auto summary = summarize(g);
     EXPECT_EQ(summary.numSccs, 1u);
@@ -67,7 +137,7 @@ TEST(StateGraph, SelfLoopsCount)
 TEST(StateGraph, SummaryRenderHasRows)
 {
     StateGraph g;
-    g.addState(BitVec());
+    g.addStateUnretained();
     std::string text = renderSummary(summarize(g));
     EXPECT_NE(text.find("states"), std::string::npos);
     EXPECT_NE(text.find("SCCs"), std::string::npos);
@@ -83,7 +153,7 @@ class EnumeratedGraphFixture : public ::testing::Test
         config.lineWords = 1; // keep the postman solve cheap
         model_ = new rtl::PpFsmModel(config);
         murphi::Enumerator enumerator(*model_);
-        graph_ = new StateGraph(enumerator.run());
+        graph_ = new StateGraph(enumerator.runOrThrow());
     }
 
     static void

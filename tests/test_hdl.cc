@@ -234,7 +234,7 @@ TEST(Translate, TrafficLightEnumerates)
     EXPECT_EQ(model.stateBits(), 4u);
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     // Reachable: green with timer 0..3, yellow, red timer 0..2.
     EXPECT_GT(graph.numStates(), 5u);
     EXPECT_LT(graph.numStates(), 16u);
@@ -494,7 +494,7 @@ TEST(Translate, HierarchicalHandshakeEnumerates)
     EXPECT_EQ(model.stateBits(), 3u);
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     // The interlock keeps this well under the 2^3 x choices bound.
     EXPECT_GE(graph.numStates(), 4u);
     EXPECT_LE(graph.numStates(), 8u);

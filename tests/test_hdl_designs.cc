@@ -93,7 +93,7 @@ TEST(HdlDesigns, ElevatorNeverOpensWithoutRequest)
     fsm::StateLayout layout(model.stateVars());
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     size_t mode_idx = layout.indexOf("mode");
     size_t pend0_idx = layout.indexOf("pend0");
     size_t pend1_idx = layout.indexOf("pend1");
@@ -136,7 +136,7 @@ TEST(HdlDesigns, CreditSenderNeverOverflowsOrUnderflows)
     const auto &model = *result.value().model;
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     // credits stays in [0, MAX]: exactly 4 reachable states.
     EXPECT_EQ(graph.numStates(), 4u);
 
@@ -173,7 +173,7 @@ TEST(HdlDesigns, DiagnosticLogicExcluded)
     EXPECT_EQ(model.evalNet("active", reset, {0}), 0u);
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     EXPECT_EQ(graph.numStates(), 4u);
 }
 
@@ -209,7 +209,7 @@ TEST(HdlDesigns, DeepHierarchyElaborates)
     EXPECT_EQ(total_bits, 5u);
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     // Both counters tick together: reachable = lcm-cycle of 8 and 4.
     EXPECT_EQ(graph.numStates(), 8u);
 }
@@ -221,7 +221,7 @@ TEST(HdlDesigns, InstrAnnotationDrivesTourAccounting)
     const auto &model = *result.value().model;
 
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     // Some edges carry the "sent" instruction marker.
     EXPECT_GT(graph.totalEdgeInstructions(), 0u);
     EXPECT_LT(graph.totalEdgeInstructions(), graph.numEdges());

@@ -33,7 +33,7 @@ class PlayerFixture : public ::testing::Test
         config_ = new PpConfig(PpConfig::smallPreset());
         model_ = new PpFsmModel(*config_);
         murphi::Enumerator enumerator(*model_);
-        graph_ = new graph::StateGraph(enumerator.run());
+        graph_ = new graph::StateGraph(enumerator.runOrThrow());
         graph::TourGenerator tour_gen(*graph_);
         tours_ = new std::vector<graph::Trace>(tour_gen.run());
         vecgen::VectorGenerator generator(*model_, 42);
@@ -157,7 +157,7 @@ TEST_F(PlayerFixture, RandomWalkerIsDeterministicPerSeed)
     larger.lineWords = 3; // deeper refill counters, larger graph
     PpFsmModel larger_model(larger);
     murphi::Enumerator enumerator(larger_model);
-    graph::StateGraph larger_graph = enumerator.run();
+    graph::StateGraph larger_graph = enumerator.runOrThrow();
     ASSERT_GT(larger_graph.numStates(), graph_->numStates());
     check(larger_graph);
 }

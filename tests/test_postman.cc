@@ -20,7 +20,7 @@ ringGraph(unsigned n)
 {
     StateGraph g;
     for (unsigned i = 0; i < n; ++i)
-        g.addState(BitVec());
+        g.addStateUnretained();
     for (unsigned i = 0; i < n; ++i)
         g.addEdge(i, (i + 1) % n, i, 1);
     return g;
@@ -42,8 +42,8 @@ TEST(Postman, DeadEndUsesResetReturn)
 {
     // 0 -> 1 with no way back: the postman must use a virtual return.
     StateGraph graph;
-    graph.addState(BitVec());
-    graph.addState(BitVec());
+    graph.addStateUnretained();
+    graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 1);
     auto result = solveResettablePostman(graph);
     EXPECT_EQ(result.resetReturns, 1u);
@@ -56,8 +56,8 @@ TEST(Postman, ImbalancedNodeDuplicatesShortPath)
 {
     // 0 -> 1 (x2 parallel edges), 1 -> 0 (x1): one edge must repeat.
     StateGraph graph;
-    graph.addState(BitVec());
-    graph.addState(BitVec());
+    graph.addStateUnretained();
+    graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 1);
     graph.addEdge(0, 1, 1, 1);
     graph.addEdge(1, 0, 2, 1);
@@ -74,7 +74,7 @@ TEST(Postman, BranchyGraphStillBalances)
     // Reset fans out to two rings of different lengths.
     StateGraph graph;
     for (int i = 0; i < 6; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 1);
     graph.addEdge(1, 2, 1, 1);
     graph.addEdge(2, 0, 2, 1);
@@ -96,7 +96,7 @@ TEST(Postman, LowerBoundsGreedyTour)
     // trace restarts).
     StateGraph graph;
     for (int i = 0; i < 8; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     // A messy graph: hub with spokes and back edges.
     graph.addEdge(0, 1, 0, 1);
     graph.addEdge(1, 2, 1, 1);

@@ -122,7 +122,7 @@ class PpReachableSweep : public ::testing::Test
     {
         model_ = new PpFsmModel(PpConfig::smallPreset());
         murphi::Enumerator enumerator(*model_);
-        graph_ = new graph::StateGraph(enumerator.run());
+        graph_ = new graph::StateGraph(enumerator.runOrThrow());
     }
 
     static void

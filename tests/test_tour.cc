@@ -22,7 +22,7 @@ ringGraph(unsigned n)
 {
     StateGraph g;
     for (unsigned i = 0; i < n; ++i)
-        g.addState(BitVec());
+        g.addStateUnretained();
     for (unsigned i = 0; i < n; ++i)
         g.addEdge(i, (i + 1) % n, i, 1);
     return g;
@@ -43,7 +43,7 @@ TEST(Tour, SingleRingIsOneTrace)
 TEST(Tour, EmptyGraphYieldsNoTraces)
 {
     StateGraph graph;
-    graph.addState(BitVec());
+    graph.addStateUnretained();
     TourGenerator generator(graph);
     auto traces = generator.run();
     EXPECT_TRUE(traces.empty());
@@ -56,7 +56,7 @@ TEST(Tour, ResetOnlyEdgesForceMultipleTraces)
     // "edges that can only be reached from reset" lower bound.
     StateGraph graph;
     for (int i = 0; i < 3; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 1);
     graph.addEdge(0, 2, 1, 1);
     graph.addEdge(1, 2, 2, 1);
@@ -74,7 +74,7 @@ TEST(Tour, BfsBridgesDisconnectedCoverage)
     // route back through covered edges to reach the other.
     StateGraph graph;
     for (int i = 0; i < 5; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     // Loop A: 0 -> 1 -> 0
     graph.addEdge(0, 1, 0, 1);
     graph.addEdge(1, 0, 1, 1);
@@ -94,8 +94,8 @@ TEST(Tour, RevisitsStatesWithRemainingEdges)
 {
     // Diamond with parallel edges: 0->1 (x2), 1->0 (x2).
     StateGraph graph;
-    graph.addState(BitVec());
-    graph.addState(BitVec());
+    graph.addStateUnretained();
+    graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 1);
     graph.addEdge(0, 1, 1, 1);
     graph.addEdge(1, 0, 2, 1);
@@ -136,7 +136,7 @@ TEST(Tour, LimitCountsInstructionsNotEdges)
     StateGraph graph;
     const unsigned n = 30;
     for (unsigned i = 0; i < n; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     for (unsigned i = 0; i < n; ++i)
         graph.addEdge(i, (i + 1) % n, i, i % 3 == 0 ? 1 : 0);
 
@@ -209,7 +209,7 @@ TEST(Tour, WorksOnEnumeratedModel)
             return choice[0] > 0 ? 1 : 0;
         });
     murphi::Enumerator enumerator(model);
-    auto graph = enumerator.run();
+    auto graph = enumerator.runOrThrow();
     TourGenerator generator(graph);
     auto traces = generator.run();
     EXPECT_EQ(checkTourCoverage(graph, traces), "");
@@ -227,7 +227,7 @@ TEST(GraphAnalysis, SccSeparatesDag)
 {
     StateGraph graph;
     for (int i = 0; i < 3; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 0);
     graph.addEdge(1, 2, 0, 0);
     auto scc = stronglyConnectedComponents(graph);
@@ -238,7 +238,7 @@ TEST(GraphAnalysis, ReachabilityFromReset)
 {
     StateGraph graph;
     for (int i = 0; i < 4; ++i)
-        graph.addState(BitVec());
+        graph.addStateUnretained();
     graph.addEdge(0, 1, 0, 0);
     graph.addEdge(2, 3, 0, 0); // island
     auto reach = reachableFrom(graph, 0);

@@ -27,7 +27,7 @@ class TraceIoFixture : public ::testing::Test
         config_ = new rtl::PpConfig(rtl::PpConfig::smallPreset());
         model_ = new rtl::PpFsmModel(*config_);
         murphi::Enumerator enumerator(*model_);
-        graph_ = new graph::StateGraph(enumerator.run());
+        graph_ = new graph::StateGraph(enumerator.runOrThrow());
         graph::TourOptions options;
         options.maxInstructionsPerTrace = 500;
         graph::TourGenerator tours(*graph_, options);

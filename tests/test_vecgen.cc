@@ -29,7 +29,7 @@ class VecGenFixture : public ::testing::Test
     {
         model_ = new PpFsmModel(PpConfig::smallPreset());
         murphi::Enumerator enumerator(*model_);
-        graph_ = new graph::StateGraph(enumerator.run());
+        graph_ = new graph::StateGraph(enumerator.runOrThrow());
         graph::TourGenerator tours(*graph_);
         traces_ = new std::vector<graph::Trace>(tours.run());
     }
