@@ -9,7 +9,9 @@
  * with random testing (Section 1).
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hh"
 #include "harness/bug_hunt.hh"
@@ -47,7 +49,12 @@ main()
                 withCommas(tour_budget).c_str(),
                 withCommas(random_budget).c_str());
 
-    harness::BugHunt hunt(config, model, graph, vectors);
+    // Replay the tour and random arms through the checkpointed
+    // engine on all available cores (byte-identical by contract).
+    harness::ReplayOptions replay;
+    replay.numThreads =
+        std::max(1u, std::thread::hardware_concurrency());
+    harness::BugHunt hunt(config, model, graph, vectors, replay);
     std::printf("%-5s  %-34s  %18s  %18s  %8s\n", "bug",
                 "mechanism", "tour instrs", "random instrs",
                 "ratio");

@@ -8,10 +8,14 @@
  * model's abstraction knobs — line length (refill counter depth),
  * dual issue, branches, WB tracking, alignment — and reports
  * reachable states vs the 2^bits upper bound for each point.
+ *
+ * `--json <path>` additionally writes every row as JSON (see README;
+ * CI uses BENCH_enum.json).
  */
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hh"
 #include "murphi/enumerator.hh"
@@ -25,7 +29,8 @@ namespace
 {
 
 void
-measure(const char *label, const rtl::PpConfig &config)
+measure(const char *label, const rtl::PpConfig &config,
+        bench::JsonWriter &json)
 {
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
@@ -39,6 +44,14 @@ measure(const char *label, const rtl::PpConfig &config)
                 withCommas(stats.numStates).c_str(),
                 withCommas(stats.numEdges).c_str(),
                 stats.cpuSeconds, density);
+    json.beginRow();
+    json.add("kind", "ablation");
+    json.add("configuration", label);
+    json.add("bits_per_state", (uint64_t)stats.bitsPerState);
+    json.add("states", stats.numStates);
+    json.add("edges", stats.numEdges);
+    json.add("cpu_seconds", stats.cpuSeconds);
+    json.add("density_percent", density);
 }
 
 /** FNV-1a over every observable byte of the graph. */
@@ -68,7 +81,7 @@ graphFingerprint(const graph::StateGraph &graph)
 }
 
 void
-threadSweep(const rtl::PpConfig &config)
+threadSweep(const rtl::PpConfig &config, bench::JsonWriter &json)
 {
     std::printf("\nthread sweep on the largest design (wall-clock):\n");
     std::printf("%8s %12s %14s %9s %9s %10s\n", "threads", "states",
@@ -94,13 +107,22 @@ threadSweep(const rtl::PpConfig &config)
                     withCommas(graph.numEdges()).c_str(), seconds,
                     seconds > 0.0 ? base_seconds / seconds : 0.0,
                     fp == base_fingerprint ? "yes" : "NO");
+        json.beginRow();
+        json.add("kind", "thread_sweep");
+        json.add("threads", threads);
+        json.add("states", (uint64_t)graph.numStates());
+        json.add("edges", (uint64_t)graph.numEdges());
+        json.add("wall_seconds", seconds);
+        json.add("speedup",
+                 seconds > 0.0 ? base_seconds / seconds : 0.0);
+        json.add("identical", fp == base_fingerprint);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Enumeration scaling",
                   "Reachable states vs abstraction detail");
@@ -109,35 +131,37 @@ main()
                 "bits", "states", "edges", "cpu s",
                 "2^bits density");
 
+    bench::JsonWriter json("enum_scaling");
+
     rtl::PpConfig base = rtl::PpConfig::smallPreset();
-    measure("small: L=2, single-issue", base);
+    measure("small: L=2, single-issue", base, json);
 
     rtl::PpConfig l4 = base;
     l4.lineWords = 4;
-    measure("L=4 (deeper refill counters)", l4);
+    measure("L=4 (deeper refill counters)", l4, json);
 
     rtl::PpConfig dual = l4;
     dual.dualIssue = true;
-    measure("+ dual issue", dual);
+    measure("+ dual issue", dual, json);
 
     rtl::PpConfig branches = dual;
     branches.modelBranches = true;
-    measure("+ squashing branches", branches);
+    measure("+ squashing branches", branches, json);
 
     rtl::PpConfig wb = branches;
     wb.modelWbStage = true;
-    measure("+ WB-stage tracking", wb);
+    measure("+ WB-stage tracking", wb, json);
 
     rtl::PpConfig align = wb;
     align.modelAlignment = true;
-    measure("+ fetch alignment (full preset)", align);
+    measure("+ fetch alignment (full preset)", align, json);
 
     rtl::PpConfig l8 = align;
     l8.lineWords = 8;
     if (std::getenv("ARCHVAL_SCALING_L8"))
-        measure("full with L=8", l8);
+        measure("full with L=8", l8, json);
 
-    threadSweep(align);
+    threadSweep(align, json);
 
     std::printf(
         "\nshape: every knob multiplies raw state bits, yet "
@@ -145,5 +169,11 @@ main()
         "(single memory port, mutual stalls) keep the\nproduct "
         "space mostly unreachable, exactly the paper's "
         "observation.\n");
+
+    std::string path = bench::jsonPath(argc, argv);
+    if (!json.write(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
     return 0;
 }

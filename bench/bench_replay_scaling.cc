@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Checkpointed-replay scaling — worker-count sweep with the prefix
+ * checkpoint cache on and off.
+ *
+ * The batch is the hunt workload: every tour trace replayed against
+ * the bug-free machine and each of the six Table 2.1 faults. The
+ * engine exploits two redundancy axes — cross-trace shared stimulus
+ * prefixes (checkpoint cache) and, dominating here, bug-free donor
+ * reuse: a fault that never triggers on a trace provably cannot
+ * change its replay, so the bugged job reuses the bug-free result
+ * without stepping a cycle. This bench reports, per (workers, cache)
+ * point: wall time, cycles actually stepped, the fraction of
+ * demanded cycles avoided, donor copies, and whether the results
+ * stayed byte-identical to the sequential player (they must — the
+ * cache is a pure accelerator).
+ *
+ * `--json <path>` additionally writes the table as JSON (see
+ * README; CI uses BENCH_replay.json).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "harness/replay_engine.hh"
+#include "murphi/enumerator.hh"
+#include "support/strings.hh"
+#include "support/timer.hh"
+
+using namespace archval;
+
+namespace
+{
+
+/** FNV-1a over every observable field of a result batch. */
+uint64_t
+fingerprint(const std::vector<harness::PlayResult> &results)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t value) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (value >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const harness::PlayResult &r : results) {
+        mix(r.diverged);
+        mix(r.cycles);
+        mix(r.instructions);
+        mix(r.lockstepErrors);
+        mix(r.drained);
+        mix(r.skipped);
+        mix(r.diff.size());
+        for (char c : r.diff)
+            mix(static_cast<unsigned char>(c));
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Replay scaling",
+                  "Checkpointed batch replay: workers x prefix "
+                  "cache");
+
+    rtl::PpConfig config = bench::benchSimConfig();
+    rtl::PpFsmModel model(config);
+    murphi::Enumerator enumerator(model);
+    auto graph = enumerator.runOrThrow();
+    // The Table 3.3 trace limit, applied as nested prefix splits:
+    // consecutive traces share their whole stem, which is the shape
+    // the checkpoint cache exploits (each stem simulates once).
+    graph::TourOptions tour_options;
+    tour_options.maxInstructionsPerTrace = 10'000;
+    tour_options.nestedPrefixSplits = true;
+    graph::TourGenerator tour_gen(graph, tour_options);
+    auto tours = tour_gen.run();
+    vecgen::VectorGenerator generator(model, 2024);
+    auto vectors = generator.generateAll(graph, tours);
+
+    // The hunt workload: bug-free (the donor block) plus every
+    // Table 2.1 fault, each as its own bug set.
+    std::vector<rtl::BugSet> bug_sets;
+    bug_sets.emplace_back();
+    for (size_t b = 0; b < rtl::numBugs; ++b) {
+        rtl::BugSet set;
+        set.set(b);
+        bug_sets.push_back(set);
+    }
+
+    uint64_t batch_cycles = 0;
+    for (const auto &trace : vectors)
+        batch_cycles += trace.cycles.size();
+    std::printf("\nbatch: %s traces x %zu bug sets, %s forced "
+                "cycles (graph: %s states, %s edges)\n\n",
+                withCommas(vectors.size()).c_str(), bug_sets.size(),
+                withCommas(batch_cycles * bug_sets.size()).c_str(),
+                withCommas(graph.numStates()).c_str(),
+                withCommas(graph.numEdges()).c_str());
+
+    // Sequential reference: the plain per-trace player path the
+    // engine must match byte-for-byte.
+    harness::ReplayOptions seq_options;
+    seq_options.numThreads = 1;
+    seq_options.checkpointBudgetBytes = 0;
+    harness::ReplayEngine sequential(config, seq_options);
+    WallTimer seq_timer;
+    auto reference = sequential.playAll(vectors, bug_sets);
+    double seq_seconds = seq_timer.seconds();
+    const uint64_t base_fingerprint = fingerprint(reference);
+    const uint64_t base_cycles = sequential.stats().simulatedCycles;
+
+    bench::JsonWriter json("replay_scaling");
+    std::printf("%8s %7s %8s %9s %16s %10s %7s %9s %10s\n",
+                "workers", "cache", "wall s", "speedup",
+                "sim cycles", "avoided", "copies", "hit rate",
+                "identical");
+
+    double best_reduction = 0.0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        for (bool cache : {false, true}) {
+            harness::ReplayOptions options;
+            options.numThreads = threads;
+            options.checkpointBudgetBytes =
+                cache ? (256ull << 20) : 0;
+            harness::ReplayEngine engine(config, options);
+            WallTimer timer;
+            auto results = engine.playAll(vectors, bug_sets);
+            double seconds = timer.seconds();
+            const auto &stats = engine.stats();
+            bool identical =
+                fingerprint(results) == base_fingerprint;
+            double reduction =
+                base_cycles
+                    ? 1.0 - double(stats.simulatedCycles) /
+                                double(base_cycles)
+                    : 0.0;
+            if (cache && reduction > best_reduction)
+                best_reduction = reduction;
+
+            std::printf(
+                "%8u %7s %8.2f %8.2fx %16s %9.1f%% %7s %8.1f%% "
+                "%10s\n",
+                threads, cache ? "on" : "off", seconds,
+                seconds > 0.0 ? seq_seconds / seconds : 0.0,
+                withCommas(stats.simulatedCycles).c_str(),
+                100.0 * stats.avoidedFraction(),
+                withCommas(stats.bugSetCopies).c_str(),
+                100.0 * stats.hitRate(), identical ? "yes" : "NO");
+
+            json.beginRow();
+            json.add("workers", threads);
+            json.add("cache", cache);
+            json.add("wall_seconds", seconds);
+            json.add("simulated_cycles", stats.simulatedCycles);
+            json.add("batch_cycles", stats.batchCycles);
+            json.add("cycles_avoided", stats.cyclesAvoided);
+            json.add("avoided_fraction", stats.avoidedFraction());
+            json.add("hit_rate", stats.hitRate());
+            json.add("checkpoints_published",
+                     stats.checkpointsPublished);
+            json.add("checkpoint_hits", stats.checkpointHits);
+            json.add("bug_set_copies", stats.bugSetCopies);
+            json.add("verify_fallbacks", stats.verifyFallbacks);
+            json.add("cache_evictions", stats.cacheEvictions);
+            json.add("peak_cache_bytes",
+                     (uint64_t)stats.peakCacheBytes);
+            json.add("identical", identical);
+            if (!identical)
+                return 1;
+        }
+    }
+
+    std::printf("\nsummary: prefix sharing removes %.1f%% of the "
+                "simulated cycles on this batch\n(cache on vs off); "
+                "results stay byte-identical to the sequential "
+                "player at\nevery point.\n",
+                100.0 * best_reduction);
+
+    std::string path = bench::jsonPath(argc, argv);
+    if (!json.write(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    return best_reduction > 0.30 ? 0 : 1;
+}

@@ -10,7 +10,9 @@
  * cost) by the other methods — is the headline result.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hh"
 #include "harness/bug_hunt.hh"
@@ -49,7 +51,13 @@ main()
     const uint64_t random_budget =
         4 * tour_gen.stats().totalInstructions;
 
-    harness::BugHunt hunt(config, model, graph, vectors);
+    // The tour and random arms replay through the checkpointed
+    // engine: all available cores, default cache budget. Results are
+    // byte-identical to the sequential player by contract.
+    harness::ReplayOptions replay;
+    replay.numThreads =
+        std::max(1u, std::thread::hardware_concurrency());
+    harness::BugHunt hunt(config, model, graph, vectors, replay);
     std::vector<harness::HuntResult> results;
     for (size_t b = 0; b < rtl::numBugs; ++b) {
         rtl::BugId bug = static_cast<rtl::BugId>(b);

@@ -7,10 +7,14 @@
 #ifndef ARCHVAL_BENCH_BENCH_UTIL_HH
 #define ARCHVAL_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "rtl/pp_config.hh"
 
@@ -60,6 +64,118 @@ benchConfig()
         return rtl::PpConfig::smallPreset();
     return rtl::PpConfig::fullPreset();
 }
+
+/**
+ * @return the path following a `--json` flag in @p argv, or "" when
+ * the flag is absent. Benches that support machine-readable output
+ * pass the result to JsonWriter::write.
+ */
+inline std::string
+jsonPath(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    }
+    return {};
+}
+
+/**
+ * Minimal JSON emitter for bench results: one object per measured
+ * row, wrapped as {"bench": <name>, "rows": [...]}. Keys repeat the
+ * printed table's column names so the JSON and the human table stay
+ * in sync.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::string bench) : bench_(std::move(bench))
+    {
+    }
+
+    /** Start a new result row; add() calls append to it. */
+    void beginRow() { rows_.emplace_back(); }
+
+    void add(const std::string &key, const std::string &value)
+    {
+        rows_.back().emplace_back(key, quote(value));
+    }
+
+    void add(const std::string &key, const char *value)
+    {
+        add(key, std::string(value));
+    }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+    void
+    add(const std::string &key, T value)
+    {
+        char buf[32];
+        if constexpr (std::is_same_v<T, bool>) {
+            rows_.back().emplace_back(key,
+                                      value ? "true" : "false");
+            return;
+        } else if constexpr (std::is_floating_point_v<T>) {
+            std::snprintf(buf, sizeof buf, "%.10g", double(value));
+        } else if constexpr (std::is_signed_v<T>) {
+            std::snprintf(buf, sizeof buf, "%lld",
+                          (long long)value);
+        } else {
+            std::snprintf(buf, sizeof buf, "%llu",
+                          (unsigned long long)value);
+        }
+        rows_.back().emplace_back(key, buf);
+    }
+
+    /** Write the document to @p path; no-op on an empty path.
+     *  @return false only on an I/O failure. */
+    bool write(const std::string &path) const
+    {
+        if (path.empty())
+            return true;
+        std::FILE *file = std::fopen(path.c_str(), "w");
+        if (!file)
+            return false;
+        std::fprintf(file, "{\n  \"bench\": %s,\n  \"rows\": [",
+                     quote(bench_).c_str());
+        for (size_t r = 0; r < rows_.size(); ++r) {
+            std::fprintf(file, "%s\n    {", r ? "," : "");
+            for (size_t f = 0; f < rows_[r].size(); ++f) {
+                std::fprintf(file, "%s%s: %s", f ? ", " : "",
+                             quote(rows_[r][f].first).c_str(),
+                             rows_[r][f].second.c_str());
+            }
+            std::fprintf(file, "}");
+        }
+        std::fprintf(file, "\n  ]\n}\n");
+        return std::fclose(file) == 0;
+    }
+
+  private:
+    static std::string quote(const std::string &text)
+    {
+        std::string out = "\"";
+        for (char c : text) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    std::string bench_;
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        rows_;
+};
 
 /** @return a smaller config for simulation-heavy benches. */
 inline rtl::PpConfig

@@ -36,6 +36,12 @@ struct CampaignOptions
     uint64_t roundInstructions = 20'000; ///< per worker per round
     unsigned maxRounds = 8;           ///< campaign length bound
     uint64_t seed = 1;                ///< campaign master seed
+
+    /** Replay-arm tuning: every worker's pending seeds are
+     *  batch-replayed through harness::ReplayEngine before round 0
+     *  and the engines primed with the results. numThreads = 0
+     *  means "use the campaign worker count". */
+    harness::ReplayOptions replay{.numThreads = 0};
 };
 
 /** Outcome of a campaign against one bug set. */

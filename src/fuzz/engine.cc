@@ -92,10 +92,26 @@ FuzzEngine::archSignature(const vecgen::TestTrace &trace) const
     return hash;
 }
 
+std::vector<Candidate>
+FuzzEngine::pendingSeedCandidates() const
+{
+    return std::vector<Candidate>(pendingSeeds_.begin() + nextPending_,
+                                  pendingSeeds_.end());
+}
+
+void
+FuzzEngine::primePendingSeedResults(
+    std::vector<harness::PlayResult> results)
+{
+    primedOffset_ = nextPending_;
+    primedSeedResults_ = std::move(results);
+}
+
 std::optional<FuzzDetection>
 FuzzEngine::evaluate(const Candidate &candidate,
                      const rtl::BugSet &bugs, bool from_seed,
-                     const char *origin)
+                     const char *origin,
+                     const harness::PlayResult *primed)
 {
     ++stats_.iterations;
 
@@ -110,7 +126,8 @@ FuzzEngine::evaluate(const Candidate &candidate,
         generator.generate(graph_, candidate.trace,
                            static_cast<size_t>(stats_.iterations));
 
-    harness::PlayResult play = player_.play(trace, bugs);
+    harness::PlayResult play =
+        primed ? *primed : player_.play(trace, bugs);
     stats_.instructions += play.instructions;
     stats_.cycles += play.cycles;
 
@@ -149,8 +166,14 @@ std::optional<FuzzDetection>
 FuzzEngine::step(const rtl::BugSet &bugs)
 {
     if (nextPending_ < pendingSeeds_.size()) {
-        const Candidate &seed = pendingSeeds_[nextPending_++];
-        return evaluate(seed, bugs, /*from_seed=*/true, "seed");
+        size_t index = nextPending_++;
+        const Candidate &seed = pendingSeeds_[index];
+        const harness::PlayResult *primed = nullptr;
+        if (index >= primedOffset_ &&
+            index - primedOffset_ < primedSeedResults_.size())
+            primed = &primedSeedResults_[index - primedOffset_];
+        return evaluate(seed, bugs, /*from_seed=*/true, "seed",
+                        primed);
     }
     if (corpus_.empty())
         return std::nullopt; // degenerate graph: nothing to mutate

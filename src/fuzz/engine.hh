@@ -156,13 +156,33 @@ class FuzzEngine
 
     /** @} */
 
+    /** @name Seed pre-play hooks (campaign replay arm). @{ */
+
+    /** @return seed candidates not yet evaluated, in evaluation
+     *  order. Their concretized traces — and therefore their
+     *  PlayResults — are pure functions of the candidates, so a
+     *  campaign can batch-replay them ahead of time. */
+    std::vector<Candidate> pendingSeedCandidates() const;
+
+    /**
+     * Install precomputed PlayResults for the pending seeds, aligned
+     * with pendingSeedCandidates(). step() consumes them instead of
+     * re-simulating; each must equal what play() of the concretized
+     * candidate would return (the campaign computes them through
+     * harness::ReplayEngine, whose results carry that guarantee).
+     */
+    void primePendingSeedResults(std::vector<harness::PlayResult> results);
+
+    /** @} */
+
   private:
     /** Evaluate @p candidate; updates feedback state and stats.
      *  @p from_seed suppresses corpus re-admission of unchanged
      *  seeds. @return detection when the play diverged. */
     std::optional<FuzzDetection>
     evaluate(const Candidate &candidate, const rtl::BugSet &bugs,
-             bool from_seed, const char *origin);
+             bool from_seed, const char *origin,
+             const harness::PlayResult *primed = nullptr);
 
     /** FNV-1a hash of the reference run's final architectural
      *  state. */
@@ -183,6 +203,10 @@ class FuzzEngine
     /** Seed candidates still awaiting evaluation. */
     std::vector<Candidate> pendingSeeds_;
     size_t nextPending_ = 0;
+
+    /** Precomputed PlayResults for pendingSeeds_[primedOffset_..]. */
+    std::vector<harness::PlayResult> primedSeedResults_;
+    size_t primedOffset_ = 0;
 
     /** Entries admitted since the last takeRoundAdds(). */
     std::vector<CorpusEntry> roundAdds_;

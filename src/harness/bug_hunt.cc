@@ -1,5 +1,7 @@
 #include "bug_hunt.hh"
 
+#include <algorithm>
+
 #include "support/strings.hh"
 
 namespace archval::harness
@@ -8,9 +10,10 @@ namespace archval::harness
 BugHunt::BugHunt(const rtl::PpConfig &config,
                  const rtl::PpFsmModel &model,
                  const graph::StateGraph &graph,
-                 const std::vector<vecgen::TestTrace> &tour_traces)
+                 const std::vector<vecgen::TestTrace> &tour_traces,
+                 ReplayOptions replay)
     : config_(config), model_(model), graph_(graph),
-      tourTraces_(tour_traces)
+      tourTraces_(tour_traces), replay_(replay)
 {
 }
 
@@ -22,41 +25,72 @@ BugHunt::hunt(rtl::BugId bug, uint64_t random_budget, uint64_t seed)
     rtl::BugSet bugs;
     bugs.set(static_cast<size_t>(bug));
 
-    VectorPlayer player(config_);
+    // Both trace arms replay through the checkpointed engine with
+    // early exit: results before and at the first divergence are
+    // byte-identical to the sequential player, so the accumulation
+    // below reproduces the old trace-at-a-time loop exactly.
+    ReplayOptions replay = replay_;
+    replay.stopOnDivergence = true;
+    ReplayEngine engine(config_, replay);
 
     // Transition-tour vectors, in generation order.
-    for (const auto &trace : tourTraces_) {
-        PlayResult play = player.play(trace, bugs);
+    std::vector<PlayResult> tour_plays = engine.playAll(tourTraces_, bugs);
+    for (size_t t = 0; t < tourTraces_.size(); ++t) {
+        const PlayResult &play = tour_plays[t];
+        if (play.skipped)
+            break;
         result.tour.instructions += play.instructions;
         result.tour.cycles += play.cycles;
         if (play.diverged) {
             result.tour.detected = true;
             result.tour.detail = formatString(
-                "trace %zu: %s", trace.traceIndex, play.diff.c_str());
+                "trace %zu: %s", tourTraces_[t].traceIndex,
+                play.diff.c_str());
             break;
         }
     }
 
     // Biased-random stimulus (naturalistic event rates) through the
-    // same generator and player — the paper's random baseline.
+    // same generator and engine — the paper's random baseline. Walk
+    // content never depends on play results, so pre-generating a
+    // batch and replaying it preserves the sequential arm's trace
+    // sequence, accumulation and stopping point.
     BiasedWalker walker(model_, graph_, seed);
     vecgen::VectorGenerator generator(model_, seed ^ 0x5eedu);
     const uint64_t chunk = 2'000;
+    const size_t batch_size = std::max(2 * replay.numThreads, 4u);
     size_t walk_index = 0;
-    while (result.random.instructions < random_budget) {
-        graph::Trace walk = walker.walk(chunk);
-        if (walk.edges.empty())
+    bool exhausted = false;
+    while (result.random.instructions < random_budget && !exhausted &&
+           !result.random.detected) {
+        std::vector<vecgen::TestTrace> batch;
+        while (batch.size() < batch_size) {
+            graph::Trace walk = walker.walk(chunk);
+            if (walk.edges.empty()) {
+                exhausted = true;
+                break;
+            }
+            batch.push_back(
+                generator.generate(graph_, walk, walk_index++));
+        }
+        if (batch.empty())
             break;
-        vecgen::TestTrace trace =
-            generator.generate(graph_, walk, walk_index++);
-        PlayResult play = player.play(trace, bugs);
-        result.random.instructions += play.instructions;
-        result.random.cycles += play.cycles;
-        if (play.diverged) {
-            result.random.detected = true;
-            result.random.detail = formatString(
-                "walk %zu: %s", walk_index - 1, play.diff.c_str());
-            break;
+        std::vector<PlayResult> plays = engine.playAll(batch, bugs);
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const PlayResult &play = plays[i];
+            if (play.skipped)
+                break;
+            result.random.instructions += play.instructions;
+            result.random.cycles += play.cycles;
+            if (play.diverged) {
+                result.random.detected = true;
+                result.random.detail = formatString(
+                    "walk %zu: %s", batch[i].traceIndex,
+                    play.diff.c_str());
+                break;
+            }
+            if (result.random.instructions >= random_budget)
+                break;
         }
     }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/baselines.hh"
+#include "harness/replay_engine.hh"
 #include "harness/vector_player.hh"
 
 namespace archval::harness
@@ -58,10 +59,14 @@ class BugHunt
      * @param model Enumerated FSM model (for vector generation).
      * @param graph Enumerated state graph.
      * @param tour_traces Transition-tour test traces (pre-generated).
+     * @param replay Replay-engine tuning (worker count, checkpoint
+     *        budget) for the tour and random arms. Results are
+     *        byte-identical to the sequential player regardless.
      */
     BugHunt(const rtl::PpConfig &config, const rtl::PpFsmModel &model,
             const graph::StateGraph &graph,
-            const std::vector<vecgen::TestTrace> &tour_traces);
+            const std::vector<vecgen::TestTrace> &tour_traces,
+            ReplayOptions replay = {});
 
     /**
      * Hunt @p bug.
@@ -80,6 +85,7 @@ class BugHunt
     const rtl::PpFsmModel &model_;
     const graph::StateGraph &graph_;
     const std::vector<vecgen::TestTrace> &tourTraces_;
+    ReplayOptions replay_;
     FuzzArm fuzzArm_;
 };
 

@@ -1,0 +1,596 @@
+#include "replay_engine.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "support/status.hh"
+
+namespace archval::harness
+{
+
+namespace
+{
+
+/** One replay job: a (trace, bug set) pair plus its plan. */
+struct Job
+{
+    size_t trace = 0;        ///< index into the batch
+    size_t bugSet = 0;       ///< index into the bug-set list
+    int restoreSlot = -1;    ///< checkpoint to resume from
+    int publishSlot = -1;    ///< checkpoint this job must produce
+    size_t publishDepth = 0; ///< absolute cycle of the publish
+};
+
+/** Plan-time record of one checkpoint. */
+struct SlotPlan
+{
+    size_t donorTrace = 0;
+    size_t depth = 0;
+    unsigned consumers = 0;
+};
+
+/** @return length of the common forced-cycle prefix of two traces. */
+size_t
+commonPrefix(const std::vector<rtl::ForcedSignals> &a,
+             const std::vector<rtl::ForcedSignals> &b)
+{
+    size_t n = std::min(a.size(), b.size());
+    size_t i = 0;
+    while (i < n && a[i] == b[i])
+        ++i;
+    return i;
+}
+
+/**
+ * Runtime checkpoint cache: slot lifecycle plus LRU eviction under
+ * the byte budget. One mutex guards everything — publishes and
+ * consumes are rare next to the simulation they save.
+ */
+class CheckpointCache
+{
+  public:
+    CheckpointCache(const std::vector<SlotPlan> &plans, size_t budget)
+        : budget_(budget)
+    {
+        slots_.resize(plans.size());
+        for (size_t i = 0; i < plans.size(); ++i)
+            slots_[i].remaining = plans[i].consumers;
+    }
+
+    /** Store @p snap for @p slot (or drop it if it cannot fit). */
+    void publish(size_t slot, rtl::PpCore::Snapshot snap)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot &s = slots_[slot];
+        size_t bytes = snap.bytes();
+        if (s.remaining == 0 || bytes > budget_) {
+            s.state = State::Dropped;
+        } else {
+            // Evict least-recently-used entries until the newcomer
+            // fits; a planned consumer of an evicted entry falls
+            // back to from-reset replay.
+            while (bytes_ + bytes > budget_) {
+                size_t victim = slots_.size();
+                for (size_t i = 0; i < slots_.size(); ++i) {
+                    if (slots_[i].state != State::Ready)
+                        continue;
+                    if (victim == slots_.size() ||
+                        slots_[i].lastUse < slots_[victim].lastUse)
+                        victim = i;
+                }
+                if (victim == slots_.size())
+                    break; // nothing left to evict
+                drop(slots_[victim]);
+                ++evictions_;
+            }
+            if (bytes_ + bytes > budget_) {
+                s.state = State::Dropped;
+            } else {
+                s.snap = std::move(snap);
+                s.state = State::Ready;
+                s.lastUse = ++useClock_;
+                bytes_ += bytes;
+                peakBytes_ = std::max(peakBytes_, bytes_);
+                ++published_;
+            }
+        }
+        cv_.notify_all();
+    }
+
+    /** The producer will never publish @p slot (job skipped). */
+    void abandon(size_t slot)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (slots_[slot].state == State::Pending)
+            slots_[slot].state = State::Dropped;
+        cv_.notify_all();
+    }
+
+    /**
+     * Block until @p slot resolves; @return its snapshot, or an
+     * invalid one when it was dropped or evicted. Decrements the
+     * planned-consumer count (the last consumer frees the entry).
+     */
+    rtl::PpCore::Snapshot consume(size_t slot)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        Slot &s = slots_[slot];
+        cv_.wait(lock, [&] { return s.state != State::Pending; });
+        rtl::PpCore::Snapshot out;
+        if (s.state == State::Ready) {
+            out = s.snap;
+            s.lastUse = ++useClock_;
+        }
+        if (--s.remaining == 0 && s.state == State::Ready)
+            drop(s);
+        return out;
+    }
+
+    /** Drop a consumer claim without waiting (job skipped). */
+    void release(size_t slot)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot &s = slots_[slot];
+        if (--s.remaining == 0 && s.state == State::Ready)
+            drop(s);
+    }
+
+    uint64_t published() const { return published_; }
+    uint64_t evictions() const { return evictions_; }
+    size_t peakBytes() const { return peakBytes_; }
+
+  private:
+    enum class State
+    {
+        Pending,
+        Ready,
+        Dropped,
+    };
+
+    struct Slot
+    {
+        State state = State::Pending;
+        rtl::PpCore::Snapshot snap;
+        unsigned remaining = 0;
+        uint64_t lastUse = 0;
+    };
+
+    void drop(Slot &s)
+    {
+        bytes_ -= s.snap.bytes();
+        s.snap = rtl::PpCore::Snapshot();
+        s.state = State::Dropped;
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Slot> slots_;
+    size_t budget_;
+    size_t bytes_ = 0;
+    size_t peakBytes_ = 0;
+    uint64_t useClock_ = 0;
+    uint64_t published_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+/**
+ * Bug-set-axis donor records: one per trace, filled by the empty
+ * bug set's job. Consumers (jobs for the same trace under a non-empty
+ * bug set) block until the donor resolves; donor jobs precede every
+ * consumer in plan order and are claimed in order, so a waited-on
+ * donor is always running or done — the same no-deadlock argument as
+ * CheckpointCache.
+ */
+class DonorTable
+{
+  public:
+    explicit DonorTable(size_t traces) : entries_(traces) {}
+
+    /** Donor completed: record its result and trigger cycles. */
+    void publish(size_t trace, const PlayResult &result,
+                 const std::array<uint64_t, rtl::numBugs> &triggers)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Entry &e = entries_[trace];
+        e.result = result;
+        e.triggers = triggers;
+        e.state = State::Ready;
+        cv_.notify_all();
+    }
+
+    /** Donor will never publish (its job was skipped). */
+    void fail(size_t trace)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_[trace].state = State::Failed;
+        cv_.notify_all();
+    }
+
+    /**
+     * Block until @p trace's donor resolves. @return true (with
+     * @p result / @p triggers filled) when it completed.
+     */
+    bool wait(size_t trace, PlayResult &result,
+              std::array<uint64_t, rtl::numBugs> &triggers)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        Entry &e = entries_[trace];
+        cv_.wait(lock, [&] { return e.state != State::Pending; });
+        if (e.state != State::Ready)
+            return false;
+        result = e.result;
+        triggers = e.triggers;
+        return true;
+    }
+
+  private:
+    enum class State
+    {
+        Pending,
+        Ready,
+        Failed,
+    };
+
+    struct Entry
+    {
+        State state = State::Pending;
+        PlayResult result;
+        std::array<uint64_t, rtl::numBugs> triggers{};
+    };
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Entry> entries_;
+};
+
+/** Per-worker stat accumulators (merged once at the end). */
+struct LocalStats
+{
+    uint64_t batchCycles = 0;
+    uint64_t simulatedCycles = 0;
+    uint64_t cyclesAvoided = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fallbacks = 0;
+    uint64_t copies = 0;
+};
+
+/** Lower @p target to @p value if it is smaller (atomic min). */
+void
+fetchMin(std::atomic<size_t> &target, size_t value)
+{
+    size_t cur = target.load(std::memory_order_acquire);
+    while (value < cur &&
+           !target.compare_exchange_weak(cur, value,
+                                         std::memory_order_acq_rel)) {
+    }
+}
+
+} // namespace
+
+ReplayEngine::ReplayEngine(const rtl::PpConfig &config,
+                           ReplayOptions options)
+    : config_(config), options_(options)
+{
+    if (options_.numThreads == 0)
+        fatal("ReplayEngine needs at least one worker");
+}
+
+std::vector<PlayResult>
+ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
+                      const rtl::BugSet &bugs)
+{
+    return playAll(traces, std::vector<rtl::BugSet>{bugs});
+}
+
+std::vector<PlayResult>
+ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
+                      const std::vector<rtl::BugSet> &bug_sets)
+{
+    stats_ = ReplayStats{};
+    const size_t nt = traces.size();
+    const size_t nb = bug_sets.size();
+    std::vector<PlayResult> results(nt * nb);
+    if (nt == 0 || nb == 0)
+        return results;
+    stats_.jobs = nt * nb;
+
+    // ------------------------------------------------------------------
+    // Plan: the batch's prefix tree. Sorting traces lexicographically
+    // by forced-cycle content makes every shared prefix a contiguous
+    // run, and the LCP chain between sorted neighbours is exactly a
+    // DFS of the prefix tree — a stack of live checkpoints mirrors
+    // the DFS path. Each job publishes at most one checkpoint: the
+    // deepest prefix it shares with its sorted successor.
+    // ------------------------------------------------------------------
+    std::vector<size_t> order(nt);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const auto &ca = traces[a].cycles;
+        const auto &cb = traces[b].cycles;
+        if (ca != cb)
+            return std::lexicographical_compare(ca.begin(), ca.end(),
+                                                cb.begin(), cb.end());
+        return a < b;
+    });
+    std::vector<size_t> lcp(nt, 0);
+    for (size_t i = 1; i < nt; ++i)
+        lcp[i] = commonPrefix(traces[order[i - 1]].cycles,
+                              traces[order[i]].cycles);
+
+    // Plan-time byte accounting uses one footprint estimate for all
+    // checkpoints (dmem dominates and is config-fixed), keeping the
+    // plan a pure function of the batch.
+    const size_t est =
+        rtl::PpCore(config_, rtl::CoreMode::Vector).snapshotBytes();
+    const size_t budget = options_.checkpointBudgetBytes;
+    const size_t min_prefix = std::max<size_t>(1, options_.minPrefixCycles);
+
+    // Bug-set axis: when the batch contains the empty bug set, its
+    // block runs first as the per-trace donor; jobs in other blocks
+    // whose bugs never triggered on the donor run reuse its result
+    // outright. Every block still gets its own cross-trace prefix
+    // chain — a job that cannot copy (its bug did trigger) resumes
+    // from its block's nearest checkpoint instead of from reset.
+    size_t donor_set = nb;
+    if (budget > 0 && nb > 1) {
+        for (size_t b = 0; b < nb; ++b) {
+            if (bug_sets[b].none()) {
+                donor_set = b;
+                break;
+            }
+        }
+    }
+    const bool donor_active = donor_set < nb;
+    std::vector<size_t> set_order(nb);
+    std::iota(set_order.begin(), set_order.end(), size_t{0});
+    if (donor_active)
+        std::swap(set_order[0], set_order[donor_set]);
+
+    std::vector<SlotPlan> slots;
+    std::vector<Job> jobs;
+    jobs.reserve(nt * nb);
+    for (size_t b : set_order) {
+        std::vector<std::pair<size_t, int>> stack; // (depth, slot)
+        size_t live_bytes = 0;
+        for (size_t i = 0; i < nt; ++i) {
+            Job job;
+            job.trace = order[i];
+            job.bugSet = b;
+            size_t shared = (i == 0) ? 0 : lcp[i];
+            while (!stack.empty() && stack.back().first > shared) {
+                live_bytes -= est;
+                stack.pop_back();
+            }
+            size_t start = 0;
+            if (!stack.empty()) {
+                job.restoreSlot = stack.back().second;
+                start = stack.back().first;
+                ++slots[static_cast<size_t>(job.restoreSlot)].consumers;
+            }
+            if (budget > 0 && i + 1 < nt) {
+                size_t depth = lcp[i + 1];
+                if (depth > start && depth >= min_prefix &&
+                    live_bytes + est <= budget) {
+                    job.publishSlot = static_cast<int>(slots.size());
+                    job.publishDepth = depth;
+                    slots.push_back(SlotPlan{job.trace, depth, 0});
+                    stack.emplace_back(depth, job.publishSlot);
+                    live_bytes += est;
+                }
+            }
+            jobs.push_back(job);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execute. Workers claim jobs in plan order, so a checkpoint's
+    // producer is always claimed before any of its consumers: every
+    // wait in CheckpointCache::consume is on a job that is already
+    // running (or done), and every running job publishes or abandons
+    // its slot — no deadlock, any worker count.
+    // ------------------------------------------------------------------
+    CheckpointCache cache(slots, budget);
+    DonorTable donors(donor_active ? nt : 0);
+    std::atomic<size_t> next_job{0};
+    std::vector<std::atomic<size_t>> first_div(nb);
+    for (auto &fd : first_div)
+        fd.store(nt, std::memory_order_relaxed);
+
+    auto run_one = [&](const Job &job, LocalStats &ls) {
+        const vecgen::TestTrace &trace = traces[job.trace];
+        const bool is_donor = donor_active && job.bugSet == donor_set;
+
+        if (options_.stopOnDivergence &&
+            first_div[job.bugSet].load(std::memory_order_acquire) <
+                job.trace) {
+            // A trace earlier in the batch already diverged under
+            // this bug set; drop our claims so waiters resolve.
+            if (job.restoreSlot >= 0)
+                cache.release(static_cast<size_t>(job.restoreSlot));
+            if (job.publishSlot >= 0)
+                cache.abandon(static_cast<size_t>(job.publishSlot));
+            if (is_donor)
+                donors.fail(job.trace);
+            results[job.bugSet * nt + job.trace].skipped = true;
+            return;
+        }
+
+        if (donor_active && !is_donor) {
+            // Reuse the trace's bug-free run wholesale when none of
+            // this job's bugs ever triggered on it: the fault effects
+            // are strictly trigger-guarded, so the bugged run is
+            // bit-identical end to end (drain included).
+            PlayResult donor_result;
+            std::array<uint64_t, rtl::numBugs> triggers{};
+            if (donors.wait(job.trace, donor_result, triggers)) {
+                uint64_t first = UINT64_MAX;
+                for (size_t i = 0; i < rtl::numBugs; ++i) {
+                    if (bug_sets[job.bugSet].test(i))
+                        first = std::min(first, triggers[i]);
+                }
+                if (first == UINT64_MAX) {
+                    ++ls.copies;
+                    ls.batchCycles += trace.cycles.size();
+                    ls.cyclesAvoided += donor_result.cycles;
+                    results[job.bugSet * nt + job.trace] =
+                        donor_result;
+                    // Drop this job's slot claims so planned waiters
+                    // in the same block resolve (they fall back to
+                    // from-reset replay if they cannot copy too).
+                    if (job.restoreSlot >= 0)
+                        cache.release(
+                            static_cast<size_t>(job.restoreSlot));
+                    if (job.publishSlot >= 0)
+                        cache.abandon(
+                            static_cast<size_t>(job.publishSlot));
+                    if (donor_result.diverged &&
+                        options_.stopOnDivergence)
+                        fetchMin(first_div[job.bugSet], job.trace);
+                    return;
+                }
+            }
+        }
+
+        rtl::PpCore core(config_, rtl::CoreMode::Vector);
+        VectorPlayer::primeCore(core, trace, bug_sets[job.bugSet]);
+
+        size_t start = 0;
+        if (job.restoreSlot >= 0) {
+            rtl::PpCore::Snapshot snap =
+                cache.consume(static_cast<size_t>(job.restoreSlot));
+            if (!snap.valid()) {
+                ++ls.misses;
+            } else {
+                const vecgen::TestTrace &donor =
+                    traces[slots[static_cast<size_t>(job.restoreSlot)]
+                               .donorTrace];
+                // Exact reuse condition: our stimulus prefix must
+                // equal the donor's up to everything the checkpoint
+                // consumed. On any mismatch, replay from reset —
+                // correctness never rides on the plan being right.
+                size_t depth = snap.cycles();
+                size_t consumed = snap.streamConsumed();
+                size_t popped =
+                    donor.inbox.size() - snap.inboxRemaining();
+                bool ok =
+                    depth <= trace.cycles.size() &&
+                    consumed <= trace.fetchStream.size() &&
+                    popped <= trace.inbox.size() &&
+                    std::equal(donor.cycles.begin(),
+                               donor.cycles.begin() +
+                                   static_cast<long>(depth),
+                               trace.cycles.begin()) &&
+                    std::equal(donor.fetchStream.begin(),
+                               donor.fetchStream.begin() +
+                                   static_cast<long>(consumed),
+                               trace.fetchStream.begin()) &&
+                    std::equal(donor.inbox.begin(),
+                               donor.inbox.begin() +
+                                   static_cast<long>(popped),
+                               trace.inbox.begin());
+                if (!ok) {
+                    ++ls.fallbacks;
+                } else {
+                    core.restore(snap);
+                    core.rebindStream(trace.fetchStream);
+                    core.rebindInbox(trace.inbox, popped);
+                    start = depth;
+                    ++ls.hits;
+                    ls.cyclesAvoided += depth;
+                }
+            }
+        }
+
+        uint64_t stepped_from = core.cycles();
+        if (job.publishSlot >= 0) {
+            VectorPlayer::drive(core, trace, start, job.publishDepth);
+            cache.publish(static_cast<size_t>(job.publishSlot),
+                          core.snapshot());
+            VectorPlayer::drive(core, trace, job.publishDepth,
+                                trace.cycles.size());
+        } else {
+            VectorPlayer::drive(core, trace, start,
+                                trace.cycles.size());
+        }
+        PlayResult result = VectorPlayer::finish(config_, core, trace);
+        ls.simulatedCycles += core.cycles() - stepped_from;
+        ls.batchCycles += trace.cycles.size();
+        results[job.bugSet * nt + job.trace] = result;
+
+        if (is_donor) {
+            // Trigger cycles are exact even when this run resumed
+            // from a checkpoint: the snapshot carries the donor
+            // prefix's counters, and the verified-identical stimulus
+            // makes that prefix's triggers this trace's triggers.
+            std::array<uint64_t, rtl::numBugs> triggers{};
+            for (size_t i = 0; i < rtl::numBugs; ++i)
+                triggers[i] =
+                    core.bugFirstTrigger(static_cast<rtl::BugId>(i));
+            donors.publish(job.trace, result, triggers);
+        }
+
+        if (result.diverged && options_.stopOnDivergence)
+            fetchMin(first_div[job.bugSet], job.trace);
+    };
+
+    unsigned workers = std::min<size_t>(options_.numThreads, jobs.size());
+    std::vector<LocalStats> local(std::max(1u, workers));
+    if (workers <= 1) {
+        for (const Job &job : jobs)
+            run_one(job, local[0]);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                while (true) {
+                    size_t j = next_job.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (j >= jobs.size())
+                        break;
+                    run_one(jobs[j], local[w]);
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Normalize early-exit batches: everything after a bug set's
+    // first divergence reads as skipped, whether or not a worker got
+    // to it before the divergence was known. This makes the result
+    // vector a pure function of the batch for any worker count.
+    if (options_.stopOnDivergence) {
+        for (size_t b = 0; b < nb; ++b) {
+            size_t fd = first_div[b].load(std::memory_order_acquire);
+            for (size_t t = fd + 1; t < nt; ++t) {
+                PlayResult &r = results[b * nt + t];
+                r = PlayResult{};
+                r.skipped = true;
+                ++stats_.jobsSkipped;
+            }
+        }
+    }
+
+    for (const LocalStats &ls : local) {
+        stats_.batchCycles += ls.batchCycles;
+        stats_.simulatedCycles += ls.simulatedCycles;
+        stats_.cyclesAvoided += ls.cyclesAvoided;
+        stats_.checkpointHits += ls.hits;
+        stats_.checkpointMisses += ls.misses;
+        stats_.verifyFallbacks += ls.fallbacks;
+        stats_.bugSetCopies += ls.copies;
+    }
+    stats_.checkpointsPublished = cache.published();
+    stats_.cacheEvictions = cache.evictions();
+    stats_.peakCacheBytes = cache.peakBytes();
+    return results;
+}
+
+} // namespace archval::harness

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Checkpoint-accelerated batch replay — the perf core of steps 3–4.
+ *
+ * Tour traces are reset-rooted DFS walks of the state graph, so a
+ * batch of them shares long stimulus prefixes. The engine organizes a
+ * batch into its prefix tree (by sorting traces lexicographically on
+ * forced-cycle content and chaining longest-common-prefix lengths),
+ * simulates each shared prefix once per bug set, publishes a
+ * value-semantics PpCore snapshot at every planned branch point, and
+ * resumes sibling traces from the snapshot instead of from reset.
+ * Snapshots live in an LRU cache under a configurable byte budget;
+ * replay jobs (trace × BugSet) fan out across a worker pool.
+ *
+ * Correctness contract: results are byte-identical to playing every
+ * trace on a fresh core with VectorPlayer::play, for any worker
+ * count and any cache budget. Two mechanisms guarantee it:
+ *
+ *  - snapshots are bit-exact whole-machine copies (cycle and retire
+ *    counters included), so a resumed run is indistinguishable from
+ *    an uninterrupted one;
+ *  - before resuming trace B from a checkpoint donated by trace A,
+ *    the engine verifies that B's stimulus prefix (forced cycles,
+ *    consumed fetch-stream words, popped inbox words) equals A's. On
+ *    any mismatch it falls back to from-reset replay, so a foreign
+ *    checkpoint can cost cycles but never correctness.
+ *
+ * The checkpoint cache only helps when shared edge prefixes carry
+ * identical operand bytes — which the vector generator guarantees by
+ * seeding each packet's draws from a hash of the tour-edge prefix
+ * (see vecgen::VectorGenerator).
+ *
+ * A second sharing axis covers the trace × bug-set matrix: every
+ * fault effect in rtl::PpCore is strictly guarded by its trigger
+ * conjunction, and the core records the first cycle each conjunction
+ * held whether or not the bug is enabled (PpCore::bugFirstTrigger).
+ * When a batch contains the empty bug set, its block runs first as
+ * the donor: a job for (trace, B) whose bugs never triggered on the
+ * trace's bug-free run reuses the donor's PlayResult outright — the
+ * bugged run is provably bit-identical — and skips simulation
+ * entirely. Since the Table 2.1 faults are rare multi-event
+ * conjunctions, most bugged replays collapse to copies.
+ */
+
+#ifndef ARCHVAL_HARNESS_REPLAY_ENGINE_HH
+#define ARCHVAL_HARNESS_REPLAY_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/vector_player.hh"
+
+namespace archval::harness
+{
+
+/** Engine tuning. */
+struct ReplayOptions
+{
+    /** Worker threads replay jobs concurrently (1 = inline). */
+    unsigned numThreads = 1;
+
+    /** Checkpoint-cache byte budget; 0 disables both sharing axes
+     *  (cross-trace prefixes and bug-free donor reuse) and every job
+     *  replays from reset. */
+    size_t checkpointBudgetBytes = 64ull << 20;
+
+    /** Shortest shared prefix worth a checkpoint: below this the
+     *  snapshot copy costs more than the cycles it saves. */
+    size_t minPrefixCycles = 16;
+
+    /**
+     * Early exit for hunt loops: once a job diverges, jobs for later
+     * traces (within the same bug set) are skipped and returned with
+     * PlayResult::skipped set. The first divergence and every result
+     * before it are still byte-identical to the sequential path for
+     * any worker count.
+     */
+    bool stopOnDivergence = false;
+};
+
+/** Batch statistics (one playAll run). */
+struct ReplayStats
+{
+    uint64_t jobs = 0;            ///< trace × bug-set jobs in the batch
+    uint64_t jobsSkipped = 0;     ///< skipped after a divergence
+    uint64_t batchCycles = 0;     ///< forced cycles the batch demands
+    uint64_t simulatedCycles = 0; ///< core steps actually executed
+    uint64_t cyclesAvoided = 0;   ///< cycles reused instead of stepped
+    uint64_t checkpointsPublished = 0;
+    uint64_t checkpointHits = 0;     ///< restores from the cache
+    uint64_t checkpointMisses = 0;   ///< planned restore evicted/abandoned
+    uint64_t verifyFallbacks = 0;    ///< stimulus-prefix mismatch
+    /** Jobs whose whole result was reused from the trace's bug-free
+     *  donor run because none of their bugs ever triggered on it. */
+    uint64_t bugSetCopies = 0;
+    uint64_t cacheEvictions = 0;
+    size_t peakCacheBytes = 0;
+
+    /** @return fraction of planned restores that hit the cache. */
+    double hitRate() const
+    {
+        uint64_t planned =
+            checkpointHits + checkpointMisses + verifyFallbacks;
+        return planned ? double(checkpointHits) / double(planned) : 0.0;
+    }
+
+    /** @return fraction of demanded forced cycles never stepped. */
+    double avoidedFraction() const
+    {
+        return batchCycles ? double(cyclesAvoided) / double(batchCycles)
+                           : 0.0;
+    }
+};
+
+/**
+ * Replays batches of test traces against bug sets with prefix
+ * sharing and a worker pool. Reusable; stats() reflects the most
+ * recent playAll().
+ */
+class ReplayEngine
+{
+  public:
+    /** @param config Machine configuration (all cores share it). */
+    explicit ReplayEngine(const rtl::PpConfig &config,
+                          ReplayOptions options = {});
+
+    /**
+     * Play every trace against every bug set.
+     * @return results indexed [b * traces.size() + t], each
+     * byte-identical to VectorPlayer(config).play(traces[t],
+     * bug_sets[b]).
+     */
+    std::vector<PlayResult>
+    playAll(const std::vector<vecgen::TestTrace> &traces,
+            const std::vector<rtl::BugSet> &bug_sets);
+
+    /** Single-bug-set convenience overload. */
+    std::vector<PlayResult>
+    playAll(const std::vector<vecgen::TestTrace> &traces,
+            const rtl::BugSet &bugs = {});
+
+    /** @return statistics for the most recent playAll(). Simulation
+     *  results are always exact; cache-related counters can vary
+     *  with thread timing when evictions occur. */
+    const ReplayStats &stats() const { return stats_; }
+
+    /** @return the engine's options. */
+    const ReplayOptions &options() const { return options_; }
+
+  private:
+    rtl::PpConfig config_;
+    ReplayOptions options_;
+    ReplayStats stats_;
+};
+
+} // namespace archval::harness
+
+#endif // ARCHVAL_HARNESS_REPLAY_ENGINE_HH

@@ -36,9 +36,45 @@ VectorPlayer::drainLength(const rtl::PpConfig &config)
     return 4 * config.lineWords + 24;
 }
 
+void
+VectorPlayer::primeCore(rtl::PpCore &core,
+                        const vecgen::TestTrace &trace,
+                        const rtl::BugSet &bugs)
+{
+    core.loadStream(trace.fetchStream);
+    core.setInbox(trace.inbox);
+    for (size_t b = 0; b < rtl::numBugs; ++b) {
+        if (bugs.test(b))
+            core.setBug(static_cast<rtl::BugId>(b), true);
+    }
+}
+
+uint64_t
+VectorPlayer::drive(rtl::PpCore &core, const vecgen::TestTrace &trace,
+                    size_t first_cycle, size_t last_cycle,
+                    const LockstepSpec *lockstep)
+{
+    uint64_t lockstep_errors = 0;
+    for (size_t i = first_cycle; i < last_cycle; ++i) {
+        core.forceSignals(trace.cycles[i]);
+        core.step();
+        if (lockstep) {
+            // The core's control must now sit exactly on the tour
+            // edge's destination state.
+            rtl::PpControlState expected = lockstep->model->unpack(
+                lockstep->graph->packedState(
+                    lockstep->graph->edge(lockstep->tour->edges[i])
+                        .dst));
+            if (!(core.controlState() == expected))
+                ++lockstep_errors;
+        }
+    }
+    return lockstep_errors;
+}
+
 PlayResult
-VectorPlayer::finish(rtl::PpCore &core,
-                     const vecgen::TestTrace &trace) const
+VectorPlayer::finish(const rtl::PpConfig &config, rtl::PpCore &core,
+                     const vecgen::TestTrace &trace)
 {
     PlayResult result;
 
@@ -46,7 +82,7 @@ VectorPlayer::finish(rtl::PpCore &core,
     // architecturally inert, so comparison is exact even if some are
     // still in the pipe when we stop.
     const rtl::ForcedSignals drain = drainSignals();
-    for (unsigned i = 0; i < drainLength(config_); ++i) {
+    for (unsigned i = 0; i < drainLength(config); ++i) {
         if (core.pipeEmpty())
             break;
         core.forceSignals(drain);
@@ -58,7 +94,7 @@ VectorPlayer::finish(rtl::PpCore &core,
 
     // Executable specification: the retired stream in order, with
     // branches as no-ops (control flow is baked into the stream).
-    pp::RefSim ref(config_.machine);
+    pp::RefSim ref(config.machine);
     ref.setStreamMode(true);
     ref.loadProgram(trace.retiredStream);
     ref.setInbox(trace.inbox);
@@ -74,18 +110,9 @@ VectorPlayer::play(const vecgen::TestTrace &trace,
                    const rtl::BugSet &bugs) const
 {
     rtl::PpCore core(config_, rtl::CoreMode::Vector);
-    core.loadStream(trace.fetchStream);
-    core.setInbox(trace.inbox);
-    for (size_t b = 0; b < rtl::numBugs; ++b) {
-        if (bugs.test(b))
-            core.setBug(static_cast<rtl::BugId>(b), true);
-    }
-
-    for (const auto &signals : trace.cycles) {
-        core.forceSignals(signals);
-        core.step();
-    }
-    return finish(core, trace);
+    primeCore(core, trace, bugs);
+    drive(core, trace, 0, trace.cycles.size());
+    return finish(config_, core, trace);
 }
 
 PlayResult
@@ -99,26 +126,12 @@ VectorPlayer::playChecked(const rtl::PpFsmModel &model,
         fatal("tour and generated trace disagree on cycle count");
 
     rtl::PpCore core(config_, rtl::CoreMode::Vector);
-    core.loadStream(trace.fetchStream);
-    core.setInbox(trace.inbox);
-    for (size_t b = 0; b < rtl::numBugs; ++b) {
-        if (bugs.test(b))
-            core.setBug(static_cast<rtl::BugId>(b), true);
-    }
+    primeCore(core, trace, bugs);
+    LockstepSpec lockstep{&model, &graph, &tour};
+    uint64_t lockstep_errors =
+        drive(core, trace, 0, trace.cycles.size(), &lockstep);
 
-    uint64_t lockstep_errors = 0;
-    for (size_t i = 0; i < trace.cycles.size(); ++i) {
-        core.forceSignals(trace.cycles[i]);
-        core.step();
-        // The core's control must now sit exactly on the tour edge's
-        // destination state.
-        rtl::PpControlState expected =
-            model.unpack(graph.packedState(graph.edge(tour.edges[i]).dst));
-        if (!(core.controlState() == expected))
-            ++lockstep_errors;
-    }
-
-    PlayResult result = finish(core, trace);
+    PlayResult result = finish(config_, core, trace);
     result.lockstepErrors = lockstep_errors;
     return result;
 }

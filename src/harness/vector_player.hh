@@ -37,6 +37,9 @@ struct PlayResult
     uint64_t instructions = 0; ///< instructions retired by the core
     uint64_t lockstepErrors = 0; ///< control-state mismatches
     bool drained = false;    ///< pipe empty when the run ended
+    /** Not played: a ReplayEngine batch with stopOnDivergence set
+     *  skips every job after the first divergence. */
+    bool skipped = false;
 };
 
 /**
@@ -75,10 +78,48 @@ class VectorPlayer
     /** @return number of drain cycles for a given configuration. */
     static unsigned drainLength(const rtl::PpConfig &config);
 
-  private:
-    PlayResult finish(rtl::PpCore &core,
-                      const vecgen::TestTrace &trace) const;
+    /**
+     * @name Shared trace-driving primitives
+     * One driver backs play(), playChecked() and the batch
+     * ReplayEngine, so bug injection, forcing and draining cannot
+     * drift apart between the sequential and checkpointed paths.
+     * @{
+     */
 
+    /** Lockstep-check context for drive() (playChecked's extra). */
+    struct LockstepSpec
+    {
+        const rtl::PpFsmModel *model = nullptr;
+        const graph::StateGraph *graph = nullptr;
+        const graph::Trace *tour = nullptr;
+    };
+
+    /** Load @p trace's stream/inbox into @p core and inject @p bugs. */
+    static void primeCore(rtl::PpCore &core,
+                          const vecgen::TestTrace &trace,
+                          const rtl::BugSet &bugs);
+
+    /**
+     * Force-and-step @p core through @p trace's cycles
+     * [@p first_cycle, @p last_cycle).
+     * @return lockstep mismatches (0 when @p lockstep is null).
+     */
+    static uint64_t drive(rtl::PpCore &core,
+                          const vecgen::TestTrace &trace,
+                          size_t first_cycle, size_t last_cycle,
+                          const LockstepSpec *lockstep = nullptr);
+
+    /**
+     * Drain @p core, run the executable specification on @p trace's
+     * retired stream and compare architectural state.
+     */
+    static PlayResult finish(const rtl::PpConfig &config,
+                             rtl::PpCore &core,
+                             const vecgen::TestTrace &trace);
+
+    /** @} */
+
+  private:
     rtl::PpConfig config_;
 };
 

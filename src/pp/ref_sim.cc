@@ -46,6 +46,45 @@ RefSim::RefSim(const MachineConfig &config)
         fatal("dmemWords must be a power of two");
 }
 
+size_t
+RefSim::Snapshot::bytes() const
+{
+    if (!state_)
+        return 0;
+    return sizeof(RefSim) +
+           state_->program_.capacity() * sizeof(uint32_t) +
+           state_->regs_.capacity() * sizeof(uint32_t) +
+           state_->dmem_.capacity() * sizeof(uint32_t) +
+           state_->inbox_.size() * sizeof(uint32_t) +
+           state_->outbox_.capacity() * sizeof(uint32_t);
+}
+
+uint64_t
+RefSim::Snapshot::instructionsRetired() const
+{
+    return state_ ? state_->retired_ : 0;
+}
+
+RefSim::Snapshot
+RefSim::snapshot() const
+{
+    // Value-semantic members only: a copy of the whole simulator is a
+    // bit-exact checkpoint by construction.
+    Snapshot snap;
+    snap.state_ = std::make_shared<const RefSim>(*this);
+    return snap;
+}
+
+void
+RefSim::restore(const Snapshot &snap)
+{
+    if (!snap.valid())
+        fatal("restore from an empty snapshot");
+    if (snap.state_->config_.dmemWords != config_.dmemWords)
+        fatal("snapshot/simulator config mismatch");
+    *this = *snap.state_;
+}
+
 void
 RefSim::loadProgram(std::vector<uint32_t> program)
 {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,31 @@ class RefSim
 
     /** @return register @p index. */
     uint32_t reg(unsigned index) const { return regs_[index & 31]; }
+
+    /** @name Checkpointing (value-semantics snapshots) @{ */
+    /** Bit-exact checkpoint of the whole simulator state. */
+    class Snapshot
+    {
+      public:
+        Snapshot() = default;
+        /** @return true when this snapshot holds a state. */
+        bool valid() const { return state_ != nullptr; }
+        /** @return approximate heap+object footprint in bytes. */
+        size_t bytes() const;
+        /** @return instructions retired at capture time. */
+        uint64_t instructionsRetired() const;
+
+      private:
+        friend class RefSim;
+        std::shared_ptr<const RefSim> state_;
+    };
+
+    /** @return a bit-exact checkpoint of the current state. */
+    Snapshot snapshot() const;
+
+    /** Resume from @p snap (same machine config required). */
+    void restore(const Snapshot &snap);
+    /** @} */
 
   private:
     MachineConfig config_;

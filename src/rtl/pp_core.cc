@@ -69,6 +69,7 @@ PpCore::reset()
     bug1Armed_ = false;
     bug4Armed_ = false;
     bug5_ = Bug5Window{};
+    bugFirstTrigger_.fill(UINT64_MAX);
     halted_ = false;
     cycles_ = 0;
     retired_ = 0;
@@ -103,6 +104,88 @@ void
 PpCore::setInbox(std::deque<uint32_t> inbox)
 {
     inbox_ = std::move(inbox);
+}
+
+size_t
+PpCore::Snapshot::bytes() const
+{
+    return state_ ? state_->snapshotBytes() : 0;
+}
+
+uint64_t
+PpCore::Snapshot::cycles() const
+{
+    return state_ ? state_->cycles_ : 0;
+}
+
+size_t
+PpCore::Snapshot::streamConsumed() const
+{
+    return state_ ? state_->streamPos_ : 0;
+}
+
+size_t
+PpCore::Snapshot::inboxRemaining() const
+{
+    return state_ ? state_->inbox_.size() : 0;
+}
+
+PpCore::Snapshot
+PpCore::snapshot() const
+{
+    // Every member is value-semantic, so a copy of the whole core is
+    // a bit-exact checkpoint by construction — there is no hidden
+    // state to forget when the model grows a new field.
+    Snapshot snap;
+    snap.state_ = std::make_shared<const PpCore>(*this);
+    return snap;
+}
+
+void
+PpCore::restore(const Snapshot &snap)
+{
+    if (!snap.valid())
+        fatal("restore from an empty snapshot");
+    if (snap.state_->mode_ != mode_)
+        fatal("snapshot/core mode mismatch");
+    *this = *snap.state_;
+}
+
+void
+PpCore::rebindStream(const std::vector<uint32_t> &stream)
+{
+    if (mode_ != CoreMode::Vector)
+        fatal("rebindStream requires vector mode");
+    if (stream.size() < streamPos_)
+        fatal("rebindStream: new stream shorter than consumed prefix");
+    for (size_t i = 0; i < streamPos_; ++i) {
+        if (stream[i] != stream_[i])
+            fatal("rebindStream: consumed prefix differs");
+    }
+    stream_.assign(stream.begin(), stream.end());
+}
+
+void
+PpCore::rebindInbox(const std::deque<uint32_t> &inbox, size_t consumed)
+{
+    if (consumed > inbox.size())
+        fatal("rebindInbox: consumed count exceeds inbox size");
+    inbox_.assign(inbox.begin() + static_cast<long>(consumed),
+                  inbox.end());
+}
+
+size_t
+PpCore::snapshotBytes() const
+{
+    return sizeof(PpCore) +
+           dmem_.capacity() * sizeof(uint32_t) +
+           outbox_.capacity() * sizeof(uint32_t) +
+           inbox_.size() * sizeof(uint32_t) +
+           program_.capacity() * sizeof(uint32_t) +
+           stream_.capacity() * sizeof(uint32_t) +
+           icacheLines_.capacity() * sizeof(CacheLine) +
+           dcacheLines_.capacity() * sizeof(CacheLine) +
+           dcacheLru_.capacity();
 }
 
 void
@@ -523,28 +606,34 @@ PpCore::step()
 
     // ------------------------------------------------------------------
     // 4. Bug hooks that fire on this cycle's control events. All are
-    //    conjunctions of multiple rare conditions (Table 2.1).
+    //    conjunctions of multiple rare conditions (Table 2.1). Each
+    //    trigger conjunction is evaluated whether or not its bug is
+    //    enabled — noteBugTrigger feeds bugFirstTrigger(), which lets
+    //    the replay engine bound how long a bugged run coincides with
+    //    a bug-free one — but effects stay strictly guarded by the
+    //    bug-set bit, so an untriggered bug never perturbs the run.
     // ------------------------------------------------------------------
     MicroOp *mem_op = memPacket_.valid ? &memPacket_.ops[0] : nullptr;
 
     // Bug #5 window: an external stall arriving right after the
     // critical word prevents the correcting second write, leaving
-    // garbage in the register file.
-    if (bugs_.test(static_cast<size_t>(BugId::Bug5MembusGlitch))) {
-        if (bug5_.open) {
-            if (out.extStall && bug5_.reg != 0)
-                regs_[bug5_.reg] = bug5_.garbage;
-            bug5_.open = false;
-        }
+    // garbage in the register file. (The window only ever opens when
+    // bug #5 is enabled; its first trigger is the window opening.)
+    if (bug5_.open) {
+        if (out.extStall && bug5_.reg != 0)
+            regs_[bug5_.reg] = bug5_.garbage;
+        bug5_.open = false;
     }
 
     if (out.critWord && mem_op && prev.memClass == InstrClass::Load) {
         // Bug #2: the D-refill return latch is not qualified on the
         // I-stall; with a simultaneous I-cache miss in flight the
         // returned word is lost.
-        if (bugs_.test(static_cast<size_t>(BugId::Bug2RefillLatch)) &&
-            prev.irefill != IRefill::Idle) {
-            mem_op->valueCorrupt = true;
+        if (prev.irefill != IRefill::Idle) {
+            noteBugTrigger(BugId::Bug2RefillLatch);
+            if (bugs_.test(
+                    static_cast<size_t>(BugId::Bug2RefillLatch)))
+                mem_op->valueCorrupt = true;
         }
         // Bug #5: the glitch on Membus-valid exists only when a
         // following load/store sits in the pipe; open the window.
@@ -552,44 +641,54 @@ PpCore::step()
             (exPacket_.valid &&
              isMemClass(exPacket_.ops[0].d.cls())) ||
             (rdPacket_.valid && isMemClass(rdPacket_.ops[0].d.cls()));
-        if (bugs_.test(static_cast<size_t>(BugId::Bug5MembusGlitch)) &&
-            follower_mem) {
-            bug5_.open = true;
-            bug5_.reg = mem_op->d.rt;
-            bug5_.garbage = garbageValue;
+        if (follower_mem) {
+            noteBugTrigger(BugId::Bug5MembusGlitch);
+            if (bugs_.test(
+                    static_cast<size_t>(BugId::Bug5MembusGlitch))) {
+                bug5_.open = true;
+                bug5_.reg = mem_op->d.rt;
+                bug5_.garbage = garbageValue;
+            }
         }
     }
 
     if (out.conflict && mem_op && prev.memClass == InstrClass::Load) {
         // Bug #6: conflict stall with a simultaneous I-stall loads
         // the stale value instead of the just-written one.
-        if (bugs_.test(static_cast<size_t>(BugId::Bug6StaleConflict)) &&
-            out.iStall && pendingStore_.valid) {
-            mem_op->useStale = true;
-            mem_op->staleValue = dmem_[mem_op->memAddr / 4];
+        if (out.iStall && pendingStore_.valid) {
+            noteBugTrigger(BugId::Bug6StaleConflict);
+            if (bugs_.test(
+                    static_cast<size_t>(BugId::Bug6StaleConflict))) {
+                mem_op->useStale = true;
+                mem_op->staleValue = dmem_[mem_op->memAddr / 4];
+            }
         }
         // Bug #3: the conflict-stalled load's address register is not
         // held; a following load/store overwrites it.
-        if (bugs_.test(static_cast<size_t>(BugId::Bug3ConflictAddr)) &&
-            exPacket_.valid &&
+        if (exPacket_.valid &&
             isMemClass(exPacket_.ops[0].d.cls())) {
-            mem_op->memAddr = effectiveAddress(exPacket_.ops[0]);
+            noteBugTrigger(BugId::Bug3ConflictAddr);
+            if (bugs_.test(
+                    static_cast<size_t>(BugId::Bug3ConflictAddr)))
+                mem_op->memAddr = effectiveAddress(exPacket_.ops[0]);
         }
     }
 
     // Bug #4: the fix-up cycle is not qualified on MemStall; if the
     // stall holds it, the restored instruction registers are lost.
-    if (bugs_.test(static_cast<size_t>(BugId::Bug4FixupLost)) &&
-        prev.irefill == IRefill::Fixup && out.frozen) {
-        bug4Armed_ = true;
+    if (prev.irefill == IRefill::Fixup && out.frozen) {
+        noteBugTrigger(BugId::Bug4FixupLost);
+        if (bugs_.test(static_cast<size_t>(BugId::Bug4FixupLost)))
+            bug4Armed_ = true;
     }
 
     // Bug #1: during an I-refill, an unqualified memory-controller
     // interface signal lets an overlapping D request corrupt the
     // data returned to the I-cache.
-    if (bugs_.test(static_cast<size_t>(BugId::Bug1IfaceQual)) &&
-        out.iFillBeat && prev.drefill == DRefill::Req) {
-        bug1Armed_ = true;
+    if (out.iFillBeat && prev.drefill == DRefill::Req) {
+        noteBugTrigger(BugId::Bug1IfaceQual);
+        if (bugs_.test(static_cast<size_t>(BugId::Bug1IfaceQual)))
+            bug1Armed_ = true;
     }
 
     // ------------------------------------------------------------------

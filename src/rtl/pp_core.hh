@@ -38,6 +38,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -99,6 +100,60 @@ class PpCore
     /** Provide Inbox contents (consumed by SWITCH). */
     void setInbox(std::deque<uint32_t> inbox);
 
+    /** @name Checkpointing (value-semantics snapshots) @{ */
+    /**
+     * Opaque bit-exact checkpoint of the whole core: control state,
+     * architectural data, pipeline packets, stream/inbox positions,
+     * cycle and retire counters, bug bookkeeping. Cheap to copy and
+     * share (immutable, reference-counted); restore() resumes as if
+     * the run had never stopped.
+     */
+    class Snapshot
+    {
+      public:
+        Snapshot() = default;
+        /** @return true when this snapshot holds a state. */
+        bool valid() const { return state_ != nullptr; }
+        /** @return approximate heap+object footprint in bytes. */
+        size_t bytes() const;
+        /** @return cycles executed at capture time. */
+        uint64_t cycles() const;
+        /** @return fetch-stream words consumed at capture time. */
+        size_t streamConsumed() const;
+        /** @return Inbox words left unconsumed at capture time. */
+        size_t inboxRemaining() const;
+
+      private:
+        friend class PpCore;
+        std::shared_ptr<const PpCore> state_;
+    };
+
+    /** @return a bit-exact checkpoint of the current state. */
+    Snapshot snapshot() const;
+
+    /** Resume from @p snap (same config and mode required). */
+    void restore(const Snapshot &snap);
+
+    /**
+     * Replace the vector-mode fetch stream while keeping the consumed
+     * position — used when a checkpoint is resumed under a different
+     * trace that shares the consumed prefix. The already-consumed
+     * words must be identical (checked).
+     */
+    void rebindStream(const std::vector<uint32_t> &stream);
+
+    /**
+     * Replace the Inbox with @p inbox minus its first @p consumed
+     * words. The checkpoint already popped those; the caller verifies
+     * against the donor trace that they match what was popped.
+     */
+    void rebindInbox(const std::deque<uint32_t> &inbox,
+                     size_t consumed);
+
+    /** @return approximate footprint of one snapshot of this core. */
+    size_t snapshotBytes() const;
+    /** @} */
+
     /** Preload a data-memory word. */
     void pokeDmem(uint32_t word_index, uint32_t value);
 
@@ -107,6 +162,22 @@ class PpCore
 
     /** @return the enabled bug set. */
     const BugSet &bugs() const { return bugs_; }
+
+    /**
+     * @return the first cycle at which @p bug's trigger conjunction
+     * held on this run — evaluated whether or not the bug is enabled
+     * — or UINT64_MAX when it never held. Because every injected
+     * fault's effect is strictly guarded by its trigger conjunction,
+     * a run with @p bug enabled is bit-identical to this run through
+     * any prefix ending at or before the returned cycle; if the
+     * trigger never held, through the entire run. The replay engine
+     * uses this to resume (or wholly reuse) bug-free replays for
+     * bugged ones.
+     */
+    uint64_t bugFirstTrigger(BugId bug) const
+    {
+        return bugFirstTrigger_[static_cast<size_t>(bug)];
+    }
 
     /** Advance one clock. @return false once halted (program mode). */
     bool step();
@@ -264,6 +335,21 @@ class PpCore
         uint8_t reg = 0;
         uint32_t garbage = 0;
     } bug5_;
+
+    /** Record a bug trigger conjunction holding this cycle. */
+    void noteBugTrigger(BugId bug)
+    {
+        size_t i = static_cast<size_t>(bug);
+        if (bugFirstTrigger_[i] == UINT64_MAX)
+            bugFirstTrigger_[i] = cycles_;
+    }
+
+    /** First trigger cycle per bug; see bugFirstTrigger(). */
+    std::array<uint64_t, numBugs> bugFirstTrigger_ = [] {
+        std::array<uint64_t, numBugs> a{};
+        a.fill(UINT64_MAX);
+        return a;
+    }();
 
     bool halted_ = false;
     uint64_t cycles_ = 0;

@@ -27,7 +27,21 @@ struct Skeleton
     int storeRef = -1;
     // Materialized address for memory ops.
     uint32_t memAddr = 0;
+    // Seed for this packet's operand draws: a hash of (generator
+    // seed, tour-edge prefix up to the fetch cycle). See prefixMix.
+    uint64_t seedHash = 0;
 };
+
+/** FNV-1a step folding @p value into the running prefix hash. */
+uint64_t
+prefixMix(uint64_t hash, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
 
 size_t
 varIndex(PpChoiceVar var)
@@ -39,7 +53,7 @@ varIndex(PpChoiceVar var)
 
 VectorGenerator::VectorGenerator(const rtl::PpFsmModel &model,
                                  uint64_t seed)
-    : model_(model), codec_(model.makeChoiceCodec()), rng_(seed)
+    : model_(model), codec_(model.makeChoiceCodec()), seed_(seed)
 {
 }
 
@@ -63,7 +77,15 @@ VectorGenerator::generate(const graph::StateGraph &graph,
     int rd_hold = -1, ex_hold = -1, mem_hold = -1;
     int pending_store = -1;
 
+    // Running hash of the tour-edge prefix. Each packet's operand
+    // draws are seeded from the hash at its fetch cycle, so traces
+    // sharing a reset-rooted edge prefix materialize byte-identical
+    // stimulus for that prefix (what ReplayEngine checkpoint sharing
+    // keys on) while decorrelating right after the walks diverge.
+    uint64_t prefix_hash = prefixMix(0xcbf29ce484222325ull, seed_);
+
     for (graph::EdgeId e : trace.edges) {
+        prefix_hash = prefixMix(prefix_hash, e);
         const graph::Edge &edge = graph.edge(e);
         const BitVec &src = graph.packedState(edge.src);
         rtl::PpControlState st = model_.unpack(src);
@@ -129,6 +151,7 @@ VectorGenerator::generate(const graph::StateGraph &graph,
                     Skeleton skel;
                     skel.cls = cycle_out.fetchClass;
                     skel.count = cycle_out.fetchCount;
+                    skel.seedHash = prefix_hash;
                     skeletons.push_back(skel);
                     rd_hold = static_cast<int>(skeletons.size()) - 1;
                 } else {
@@ -146,15 +169,15 @@ VectorGenerator::generate(const graph::StateGraph &graph,
     const uint32_t dmem_words = model_.config().machine.dmemWords;
     const uint32_t line_bytes = model_.config().lineWords * 4;
 
-    auto random_addr = [&]() -> uint32_t {
-        return static_cast<uint32_t>(rng_.index(dmem_words)) * 4;
+    auto random_addr = [&](Rng &r) -> uint32_t {
+        return static_cast<uint32_t>(r.index(dmem_words)) * 4;
     };
 
-    auto random_alu = [&]() -> uint32_t {
-        unsigned rd = 1 + static_cast<unsigned>(rng_.index(31));
-        unsigned rs = static_cast<unsigned>(rng_.index(32));
-        unsigned rt = static_cast<unsigned>(rng_.index(32));
-        switch (rng_.index(8)) {
+    auto random_alu = [&](Rng &r) -> uint32_t {
+        unsigned rd = 1 + static_cast<unsigned>(r.index(31));
+        unsigned rs = static_cast<unsigned>(r.index(32));
+        unsigned rt = static_cast<unsigned>(r.index(32));
+        switch (r.index(8)) {
           case 0:
             return pp::encodeRType(pp::Funct::Add, rd, rs, rt);
           case 1:
@@ -168,15 +191,15 @@ VectorGenerator::generate(const graph::StateGraph &graph,
           case 5:
             return pp::encodeIType(
                 pp::Opcode::Addi, rd, rs,
-                static_cast<int16_t>(rng_.next() & 0xffff));
+                static_cast<int16_t>(r.next() & 0xffff));
           case 6:
             return pp::encodeIType(
                 pp::Opcode::Xori, rd, rs,
-                static_cast<int16_t>(rng_.next() & 0x7fff));
+                static_cast<int16_t>(r.next() & 0x7fff));
           default:
             return pp::encodeRType(pp::Funct::Sll, rd, 0, rt,
                                    static_cast<unsigned>(
-                                       rng_.index(32)));
+                                       r.index(32)));
         }
     };
 
@@ -187,19 +210,20 @@ VectorGenerator::generate(const graph::StateGraph &graph,
     uint32_t last_store_addr = 0;
 
     for (Skeleton &skel : skeletons) {
+        Rng r(skel.seedHash);
         uint32_t slot0 = 0;
         switch (skel.cls) {
           case InstrClass::Alu:
-            slot0 = random_alu();
+            slot0 = random_alu(r);
             break;
           case InstrClass::Load: {
             uint32_t addr;
             if (!skel.hasConstraint && have_store_addr &&
-                rng_.chance(1, 8)) {
+                r.chance(1, 8)) {
                 addr = last_store_addr;
                 skel.memAddr = addr;
                 slot0 = pp::encodeLw(
-                    1 + static_cast<unsigned>(rng_.index(31)), 0,
+                    1 + static_cast<unsigned>(r.index(31)), 0,
                     static_cast<int16_t>(addr));
                 break;
             }
@@ -209,44 +233,44 @@ VectorGenerator::generate(const graph::StateGraph &graph,
                 if (skel.sameLine) {
                     // Mostly the exact word (makes stale-data bugs
                     // visible), sometimes elsewhere in the line.
-                    if (rng_.chance(3, 4)) {
+                    if (r.chance(3, 4)) {
                         addr = store_addr;
                     } else {
                         addr = (store_addr & ~(line_bytes - 1)) +
-                               static_cast<uint32_t>(rng_.index(
+                               static_cast<uint32_t>(r.index(
                                    model_.config().lineWords)) * 4;
                     }
                 } else {
                     do {
-                        addr = random_addr();
+                        addr = random_addr(r);
                     } while (addr / line_bytes ==
                              store_addr / line_bytes);
                 }
             } else {
-                addr = random_addr();
+                addr = random_addr(r);
             }
             skel.memAddr = addr;
             slot0 = pp::encodeLw(
-                1 + static_cast<unsigned>(rng_.index(31)), 0,
+                1 + static_cast<unsigned>(r.index(31)), 0,
                 static_cast<int16_t>(addr));
             break;
           }
           case InstrClass::Store: {
-            uint32_t addr = random_addr();
+            uint32_t addr = random_addr(r);
             skel.memAddr = addr;
             have_store_addr = true;
             last_store_addr = addr;
-            slot0 = pp::encodeSw(static_cast<unsigned>(rng_.index(32)),
+            slot0 = pp::encodeSw(static_cast<unsigned>(r.index(32)),
                                  0, static_cast<int16_t>(addr));
             break;
           }
           case InstrClass::Switch:
             slot0 = pp::encodeSwitch(
-                1 + static_cast<unsigned>(rng_.index(31)));
+                1 + static_cast<unsigned>(r.index(31)));
             break;
           case InstrClass::Send:
             slot0 = pp::encodeSend(
-                static_cast<unsigned>(rng_.index(32)));
+                static_cast<unsigned>(r.index(32)));
             break;
           case InstrClass::Branch:
             // The outcome is dictated by the tour: encode a branch
@@ -262,7 +286,7 @@ VectorGenerator::generate(const graph::StateGraph &graph,
         out.fetchStream.push_back(slot0);
         uint32_t slot1 = 0;
         if (skel.count == 2) {
-            slot1 = random_alu();
+            slot1 = random_alu(r);
             out.fetchStream.push_back(slot1);
         }
 
@@ -272,7 +296,7 @@ VectorGenerator::generate(const graph::StateGraph &graph,
                 out.retiredStream.push_back(slot1);
             if (skel.cls == InstrClass::Switch) {
                 out.inbox.push_back(
-                    static_cast<uint32_t>(rng_.next()));
+                    static_cast<uint32_t>(r.next()));
             }
         }
     }

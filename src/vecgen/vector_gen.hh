@@ -110,7 +110,14 @@ class VectorGenerator
   private:
     const rtl::PpFsmModel &model_;
     fsm::ChoiceCodec codec_;
-    Rng rng_;
+    /**
+     * Operand draws are seeded per packet from a hash of (seed_,
+     * tour-edge prefix), not from one sequential stream: traces that
+     * share a reset-rooted prefix then materialize byte-identical
+     * stimulus for it, which is what makes checkpoint reuse across
+     * traces (harness::ReplayEngine) actually hit.
+     */
+    uint64_t seed_;
     VecGenStats stats_;
 };
 
