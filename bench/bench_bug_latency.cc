@@ -7,6 +7,9 @@
  * that finding an error that occurs at the conjunction of these
  * cases requires a prohibitively large number of simulation cycles"
  * with random testing (Section 1).
+ *
+ * `--json <path>` additionally writes the per-bug latency rows as
+ * JSON (CI uses BENCH_bug_latency.json; see tools/bench_diff.py).
  */
 
 #include <algorithm>
@@ -21,7 +24,7 @@
 using namespace archval;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Detection latency",
                   "Instructions to detection: tour vs random, per "
@@ -58,9 +61,17 @@ main()
     std::printf("%-5s  %-34s  %18s  %18s  %8s\n", "bug",
                 "mechanism", "tour instrs", "random instrs",
                 "ratio");
+    bench::JsonWriter json("bug_latency");
     for (size_t b = 0; b < rtl::numBugs; ++b) {
         rtl::BugId bug = static_cast<rtl::BugId>(b);
         auto result = hunt.hunt(bug, random_budget, 4242 + b);
+        json.beginRow();
+        json.add("bug", (uint64_t)(b + 1));
+        json.add("tour_detected", result.tour.detected);
+        json.add("tour_instructions", result.tour.instructions);
+        json.add("random_detected", result.random.detected);
+        json.add("random_instructions", result.random.instructions);
+        json.add("random_budget", random_budget);
         std::string tour_cell =
             result.tour.detected
                 ? withCommas(result.tour.instructions)
@@ -91,5 +102,10 @@ main()
                 "detection by its own length;\nrandom stimulus pays "
                 "a large multiple, or never reaches the "
                 "conjunction.\n");
+    std::string path = bench::jsonPath(argc, argv);
+    if (!json.write(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
     return 0;
 }

@@ -8,6 +8,9 @@
  * directed-test suite. The paper's finding — these multiple-event
  * bugs are found by the generated vectors but not (or only at great
  * cost) by the other methods — is the headline result.
+ *
+ * `--json <path>` additionally writes the per-bug detection table as
+ * JSON (CI uses BENCH_table2_1.json; see tools/bench_diff.py).
  */
 
 #include <algorithm>
@@ -22,7 +25,7 @@
 using namespace archval;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Table 2.1", "Synopsis of discovered bugs");
 
@@ -67,11 +70,25 @@ main()
 
     std::printf("\n%s", harness::renderHuntTable(results).c_str());
 
+    bench::JsonWriter json("table2_1");
     unsigned tour_found = 0, random_found = 0, directed_found = 0;
     for (const auto &r : results) {
         tour_found += r.tour.detected;
         random_found += r.random.detected;
         directed_found += r.directed.detected;
+        json.beginRow();
+        json.add("bug", (uint64_t)(size_t(r.bug) + 1));
+        json.add("tour_detected", r.tour.detected);
+        json.add("tour_instructions", r.tour.instructions);
+        json.add("tour_cycles", r.tour.cycles);
+        json.add("random_detected", r.random.detected);
+        json.add("random_instructions", r.random.instructions);
+        json.add("directed_detected", r.directed.detected);
+    }
+    std::string path = bench::jsonPath(argc, argv);
+    if (!json.write(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
     }
     std::printf(
         "\nsummary: tour vectors found %u/6 bugs; biased-random "

@@ -13,6 +13,9 @@
  *  - Replay ablation: plain limit cuts vs nested prefix splits under
  *    the checkpointed replay engine — nesting trades a larger
  *    nominal batch for heavy cross-trace sharing the engine removes.
+ *
+ * `--json <path>` additionally writes every measured row as JSON
+ * (CI uses BENCH_tour_ablation.json; see tools/bench_diff.py).
  */
 
 #include <cstdio>
@@ -29,7 +32,7 @@
 using namespace archval;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Tour ablation",
                   "Greedy DFS+BFS vs Chinese Postman; trace-limit "
@@ -80,6 +83,19 @@ main()
     std::printf("%-28s %15.1f%%\n",
                 "greedy overhead vs optimal", overhead);
 
+    bench::JsonWriter json("tour_ablation");
+    json.beginRow();
+    json.add("section", "postman");
+    json.add("greedy_traversals",
+             greedy.stats().totalEdgeTraversals);
+    json.add("greedy_restarts",
+             (uint64_t)(greedy.stats().numTraces - 1));
+    json.add("postman_traversals", postman.totalTraversals);
+    json.add("postman_restarts", postman.resetReturns);
+    json.add("greedy_overhead_pct", overhead);
+    json.add("greedy_seconds", greedy_secs);
+    json.add("postman_seconds", postman_secs);
+
     // --- trace-limit sweep -------------------------------------------------
     std::printf("\ntrace-limit sweep (Table 3.3 trade-off):\n");
     std::printf("%12s %10s %16s %16s %18s\n", "limit", "traces",
@@ -106,6 +122,12 @@ main()
                     humanSeconds(double(stats.longestTraceEdges) /
                                  100.0)
                         .c_str());
+        json.beginRow();
+        json.add("section", "limit_sweep");
+        json.add("limit", limit);
+        json.add("traces", (uint64_t)stats.numTraces);
+        json.add("instructions", stats.totalInstructions);
+        json.add("longest_trace_edges", stats.longestTraceEdges);
     }
     std::printf("\nshape: tighter limits multiply trace count but "
                 "barely change total cost,\nwhile slashing the "
@@ -150,11 +172,23 @@ main()
                     withCommas(batch).c_str(),
                     withCommas(sim[0]).c_str(),
                     withCommas(sim[1]).c_str(), 100.0 * avoided);
+        json.beginRow();
+        json.add("section", "replay_ablation");
+        json.add("nested", nested);
+        json.add("batch_cycles", batch);
+        json.add("sim_cycles_cache_off", sim[0]);
+        json.add("sim_cycles_cache_on", sim[1]);
+        json.add("avoided_fraction", avoided);
     }
     std::printf("\nshape: nested splits inflate the nominal batch "
                 "(every trace re-walks its\nstem) but the engine "
                 "replays each stem once, so the marginal cost of a "
                 "split\nreturns to roughly one limit's worth of new "
                 "cycles per trace.\n");
+    std::string path = bench::jsonPath(argc, argv);
+    if (!json.write(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
     return 0;
 }

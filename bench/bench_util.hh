@@ -7,11 +7,14 @@
 #ifndef ARCHVAL_BENCH_BENCH_UTIL_HH
 #define ARCHVAL_BENCH_BENCH_UTIL_HH
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -80,11 +83,32 @@ jsonPath(int argc, char **argv)
     return {};
 }
 
+/** @return logical CPU count of this host (0 when unknown). */
+inline unsigned
+hostCpuCount()
+{
+    return std::thread::hardware_concurrency();
+}
+
+/** @return physical memory of this host in bytes (0 when unknown). */
+inline uint64_t
+hostMemoryBytes()
+{
+    long pages = ::sysconf(_SC_PHYS_PAGES);
+    long page_size = ::sysconf(_SC_PAGE_SIZE);
+    if (pages <= 0 || page_size <= 0)
+        return 0;
+    return uint64_t(pages) * uint64_t(page_size);
+}
+
 /**
  * Minimal JSON emitter for bench results: one object per measured
- * row, wrapped as {"bench": <name>, "rows": [...]}. Keys repeat the
- * printed table's column names so the JSON and the human table stay
- * in sync.
+ * row, wrapped as {"bench": <name>, "host": {...}, "rows": [...]}.
+ * Keys repeat the printed table's column names so the JSON and the
+ * human table stay in sync. The host object records the environment
+ * the numbers were measured on (CPU count, physical memory) so
+ * archived results are interpretable — wall-clock rows from a 1-CPU
+ * container say nothing about multi-core scaling.
  */
 class JsonWriter
 {
@@ -137,8 +161,13 @@ class JsonWriter
         std::FILE *file = std::fopen(path.c_str(), "w");
         if (!file)
             return false;
-        std::fprintf(file, "{\n  \"bench\": %s,\n  \"rows\": [",
-                     quote(bench_).c_str());
+        std::fprintf(file, "{\n  \"bench\": %s,\n", quote(bench_).c_str());
+        std::fprintf(file,
+                     "  \"host\": {\"cpus\": %u, "
+                     "\"memory_bytes\": %llu},\n",
+                     hostCpuCount(),
+                     (unsigned long long)hostMemoryBytes());
+        std::fprintf(file, "  \"rows\": [");
         for (size_t r = 0; r < rows_.size(); ++r) {
             std::fprintf(file, "%s\n    {", r ? "," : "");
             for (size_t f = 0; f < rows_[r].size(); ++f) {

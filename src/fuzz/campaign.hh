@@ -41,7 +41,11 @@ struct CampaignOptions
      *  batch-replayed through harness::ReplayEngine before round 0
      *  and the engines primed with the results. numThreads = 0
      *  means "use the campaign worker count". */
-    harness::ReplayOptions replay{.numThreads = 0};
+    harness::ReplayOptions replay = [] {
+        harness::ReplayOptions options;
+        options.numThreads = 0;
+        return options;
+    }();
 };
 
 /** Outcome of a campaign against one bug set. */

@@ -4,10 +4,12 @@
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <numeric>
 #include <thread>
 
+#include "support/spill_store.hh"
 #include "support/status.hh"
 
 namespace archval::harness
@@ -47,58 +49,49 @@ commonPrefix(const std::vector<rtl::ForcedSignals> &a,
 }
 
 /**
- * Runtime checkpoint cache: slot lifecycle plus LRU eviction under
- * the byte budget. One mutex guards everything — publishes and
- * consumes are rare next to the simulation they save.
+ * Tiered runtime checkpoint cache.
+ *
+ * Tier 1 is memory under the byte budget; tier 2 is the CRC-checked
+ * disk spill file. Entries come in two kinds: *plan slots* (the
+ * prefix-tree checkpoints planned before execution, with exact
+ * consumer counts) and *stride entries* (periodic donor checkpoints
+ * added at runtime, shared read-only by every non-donor bug set and
+ * dropped when their trace's last consumer finishes). Eviction is
+ * LRU across both kinds; a victim is serialized to the spill store
+ * when it fits the spill cap, dropped otherwise. Faulting a spilled
+ * entry back in re-reads and CRC-checks the record; any failure
+ * marks the entry dropped and the caller degrades to an earlier
+ * checkpoint or from-reset replay.
+ *
+ * One mutex guards everything — publishes, consumes, and spill I/O
+ * are rare next to the simulation they save.
  */
 class CheckpointCache
 {
   public:
-    CheckpointCache(const std::vector<SlotPlan> &plans, size_t budget)
-        : budget_(budget)
+    CheckpointCache(const rtl::PpConfig &config,
+                    const std::vector<SlotPlan> &plans, size_t budget,
+                    SpillStore *spill,
+                    ReplayOptions::SpillFault fault)
+        : config_(config), budget_(budget), spill_(spill),
+          fault_(fault)
     {
         slots_.resize(plans.size());
         for (size_t i = 0; i < plans.size(); ++i)
             slots_[i].remaining = plans[i].consumers;
     }
 
-    /** Store @p snap for @p slot (or drop it if it cannot fit). */
+    /** Store @p snap for plan slot @p slot (or drop it). */
     void publish(size_t slot, rtl::PpCore::Snapshot snap)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         Slot &s = slots_[slot];
-        size_t bytes = snap.bytes();
-        if (s.remaining == 0 || bytes > budget_) {
+        if (s.remaining == 0)
             s.state = State::Dropped;
-        } else {
-            // Evict least-recently-used entries until the newcomer
-            // fits; a planned consumer of an evicted entry falls
-            // back to from-reset replay.
-            while (bytes_ + bytes > budget_) {
-                size_t victim = slots_.size();
-                for (size_t i = 0; i < slots_.size(); ++i) {
-                    if (slots_[i].state != State::Ready)
-                        continue;
-                    if (victim == slots_.size() ||
-                        slots_[i].lastUse < slots_[victim].lastUse)
-                        victim = i;
-                }
-                if (victim == slots_.size())
-                    break; // nothing left to evict
-                drop(slots_[victim]);
-                ++evictions_;
-            }
-            if (bytes_ + bytes > budget_) {
-                s.state = State::Dropped;
-            } else {
-                s.snap = std::move(snap);
-                s.state = State::Ready;
-                s.lastUse = ++useClock_;
-                bytes_ += bytes;
-                peakBytes_ = std::max(peakBytes_, bytes_);
-                ++published_;
-            }
-        }
+        else
+            insert(s, std::move(snap));
+        if (s.state != State::Dropped)
+            ++published_;
         cv_.notify_all();
     }
 
@@ -112,8 +105,9 @@ class CheckpointCache
     }
 
     /**
-     * Block until @p slot resolves; @return its snapshot, or an
-     * invalid one when it was dropped or evicted. Decrements the
+     * Block until plan slot @p slot resolves; @return its snapshot,
+     * or an invalid one when it was dropped, evicted past the spill
+     * cap, or its spill record came back damaged. Decrements the
      * planned-consumer count (the last consumer frees the entry).
      */
     rtl::PpCore::Snapshot consume(size_t slot)
@@ -121,13 +115,9 @@ class CheckpointCache
         std::unique_lock<std::mutex> lock(mutex_);
         Slot &s = slots_[slot];
         cv_.wait(lock, [&] { return s.state != State::Pending; });
-        rtl::PpCore::Snapshot out;
-        if (s.state == State::Ready) {
-            out = s.snap;
-            s.lastUse = ++useClock_;
-        }
-        if (--s.remaining == 0 && s.state == State::Ready)
-            drop(s);
+        rtl::PpCore::Snapshot out = materialize(s);
+        if (--s.remaining == 0)
+            freeSlot(s);
         return out;
     }
 
@@ -136,46 +126,196 @@ class CheckpointCache
     {
         std::lock_guard<std::mutex> lock(mutex_);
         Slot &s = slots_[slot];
-        if (--s.remaining == 0 && s.state == State::Ready)
-            drop(s);
+        if (--s.remaining == 0)
+            freeSlot(s);
+    }
+
+    /** Add a periodic donor checkpoint. @return its entry id. */
+    size_t addStride(rtl::PpCore::Snapshot snap)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_.emplace_back();
+        Slot &s = slots_.back();
+        s.stride = true;
+        insert(s, std::move(snap));
+        ++strideCheckpoints_;
+        return slots_.size() - 1;
+    }
+
+    /**
+     * Fetch stride entry @p id without consuming it (the donor chain
+     * is shared by every non-donor bug set). Stride entries are
+     * never pending — the donor published the whole chain before its
+     * result became visible.
+     */
+    rtl::PpCore::Snapshot fetchStride(size_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return materialize(slots_[id]);
+    }
+
+    /** Free a trace's stride chain (its last consumer finished). */
+    void dropChain(const std::vector<size_t> &ids)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t id : ids)
+            freeSlot(slots_[id]);
     }
 
     uint64_t published() const { return published_; }
+    uint64_t strideCheckpoints() const { return strideCheckpoints_; }
     uint64_t evictions() const { return evictions_; }
+    uint64_t spillFallbacks() const { return spillFallbacks_; }
     size_t peakBytes() const { return peakBytes_; }
 
   private:
     enum class State
     {
-        Pending,
-        Ready,
-        Dropped,
+        Pending, ///< producer has not resolved the entry yet
+        Ready,   ///< snapshot held in memory
+        Spilled, ///< snapshot parked in the spill store
+        Dropped, ///< gone; consumers degrade
     };
 
     struct Slot
     {
         State state = State::Pending;
         rtl::PpCore::Snapshot snap;
+        int64_t record = SpillStore::invalidId;
         unsigned remaining = 0;
         uint64_t lastUse = 0;
+        bool stride = false;
     };
 
-    void drop(Slot &s)
+    /** Place @p snap into @p s, evicting/spilling as needed. */
+    void insert(Slot &s, rtl::PpCore::Snapshot snap)
     {
+        size_t bytes = snap.bytes();
+        if (makeRoom(bytes)) {
+            s.snap = std::move(snap);
+            s.state = State::Ready;
+            s.lastUse = ++useClock_;
+            bytes_ += bytes;
+            peakBytes_ = std::max(peakBytes_, bytes_);
+        } else {
+            // Too big for the whole memory budget (mid-trace
+            // snapshots outgrow the reset-state estimate): straight
+            // to the spill tier, or gone.
+            s.state = spillSnapshot(s, snap) ? State::Spilled
+                                             : State::Dropped;
+        }
+    }
+
+    /** Evict LRU entries until @p bytes fits the memory budget. */
+    bool makeRoom(size_t bytes)
+    {
+        if (bytes > budget_)
+            return false;
+        while (bytes_ + bytes > budget_) {
+            size_t victim = slots_.size();
+            for (size_t i = 0; i < slots_.size(); ++i) {
+                if (slots_[i].state != State::Ready)
+                    continue;
+                if (victim == slots_.size() ||
+                    slots_[i].lastUse < slots_[victim].lastUse)
+                    victim = i;
+            }
+            if (victim == slots_.size())
+                return bytes_ + bytes <= budget_;
+            Slot &loser = slots_[victim];
+            // Best effort: when the spill store is full, disabled,
+            // or failing, the eviction becomes a drop.
+            spillSnapshot(loser, loser.snap);
+            freeInMemory(loser);
+            ++evictions_;
+        }
+        return true;
+    }
+
+    /** Try to park @p snap in the spill store for @p s.
+     *  @return true when @p s now points at a spill record. */
+    bool spillSnapshot(Slot &s, const rtl::PpCore::Snapshot &snap)
+    {
+        if (!spill_ || !spill_->enabled())
+            return false;
+        std::vector<uint8_t> bytes = snap.serialize();
+        int64_t record = spill_->append(bytes.data(), bytes.size());
+        if (record == SpillStore::invalidId)
+            return false;
+        // Fault injection (testing): damage the record on disk so
+        // the fault-back path must detect it and degrade.
+        if (fault_ == ReplayOptions::SpillFault::CorruptCrc)
+            spill_->corruptRecordForTesting(record);
+        else if (fault_ == ReplayOptions::SpillFault::Truncate)
+            spill_->truncateAtRecordForTesting(record);
+        s.record = record;
+        return true;
+    }
+
+    /** @return @p s's snapshot, faulting it back from spill if
+     *  needed; invalid (with @p s dropped) on any failure. */
+    rtl::PpCore::Snapshot materialize(Slot &s)
+    {
+        if (s.state == State::Ready) {
+            s.lastUse = ++useClock_;
+            return s.snap;
+        }
+        if (s.state == State::Spilled) {
+            std::vector<uint8_t> bytes;
+            if (spill_ && spill_->read(s.record, bytes)) {
+                rtl::PpCore::Snapshot snap =
+                    rtl::PpCore::deserializeSnapshot(
+                        config_, rtl::CoreMode::Vector, bytes.data(),
+                        bytes.size());
+                if (snap.valid())
+                    return snap;
+            }
+            // Damaged or unreadable record: degrade, never guess.
+            ++spillFallbacks_;
+            s.record = SpillStore::invalidId;
+            s.state = State::Dropped;
+        }
+        return rtl::PpCore::Snapshot();
+    }
+
+    /** Forget an in-memory snapshot (keeps any Spilled marker). */
+    void freeInMemory(Slot &s)
+    {
+        if (s.state != State::Ready)
+            return;
         bytes_ -= s.snap.bytes();
         s.snap = rtl::PpCore::Snapshot();
+        s.state = s.record != SpillStore::invalidId ? State::Spilled
+                                                    : State::Dropped;
+    }
+
+    /** Drop @p s entirely (memory and spill reference). */
+    void freeSlot(Slot &s)
+    {
+        if (s.state == State::Ready) {
+            bytes_ -= s.snap.bytes();
+            s.snap = rtl::PpCore::Snapshot();
+        }
+        s.record = SpillStore::invalidId;
         s.state = State::Dropped;
     }
 
+    const rtl::PpConfig &config_;
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::vector<Slot> slots_;
+    /// Deque, not vector: addStride grows the container while other
+    /// workers hold Slot references across cv_ waits in consume().
+    std::deque<Slot> slots_;
     size_t budget_;
+    SpillStore *spill_;
+    ReplayOptions::SpillFault fault_;
     size_t bytes_ = 0;
     size_t peakBytes_ = 0;
     uint64_t useClock_ = 0;
     uint64_t published_ = 0;
+    uint64_t strideCheckpoints_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t spillFallbacks_ = 0;
 };
 
 /**
@@ -248,6 +388,73 @@ class DonorTable
     std::vector<Entry> entries_;
 };
 
+/**
+ * Per-trace chains of periodic donor checkpoints: (cycle, cache id)
+ * links in increasing cycle order, filled by the donor job and read
+ * by every non-donor job for the same trace after the donor
+ * resolves. Each trace's chain carries a consumer count (one per
+ * non-donor bug set); the last consumer frees the chain's cache
+ * entries.
+ */
+class StrideChains
+{
+  public:
+    StrideChains(size_t traces, unsigned consumers)
+        : chains_(traces), remaining_(traces, consumers)
+    {
+    }
+
+    /** Donor appends a checkpoint (cycles strictly increase). */
+    void add(size_t trace, uint64_t cycle, size_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        chains_[trace].push_back(Link{cycle, id});
+    }
+
+    /** @return cache id of the greatest checkpoint with cycle
+     *  strictly below @p below, or -1 when none qualifies. */
+    int64_t find(size_t trace, uint64_t below) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto &chain = chains_[trace];
+        for (size_t i = chain.size(); i-- > 0;) {
+            if (chain[i].cycle < below)
+                return (int64_t)chain[i].id;
+        }
+        return -1;
+    }
+
+    /**
+     * Drop one consumer claim on @p trace's chain. @return the
+     * chain's cache ids when this was the last claim (the caller
+     * frees them in the cache), empty otherwise.
+     */
+    std::vector<size_t> release(size_t trace)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--remaining_[trace] != 0)
+            return {};
+        std::vector<size_t> ids;
+        ids.reserve(chains_[trace].size());
+        for (const Link &link : chains_[trace])
+            ids.push_back(link.id);
+        chains_[trace].clear();
+        chains_[trace].shrink_to_fit();
+        return ids;
+    }
+
+  private:
+    struct Link
+    {
+        uint64_t cycle = 0;
+        size_t id = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<std::vector<Link>> chains_;
+    std::vector<unsigned> remaining_;
+};
+
 /** Per-worker stat accumulators (merged once at the end). */
 struct LocalStats
 {
@@ -258,6 +465,11 @@ struct LocalStats
     uint64_t misses = 0;
     uint64_t fallbacks = 0;
     uint64_t copies = 0;
+    uint64_t strideHits = 0;
+    uint64_t strideResumeCycles = 0;
+    uint64_t triggeredJobs = 0;
+    uint64_t triggeredJobCycles = 0;
+    uint64_t triggeredLeadCycles = 0;
 };
 
 /** Lower @p target to @p value if it is smaller (atomic min). */
@@ -334,9 +546,9 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     // Bug-set axis: when the batch contains the empty bug set, its
     // block runs first as the per-trace donor; jobs in other blocks
     // whose bugs never triggered on the donor run reuse its result
-    // outright. Every block still gets its own cross-trace prefix
-    // chain — a job that cannot copy (its bug did trigger) resumes
-    // from its block's nearest checkpoint instead of from reset.
+    // outright, and (with the stride tier active) triggered jobs
+    // resume from the donor's in-trace checkpoint chain with the bug
+    // mask re-armed.
     size_t donor_set = nb;
     if (budget > 0 && nb > 1) {
         for (size_t b = 0; b < nb; ++b) {
@@ -352,36 +564,53 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     if (donor_active)
         std::swap(set_order[0], set_order[donor_set]);
 
+    // The stride tier: periodic checkpoints along each donor run,
+    // consumed cross-bug-set. While active, non-donor blocks take no
+    // prefix chains of their own — a checkpoint valid below every
+    // trigger cycle of two bug sets serves both, so the donor chain
+    // subsumes them (jobs it cannot serve replay from reset).
+    const size_t stride = options_.checkpointStride;
+    const bool stride_active =
+        donor_active && stride > 0 && budget > 0;
+
     std::vector<SlotPlan> slots;
     std::vector<Job> jobs;
     jobs.reserve(nt * nb);
-    for (size_t b : set_order) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+        size_t b = set_order[bi];
+        const bool chain_this_block = !stride_active || bi == 0;
         std::vector<std::pair<size_t, int>> stack; // (depth, slot)
         size_t live_bytes = 0;
         for (size_t i = 0; i < nt; ++i) {
             Job job;
             job.trace = order[i];
             job.bugSet = b;
-            size_t shared = (i == 0) ? 0 : lcp[i];
-            while (!stack.empty() && stack.back().first > shared) {
-                live_bytes -= est;
-                stack.pop_back();
-            }
-            size_t start = 0;
-            if (!stack.empty()) {
-                job.restoreSlot = stack.back().second;
-                start = stack.back().first;
-                ++slots[static_cast<size_t>(job.restoreSlot)].consumers;
-            }
-            if (budget > 0 && i + 1 < nt) {
-                size_t depth = lcp[i + 1];
-                if (depth > start && depth >= min_prefix &&
-                    live_bytes + est <= budget) {
-                    job.publishSlot = static_cast<int>(slots.size());
-                    job.publishDepth = depth;
-                    slots.push_back(SlotPlan{job.trace, depth, 0});
-                    stack.emplace_back(depth, job.publishSlot);
-                    live_bytes += est;
+            if (chain_this_block) {
+                size_t shared = (i == 0) ? 0 : lcp[i];
+                while (!stack.empty() &&
+                       stack.back().first > shared) {
+                    live_bytes -= est;
+                    stack.pop_back();
+                }
+                size_t start = 0;
+                if (!stack.empty()) {
+                    job.restoreSlot = stack.back().second;
+                    start = stack.back().first;
+                    ++slots[static_cast<size_t>(job.restoreSlot)]
+                          .consumers;
+                }
+                if (budget > 0 && i + 1 < nt) {
+                    size_t depth = lcp[i + 1];
+                    if (depth > start && depth >= min_prefix &&
+                        live_bytes + est <= budget) {
+                        job.publishSlot =
+                            static_cast<int>(slots.size());
+                        job.publishDepth = depth;
+                        slots.push_back(
+                            SlotPlan{job.trace, depth, 0});
+                        stack.emplace_back(depth, job.publishSlot);
+                        live_bytes += est;
+                    }
                 }
             }
             jobs.push_back(job);
@@ -393,10 +622,18 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     // producer is always claimed before any of its consumers: every
     // wait in CheckpointCache::consume is on a job that is already
     // running (or done), and every running job publishes or abandons
-    // its slot — no deadlock, any worker count.
+    // its slot — no deadlock, any worker count. Stride chains are
+    // read only after DonorTable::wait returns, which orders them
+    // after the donor's last add.
     // ------------------------------------------------------------------
-    CheckpointCache cache(slots, budget);
+    SpillStore spill(SpillStore::Options{
+        options_.spillDir,
+        budget > 0 ? options_.spillBudgetBytes : 0});
+    CheckpointCache cache(config_, slots, budget, &spill,
+                          options_.spillFault);
     DonorTable donors(donor_active ? nt : 0);
+    StrideChains chains(stride_active ? nt : 0,
+                        static_cast<unsigned>(nb - 1));
     std::atomic<size_t> next_job{0};
     std::vector<std::atomic<size_t>> first_div(nb);
     for (auto &fd : first_div)
@@ -404,7 +641,14 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
 
     auto run_one = [&](const Job &job, LocalStats &ls) {
         const vecgen::TestTrace &trace = traces[job.trace];
+        const size_t len = trace.cycles.size();
         const bool is_donor = donor_active && job.bugSet == donor_set;
+        // Every non-donor job holds one claim on its trace's stride
+        // chain; dropping the last claim frees the chain.
+        auto release_chain = [&] {
+            if (stride_active && !is_donor)
+                cache.dropChain(chains.release(job.trace));
+        };
 
         if (options_.stopOnDivergence &&
             first_div[job.bugSet].load(std::memory_order_acquire) <
@@ -417,15 +661,19 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
                 cache.abandon(static_cast<size_t>(job.publishSlot));
             if (is_donor)
                 donors.fail(job.trace);
+            release_chain();
             results[job.bugSet * nt + job.trace].skipped = true;
             return;
         }
 
+        // The cross-bug-set axes: wholesale donor-result reuse for
+        // never-triggered jobs, donor-chain resume for triggered
+        // ones. Both hinge on the same guarantee — fault effects are
+        // strictly trigger-guarded and trigger cycles are recorded
+        // on the bug-free run — so the donor's trajectory *is* the
+        // bugged trajectory below the first trigger.
+        int64_t stride_entry = -1;
         if (donor_active && !is_donor) {
-            // Reuse the trace's bug-free run wholesale when none of
-            // this job's bugs ever triggered on it: the fault effects
-            // are strictly trigger-guarded, so the bugged run is
-            // bit-identical end to end (drain included).
             PlayResult donor_result;
             std::array<uint64_t, rtl::numBugs> triggers{};
             if (donors.wait(job.trace, donor_result, triggers)) {
@@ -436,7 +684,7 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
                 }
                 if (first == UINT64_MAX) {
                     ++ls.copies;
-                    ls.batchCycles += trace.cycles.size();
+                    ls.batchCycles += len;
                     ls.cyclesAvoided += donor_result.cycles;
                     results[job.bugSet * nt + job.trace] =
                         donor_result;
@@ -449,11 +697,21 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
                     if (job.publishSlot >= 0)
                         cache.abandon(
                             static_cast<size_t>(job.publishSlot));
+                    release_chain();
                     if (donor_result.diverged &&
                         options_.stopOnDivergence)
                         fetchMin(first_div[job.bugSet], job.trace);
                     return;
                 }
+                ++ls.triggeredJobs;
+                ls.triggeredJobCycles += len;
+                // The avoidable pool: the bug-free lead up to the
+                // first trigger (a trigger can fire during drain, so
+                // cap at the forced-cycle length).
+                ls.triggeredLeadCycles +=
+                    std::min<uint64_t>(first, len);
+                if (stride_active)
+                    stride_entry = chains.find(job.trace, first);
             }
         }
 
@@ -461,7 +719,25 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         VectorPlayer::primeCore(core, trace, bug_sets[job.bugSet]);
 
         size_t start = 0;
-        if (job.restoreSlot >= 0) {
+        if (stride_entry >= 0) {
+            // In-trace donor checkpoint: same trace, so the stimulus
+            // is identical by construction and no prefix
+            // verification is needed; validity below the first
+            // trigger was checked when the entry was chosen. The
+            // restore re-arms this job's bug mask (the one field of
+            // the donor state that legitimately differs).
+            rtl::PpCore::Snapshot snap =
+                cache.fetchStride(static_cast<size_t>(stride_entry));
+            if (!snap.valid() || snap.cycles() > len) {
+                ++ls.misses;
+            } else {
+                core.restoreWithBugs(snap, bug_sets[job.bugSet]);
+                start = snap.cycles();
+                ++ls.strideHits;
+                ls.strideResumeCycles += start;
+                ls.cyclesAvoided += start;
+            }
+        } else if (job.restoreSlot >= 0) {
             rtl::PpCore::Snapshot snap =
                 cache.consume(static_cast<size_t>(job.restoreSlot));
             if (!snap.valid()) {
@@ -507,20 +783,43 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
             }
         }
 
+        // Drive to the end of the trace, pausing at this job's
+        // planned publish depth and (donor runs) at every stride
+        // boundary to snapshot. The donor publishes its chain links
+        // before DonorTable::publish, so consumers always see a
+        // complete chain.
+        const size_t my_stride =
+            (stride_active && is_donor) ? stride : 0;
         uint64_t stepped_from = core.cycles();
-        if (job.publishSlot >= 0) {
-            VectorPlayer::drive(core, trace, start, job.publishDepth);
-            cache.publish(static_cast<size_t>(job.publishSlot),
-                          core.snapshot());
-            VectorPlayer::drive(core, trace, job.publishDepth,
-                                trace.cycles.size());
-        } else {
-            VectorPlayer::drive(core, trace, start,
-                                trace.cycles.size());
+        size_t pos = start;
+        size_t next_stride =
+            my_stride ? (start / my_stride + 1) * my_stride : len + 1;
+        while (pos < len) {
+            size_t stop = len;
+            if (job.publishSlot >= 0 && job.publishDepth > pos)
+                stop = std::min(stop, job.publishDepth);
+            if (next_stride > pos)
+                stop = std::min(stop, next_stride);
+            VectorPlayer::drive(core, trace, pos, stop);
+            pos = stop;
+            if (job.publishSlot >= 0 && pos == job.publishDepth)
+                cache.publish(static_cast<size_t>(job.publishSlot),
+                              core.snapshot());
+            if (my_stride && pos == next_stride) {
+                if (pos < len)
+                    chains.add(job.trace, pos,
+                               cache.addStride(core.snapshot()));
+                next_stride += my_stride;
+            }
         }
+        // The loop above always reaches publishDepth (the plan keeps
+        // it in (start, len]); this guard only exists so a planning
+        // bug could never strand waiters on a Pending slot.
+        if (job.publishSlot >= 0 && job.publishDepth > len)
+            cache.abandon(static_cast<size_t>(job.publishSlot));
         PlayResult result = VectorPlayer::finish(config_, core, trace);
         ls.simulatedCycles += core.cycles() - stepped_from;
-        ls.batchCycles += trace.cycles.size();
+        ls.batchCycles += len;
         results[job.bugSet * nt + job.trace] = result;
 
         if (is_donor) {
@@ -534,6 +833,7 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
                     core.bugFirstTrigger(static_cast<rtl::BugId>(i));
             donors.publish(job.trace, result, triggers);
         }
+        release_chain();
 
         if (result.diverged && options_.stopOnDivergence)
             fetchMin(first_div[job.bugSet], job.trace);
@@ -586,10 +886,20 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         stats_.checkpointMisses += ls.misses;
         stats_.verifyFallbacks += ls.fallbacks;
         stats_.bugSetCopies += ls.copies;
+        stats_.strideHits += ls.strideHits;
+        stats_.strideResumeCycles += ls.strideResumeCycles;
+        stats_.triggeredJobs += ls.triggeredJobs;
+        stats_.triggeredJobCycles += ls.triggeredJobCycles;
+        stats_.triggeredLeadCycles += ls.triggeredLeadCycles;
     }
     stats_.checkpointsPublished = cache.published();
+    stats_.strideCheckpoints = cache.strideCheckpoints();
     stats_.cacheEvictions = cache.evictions();
     stats_.peakCacheBytes = cache.peakBytes();
+    stats_.spillWrites = spill.writes();
+    stats_.spillReads = spill.reads();
+    stats_.spillBytes = spill.bytesWritten();
+    stats_.spillFallbacks = cache.spillFallbacks();
     return results;
 }
 

@@ -40,12 +40,36 @@
  * bugged run is provably bit-identical — and skips simulation
  * entirely. Since the Table 2.1 faults are rare multi-event
  * conjunctions, most bugged replays collapse to copies.
+ *
+ * The third axis is the tiered in-trace checkpoint scheme, which
+ * covers the jobs the first two cannot: (trace, B) jobs whose bugs
+ * *did* trigger on the donor run.
+ *
+ *  - Periodic donor checkpoints: the donor run snapshots the core
+ *    every ReplayOptions::checkpointStride cycles. A triggered job
+ *    resumes from the greatest donor checkpoint strictly below its
+ *    first trigger cycle instead of replaying from reset.
+ *  - Cross-bug-set restore: a checkpoint whose cycle lies strictly
+ *    below every first-trigger cycle of a bug set is bit-identical
+ *    to the state that bugged run would have reached (fault effects
+ *    are trigger-guarded; trigger cycles are recorded regardless of
+ *    enablement), except for the enabled-bug mask itself — so the
+ *    restore re-arms the mask (PpCore::restoreWithBugs) and
+ *    non-donor blocks consume the donor block's chain instead of
+ *    maintaining chains of their own.
+ *  - Disk spill tier: checkpoints LRU-evicted from the byte budget
+ *    are serialized into a CRC-checked temp-dir spill file
+ *    (support/spill_store) under their own byte cap and faulted back
+ *    in on demand. Any I/O, CRC, or decode failure degrades to
+ *    from-reset replay — a damaged record can cost cycles, never
+ *    correctness.
  */
 
 #ifndef ARCHVAL_HARNESS_REPLAY_ENGINE_HH
 #define ARCHVAL_HARNESS_REPLAY_ENGINE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/vector_player.hh"
@@ -67,6 +91,43 @@ struct ReplayOptions
     /** Shortest shared prefix worth a checkpoint: below this the
      *  snapshot copy costs more than the cycles it saves. */
     size_t minPrefixCycles = 16;
+
+    /**
+     * Cycle stride of the periodic in-trace donor checkpoints
+     * (0 disables the tier). Only meaningful when the batch has a
+     * bug-free donor block: the donor run publishes a snapshot every
+     * stride cycles, and a (trace, bug) job whose bugs triggered on
+     * the donor run resumes from the greatest checkpoint strictly
+     * below its first trigger cycle, with the bug mask re-armed at
+     * restore. While the tier is active, non-donor blocks consume
+     * the donor chain instead of maintaining their own prefix
+     * chains.
+     */
+    size_t checkpointStride = 1024;
+
+    /**
+     * Byte cap for the disk spill tier (0 disables it). Checkpoints
+     * LRU-evicted from the in-memory budget are serialized into a
+     * CRC-checked temp file and faulted back in on demand; the cap
+     * bounds total bytes ever written (the file is append-only and
+     * removed when playAll returns). Spill failures of any kind
+     * degrade to from-reset replay.
+     */
+    size_t spillBudgetBytes = 0;
+
+    /** Spill-file directory; empty picks $TMPDIR or /tmp. An
+     *  unusable directory disables the spill tier. */
+    std::string spillDir;
+
+    /** Spill-tier fault injection (testing): damage every spilled
+     *  record so read-back must take the degradation path. */
+    enum class SpillFault
+    {
+        None,       ///< normal operation
+        CorruptCrc, ///< flip a payload byte after each write
+        Truncate,   ///< cut the file at each record after writing
+    };
+    SpillFault spillFault = SpillFault::None;
 
     /**
      * Early exit for hunt loops: once a job diverges, jobs for later
@@ -96,6 +157,31 @@ struct ReplayStats
     uint64_t cacheEvictions = 0;
     size_t peakCacheBytes = 0;
 
+    /** @name Tiered in-trace checkpointing @{ */
+    uint64_t strideCheckpoints = 0; ///< periodic donor checkpoints
+    uint64_t strideHits = 0;        ///< triggered jobs resumed from one
+    uint64_t strideResumeCycles = 0; ///< cycles skipped by those resumes
+    /** Non-donor jobs whose bug set triggered on the donor run (the
+     *  jobs only the stride tier can accelerate). */
+    uint64_t triggeredJobs = 0;
+    uint64_t triggeredJobCycles = 0; ///< forced cycles those jobs demand
+    /** Cycles standing between reset and the bug set's first trigger,
+     *  summed over triggered jobs (capped at the trace length). This
+     *  is the pool the stride tier can address: everything past the
+     *  trigger is the diverged run itself and must be re-stepped by
+     *  any scheme. */
+    uint64_t triggeredLeadCycles = 0;
+    /** @} */
+
+    /** @name Disk spill tier @{ */
+    uint64_t spillWrites = 0;    ///< checkpoints evicted to disk
+    uint64_t spillReads = 0;     ///< spill-record read attempts
+    uint64_t spillBytes = 0;     ///< payload bytes written to the file
+    /** Spill read/decode failures; each degraded a planned restore
+     *  to a miss (from-reset or nearest earlier checkpoint). */
+    uint64_t spillFallbacks = 0;
+    /** @} */
+
     /** @return fraction of planned restores that hit the cache. */
     double hitRate() const
     {
@@ -109,6 +195,20 @@ struct ReplayStats
     {
         return batchCycles ? double(cyclesAvoided) / double(batchCycles)
                            : 0.0;
+    }
+
+    /** @return fraction of the triggered jobs' reset-to-trigger lead
+     *  cycles skipped by resuming from in-trace donor checkpoints
+     *  (the bench gate metric). The lead is the avoidable pool — a
+     *  checkpoint substitutes for re-stepping the bug-free prefix,
+     *  never for the diverged suffix — so this is avoided/avoidable,
+     *  the Table 3.3 "time to re-reach a bug" ratio. */
+    double strideSavings() const
+    {
+        return triggeredLeadCycles
+                   ? double(strideResumeCycles) /
+                         double(triggeredLeadCycles)
+                   : 0.0;
     }
 };
 

@@ -1,5 +1,8 @@
 #include "pp_core.hh"
 
+#include <cstring>
+#include <type_traits>
+
 #include "support/status.hh"
 #include "support/strings.hh"
 
@@ -149,6 +152,258 @@ PpCore::restore(const Snapshot &snap)
     if (snap.state_->mode_ != mode_)
         fatal("snapshot/core mode mismatch");
     *this = *snap.state_;
+}
+
+void
+PpCore::restoreWithBugs(const Snapshot &snap, const BugSet &bugs)
+{
+    restore(snap);
+    bugs_ = bugs;
+}
+
+namespace
+{
+
+/**
+ * Byte-stream helpers for the spill-tier snapshot record. The format
+ * is a plain concatenation of trivially-copyable blocks and
+ * length-prefixed arrays in native layout — a spill record never
+ * leaves the host, and SpillStore CRC-checks the bytes in transit;
+ * the reader only has to reject structural damage (bad lengths,
+ * foreign configuration), which it does by refusing to read past the
+ * end and by checking every length against the constructing config.
+ */
+struct ByteWriter
+{
+    std::vector<uint8_t> &out;
+
+    void raw(const void *data, size_t size)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        out.insert(out.end(), p, p + size);
+    }
+
+    template <typename T>
+    void pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        raw(&value, sizeof value);
+    }
+
+    void u32(uint32_t value) { pod(value); }
+    void u64(uint64_t value) { pod(value); }
+    void b(bool value) { pod(uint8_t(value ? 1 : 0)); }
+
+    template <typename T>
+    void vec(const std::vector<T> &values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(values.size());
+        raw(values.data(), values.size() * sizeof(T));
+    }
+};
+
+struct ByteReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    bool raw(void *out, size_t n)
+    {
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(out, data + pos, n);
+        pos += n;
+        return true;
+    }
+
+    template <typename T>
+    bool pod(T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return raw(&value, sizeof value);
+    }
+
+    uint32_t u32()
+    {
+        uint32_t v = 0;
+        pod(v);
+        return v;
+    }
+
+    uint64_t u64()
+    {
+        uint64_t v = 0;
+        pod(v);
+        return v;
+    }
+
+    bool b()
+    {
+        uint8_t v = 0;
+        pod(v);
+        return v != 0;
+    }
+
+    template <typename T>
+    bool vec(std::vector<T> &values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        uint64_t n = u64();
+        if (!ok || (size - pos) / sizeof(T) < n) {
+            ok = false;
+            return false;
+        }
+        values.resize(n);
+        return raw(values.data(), n * sizeof(T));
+    }
+};
+
+constexpr uint32_t snapshotMagic = 0x41565353u; // "AVSS"
+constexpr uint32_t snapshotVersion = 1;
+
+} // namespace
+
+void
+PpCore::serializeInto(std::vector<uint8_t> &out) const
+{
+    ByteWriter w{out};
+    w.u32(snapshotMagic);
+    w.u32(snapshotVersion);
+    w.u32(static_cast<uint32_t>(mode_));
+    // Configuration fingerprint: enough to reject a record captured
+    // under a different machine shape before any length is trusted.
+    w.u32(config_.lineWords);
+    w.u32(config_.dcacheSets);
+    w.u32(config_.dcacheWays);
+    w.u32(config_.icacheSets);
+    w.u32(config_.machine.dmemWords);
+
+    w.pod(control_);
+    w.pod(lastOutputs_);
+    w.pod(timing_);
+    w.u32(static_cast<uint32_t>(bugs_.to_ulong()));
+    w.pod(regs_);
+    w.vec(dmem_);
+    w.vec(outbox_);
+    w.u64(inbox_.size());
+    for (uint32_t word : inbox_)
+        w.u32(word);
+    w.vec(program_);
+    w.u32(pc_);
+    w.vec(icacheLines_);
+    w.vec(dcacheLines_);
+    w.vec(dcacheLru_);
+    w.u32(drefillAddr_);
+    w.u32(irefillPc_);
+    w.u32(memWait_);
+    w.u32(outboxDrain_);
+    w.u64(outboxOccupancy_);
+    w.vec(stream_);
+    w.u64(streamPos_);
+    w.pod(forced_);
+    w.b(forcedValid_);
+    w.pod(rdPacket_);
+    w.pod(exPacket_);
+    w.pod(memPacket_);
+    w.pod(pendingStore_);
+    w.b(bug1Armed_);
+    w.b(bug4Armed_);
+    w.pod(bug5_);
+    w.pod(bugFirstTrigger_);
+    w.b(halted_);
+    w.u64(cycles_);
+    w.u64(retired_);
+}
+
+bool
+PpCore::deserializeFrom(const uint8_t *data, size_t size)
+{
+    ByteReader r{data, size};
+    if (r.u32() != snapshotMagic || r.u32() != snapshotVersion ||
+        r.u32() != static_cast<uint32_t>(mode_) ||
+        r.u32() != config_.lineWords ||
+        r.u32() != config_.dcacheSets ||
+        r.u32() != config_.dcacheWays ||
+        r.u32() != config_.icacheSets ||
+        r.u32() != config_.machine.dmemWords || !r.ok)
+        return false;
+
+    r.pod(control_);
+    r.pod(lastOutputs_);
+    r.pod(timing_);
+    bugs_ = BugSet(r.u32());
+    r.pod(regs_);
+    r.vec(dmem_);
+    r.vec(outbox_);
+    uint64_t inbox_words = r.u64();
+    if (!r.ok || (r.size - r.pos) / sizeof(uint32_t) < inbox_words)
+        return false;
+    inbox_.clear();
+    for (uint64_t i = 0; i < inbox_words; ++i)
+        inbox_.push_back(r.u32());
+    r.vec(program_);
+    pc_ = r.u32();
+    r.vec(icacheLines_);
+    r.vec(dcacheLines_);
+    r.vec(dcacheLru_);
+    drefillAddr_ = r.u32();
+    irefillPc_ = r.u32();
+    memWait_ = r.u32();
+    outboxDrain_ = r.u32();
+    outboxOccupancy_ = r.u64();
+    r.vec(stream_);
+    streamPos_ = r.u64();
+    r.pod(forced_);
+    forcedValid_ = r.b();
+    r.pod(rdPacket_);
+    r.pod(exPacket_);
+    r.pod(memPacket_);
+    r.pod(pendingStore_);
+    bug1Armed_ = r.b();
+    bug4Armed_ = r.b();
+    r.pod(bug5_);
+    r.pod(bugFirstTrigger_);
+    halted_ = r.b();
+    cycles_ = r.u64();
+    retired_ = r.u64();
+
+    // Structural checks: every container the config sizes must come
+    // back at its constructed size, and the record must be consumed
+    // exactly — a partial or padded record is damage, not a version.
+    return r.ok && r.pos == r.size &&
+           dmem_.size() == config_.machine.dmemWords &&
+           icacheLines_.size() == config_.icacheSets &&
+           dcacheLines_.size() ==
+               size_t(config_.dcacheSets) * config_.dcacheWays &&
+           dcacheLru_.size() == config_.dcacheSets &&
+           streamPos_ <= stream_.size();
+}
+
+std::vector<uint8_t>
+PpCore::Snapshot::serialize() const
+{
+    std::vector<uint8_t> out;
+    if (state_) {
+        out.reserve(state_->snapshotBytes());
+        state_->serializeInto(out);
+    }
+    return out;
+}
+
+PpCore::Snapshot
+PpCore::deserializeSnapshot(const PpConfig &config, CoreMode mode,
+                            const uint8_t *data, size_t size)
+{
+    auto core = std::make_shared<PpCore>(config, mode);
+    Snapshot snap;
+    if (core->deserializeFrom(data, size))
+        snap.state_ = std::move(core);
+    return snap;
 }
 
 void

@@ -123,6 +123,15 @@ class PpCore
         /** @return Inbox words left unconsumed at capture time. */
         size_t inboxRemaining() const;
 
+        /**
+         * Serialize to a self-contained byte record for the disk
+         * spill tier. Same-host format (native endianness and struct
+         * layout), versioned and tagged with the capture
+         * configuration so deserializeSnapshot() can reject foreign
+         * records. @return an empty vector for an invalid snapshot.
+         */
+        std::vector<uint8_t> serialize() const;
+
       private:
         friend class PpCore;
         std::shared_ptr<const PpCore> state_;
@@ -131,8 +140,34 @@ class PpCore
     /** @return a bit-exact checkpoint of the current state. */
     Snapshot snapshot() const;
 
+    /**
+     * Rebuild a snapshot from Snapshot::serialize() bytes.
+     * @return an invalid snapshot when the record is malformed,
+     * truncated, or was captured under a different configuration or
+     * mode — callers fall back to from-reset replay rather than
+     * trusting damaged bytes.
+     */
+    static Snapshot deserializeSnapshot(const PpConfig &config,
+                                        CoreMode mode,
+                                        const uint8_t *data,
+                                        size_t size);
+
     /** Resume from @p snap (same config and mode required). */
     void restore(const Snapshot &snap);
+
+    /**
+     * Resume from @p snap and force the enabled-bug mask to @p bugs.
+     *
+     * This is the cross-bug-set restore of the tiered checkpoint
+     * scheme: fault effects are strictly guarded by their trigger
+     * conjunctions and trigger cycles are recorded whether or not a
+     * bug is enabled, so a snapshot whose cycle count lies strictly
+     * below every first-trigger cycle of @p bugs (on the donor run)
+     * is bit-identical to the state a run with @p bugs enabled would
+     * have reached — except for the mask itself, which this call
+     * re-arms. The caller owns that validity check.
+     */
+    void restoreWithBugs(const Snapshot &snap, const BugSet &bugs);
 
     /**
      * Replace the vector-mode fetch stream while keeping the consumed
@@ -251,6 +286,13 @@ class PpCore
     };
 
     void reset();
+
+    /** Append the whole machine state to @p out (spill tier). */
+    void serializeInto(std::vector<uint8_t> &out) const;
+
+    /** Overwrite this core's state from serializeInto() bytes.
+     *  @return false (state unspecified) on any mismatch. */
+    bool deserializeFrom(const uint8_t *data, size_t size);
 
     /** Build this cycle's control inputs (program mode). */
     ForcedSignals computeSignals();

@@ -1,0 +1,211 @@
+#include "spill_store.hh"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace archval
+{
+
+namespace
+{
+
+/** Lazily built reflected CRC-32 table (polynomial 0xEDB88320). */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** @return the spill directory to use for @p requested. */
+std::string
+spillDirectory(const std::string &requested)
+{
+    if (!requested.empty())
+        return requested;
+    if (const char *tmp = std::getenv("TMPDIR"); tmp && *tmp)
+        return tmp;
+    return "/tmp";
+}
+
+/** Full positioned write (EINTR-safe). @return false on failure. */
+bool
+pwriteAll(int fd, const uint8_t *data, size_t size, uint64_t offset)
+{
+    while (size > 0) {
+        ssize_t n = ::pwrite(fd, data, size, (off_t)offset);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= (size_t)n;
+        offset += (uint64_t)n;
+    }
+    return true;
+}
+
+/** Full positioned read (EINTR-safe). @return false on failure. */
+bool
+preadAll(int fd, uint8_t *data, size_t size, uint64_t offset)
+{
+    while (size > 0) {
+        ssize_t n = ::pread(fd, data, size, (off_t)offset);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false; // error or short file (truncation)
+        }
+        data += n;
+        size -= (size_t)n;
+        offset += (uint64_t)n;
+    }
+    return true;
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t size, uint32_t seed)
+{
+    const auto &table = crcTable();
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+SpillStore::SpillStore(const Options &options)
+    : budget_(options.budgetBytes)
+{
+    if (budget_ == 0)
+        return;
+    std::string tmpl =
+        spillDirectory(options.dir) + "/archval-spill-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    int fd = ::mkstemp(buf.data());
+    if (fd < 0)
+        return; // unusable directory: store stays disabled
+    fd_ = fd;
+    path_.assign(buf.data());
+}
+
+SpillStore::~SpillStore()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        ::unlink(path_.c_str());
+    }
+}
+
+int64_t
+SpillStore::append(const uint8_t *data, size_t size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 || size == 0 || bytesWritten_ + size > budget_)
+        return invalidId;
+    Record rec;
+    rec.offset = bytesWritten_;
+    rec.size = size;
+    rec.crc = crc32(data, size);
+    if (!pwriteAll(fd_, data, size, rec.offset)) {
+        // A failing disk will not get better one eviction later.
+        ::close(fd_);
+        ::unlink(path_.c_str());
+        fd_ = -1;
+        return invalidId;
+    }
+    bytesWritten_ += size;
+    ++writes_;
+    records_.push_back(rec);
+    return (int64_t)records_.size() - 1;
+}
+
+bool
+SpillStore::read(int64_t id, std::vector<uint8_t> &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.clear();
+    ++reads_;
+    if (fd_ < 0 || id < 0 || (size_t)id >= records_.size()) {
+        ++readFailures_;
+        return false;
+    }
+    const Record &rec = records_[(size_t)id];
+    out.resize(rec.size);
+    if (!preadAll(fd_, out.data(), rec.size, rec.offset) ||
+        crc32(out.data(), out.size()) != rec.crc) {
+        out.clear();
+        ++readFailures_;
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+SpillStore::writes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return writes_;
+}
+
+uint64_t
+SpillStore::reads() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reads_;
+}
+
+uint64_t
+SpillStore::readFailures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return readFailures_;
+}
+
+size_t
+SpillStore::bytesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytesWritten_;
+}
+
+bool
+SpillStore::corruptRecordForTesting(int64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 || id < 0 || (size_t)id >= records_.size())
+        return false;
+    const Record &rec = records_[(size_t)id];
+    uint8_t byte = 0;
+    if (!preadAll(fd_, &byte, 1, rec.offset))
+        return false;
+    byte ^= 0x40;
+    return pwriteAll(fd_, &byte, 1, rec.offset);
+}
+
+bool
+SpillStore::truncateAtRecordForTesting(int64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 || id < 0 || (size_t)id >= records_.size())
+        return false;
+    return ::ftruncate(fd_, (off_t)records_[(size_t)id].offset) == 0;
+}
+
+} // namespace archval

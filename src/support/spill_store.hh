@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Disk spill tier for checkpoint caches — CRC-checked records in an
+ * append-only temp file under a byte cap.
+ *
+ * The replay engine's checkpoint cache is memory-bound long before it
+ * is I/O-bound on the full-preset batch, so evicted checkpoints are
+ * worth parking on disk instead of dropping: a faulted-back snapshot
+ * costs one read plus a deserialize, a dropped one costs a full
+ * from-reset replay. This is the same tier structure explicit-state
+ * tools (Murphi's state-table spill) use, and it carries the same
+ * correctness posture: every record is CRC-checked on the way back
+ * in, and *any* failure — short read, flipped bit, unwritable
+ * directory — degrades to a miss, never to wrong bytes.
+ *
+ * The store is append-only: records are never rewritten or
+ * compacted, the cap bounds total bytes ever written, and the backing
+ * file is unlinked when the store is destroyed. All operations are
+ * thread-safe.
+ */
+
+#ifndef ARCHVAL_SUPPORT_SPILL_STORE_HH
+#define ARCHVAL_SUPPORT_SPILL_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace archval
+{
+
+/** @return CRC-32 (IEEE, reflected) of @p size bytes at @p data,
+ *  continuing from @p seed (pass 0 to start a new checksum). */
+uint32_t crc32(const uint8_t *data, size_t size, uint32_t seed = 0);
+
+/**
+ * Append-only spill file with CRC-checked records.
+ */
+class SpillStore
+{
+  public:
+    struct Options
+    {
+        /** Directory for the backing file; empty picks $TMPDIR or
+         *  /tmp. An unusable directory disables the store (enabled()
+         *  returns false) instead of failing. */
+        std::string dir;
+
+        /** Total bytes of payload the store may ever write; appends
+         *  beyond the cap are refused. 0 disables the store. */
+        size_t budgetBytes = 256ull << 20;
+    };
+
+    /** Returned by append() when a record was not stored. */
+    static constexpr int64_t invalidId = -1;
+
+    explicit SpillStore(const Options &options);
+    ~SpillStore();
+
+    SpillStore(const SpillStore &) = delete;
+    SpillStore &operator=(const SpillStore &) = delete;
+
+    /** @return true when the backing file is open and writable. */
+    bool enabled() const { return fd_ >= 0; }
+
+    /** @return path of the backing file ("" when disabled). */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Write @p size bytes at @p data as one record.
+     * @return the record id, or invalidId when the record would
+     * exceed the byte cap or the write failed (a failed write also
+     * disables the store — a sick disk should not be retried once
+     * per eviction).
+     */
+    int64_t append(const uint8_t *data, size_t size);
+
+    /**
+     * Read record @p id into @p out.
+     * @return false — with @p out cleared — on any failure: unknown
+     * id, short read, or CRC mismatch.
+     */
+    bool read(int64_t id, std::vector<uint8_t> &out);
+
+    /** @name Statistics @{ */
+    uint64_t writes() const;
+    uint64_t reads() const;
+    uint64_t readFailures() const;
+    size_t bytesWritten() const;
+    /** @} */
+
+    /**
+     * @name Fault-injection hooks (testing only)
+     * Damage the backing file the way a real fault would, so tests
+     * can prove the CRC/short-read paths degrade instead of
+     * corrupting results.
+     * @{
+     */
+    /** Flip one payload byte of record @p id on disk. */
+    bool corruptRecordForTesting(int64_t id);
+    /** Truncate the file so record @p id (and later) are cut off. */
+    bool truncateAtRecordForTesting(int64_t id);
+    /** @} */
+
+  private:
+    struct Record
+    {
+        uint64_t offset = 0;
+        uint64_t size = 0;
+        uint32_t crc = 0;
+    };
+
+    mutable std::mutex mutex_;
+    int fd_ = -1;
+    std::string path_;
+    size_t budget_ = 0;
+    size_t bytesWritten_ = 0;
+    uint64_t writes_ = 0;
+    uint64_t reads_ = 0;
+    uint64_t readFailures_ = 0;
+    std::vector<Record> records_;
+};
+
+} // namespace archval
+
+#endif // ARCHVAL_SUPPORT_SPILL_STORE_HH

@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Tiered in-trace checkpointing tests (ctest label `checkpoint`).
+ *
+ * The stride tier rides on three claims, each attacked here:
+ *
+ *  1. Snapshot serialization is lossless: a snapshot that round-trips
+ *     through bytes resumes to a bit-identical outcome, and damaged
+ *     bytes are rejected rather than half-decoded.
+ *  2. Cross-bug-set restore is sound: below a bug set's first trigger
+ *     cycle the bug-free trajectory *is* the bugged trajectory, so
+ *     restoring a donor snapshot with the bug mask re-armed
+ *     (PpCore::restoreWithBugs) reproduces the bugged run exactly.
+ *  3. The engine's results are byte-identical to the sequential
+ *     VectorPlayer for every (stride × cache budget × spill budget ×
+ *     worker count) combination — including under injected spill
+ *     faults, which may cost cycles but never correctness.
+ *
+ * The suite exercises the worker pool and the spill tier, so it is
+ * part of the ARCHVAL_SANITIZE=thread build (see README).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+
+#include "harness/replay_engine.hh"
+#include "harness/vector_player.hh"
+#include "murphi/enumerator.hh"
+#include "support/rng.hh"
+#include "support/spill_store.hh"
+#include "support/status.hh"
+
+namespace archval::harness
+{
+namespace
+{
+
+using rtl::BugId;
+using rtl::BugSet;
+using rtl::PpConfig;
+using rtl::PpFsmModel;
+
+class CheckpointFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        config_ = new PpConfig(PpConfig::smallPreset());
+        model_ = new PpFsmModel(*config_);
+        murphi::Enumerator enumerator(*model_);
+        graph_ = new graph::StateGraph(enumerator.runOrThrow());
+        graph::TourOptions tour_options;
+        tour_options.maxInstructionsPerTrace = 1'000;
+        graph::TourGenerator tour_gen(*graph_, tour_options);
+        tours_ = new std::vector<graph::Trace>(tour_gen.run());
+        vecgen::VectorGenerator generator(*model_, 42);
+        traces_ = new std::vector<vecgen::TestTrace>(
+            generator.generateAll(*graph_, *tours_));
+
+        // All six Table 2.1 bugs as single-bug sets, donor first.
+        bug_sets_ = new std::vector<BugSet>(1 + rtl::numBugs);
+        for (size_t b = 0; b < rtl::numBugs; ++b)
+            (*bug_sets_)[1 + b].set(b);
+
+        // The sequential ground truth for the full trace × bug-set
+        // matrix, computed once (every differential test compares
+        // engine output against this).
+        VectorPlayer player(*config_);
+        expected_ = new std::vector<PlayResult>;
+        for (const BugSet &bugs : *bug_sets_)
+            for (const auto &trace : *traces_)
+                expected_->push_back(player.play(trace, bugs));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete expected_;
+        delete bug_sets_;
+        delete traces_;
+        delete tours_;
+        delete graph_;
+        delete model_;
+        delete config_;
+        expected_ = nullptr;
+        bug_sets_ = nullptr;
+        traces_ = nullptr;
+        tours_ = nullptr;
+        graph_ = nullptr;
+        model_ = nullptr;
+        config_ = nullptr;
+    }
+
+    /** @return one PpCore snapshot's byte footprint. */
+    static size_t
+    snapshotBytes()
+    {
+        return rtl::PpCore(*config_, rtl::CoreMode::Vector)
+            .snapshotBytes();
+    }
+
+    static PpConfig *config_;
+    static PpFsmModel *model_;
+    static graph::StateGraph *graph_;
+    static std::vector<graph::Trace> *tours_;
+    static std::vector<vecgen::TestTrace> *traces_;
+    static std::vector<BugSet> *bug_sets_;
+    static std::vector<PlayResult> *expected_;
+};
+
+PpConfig *CheckpointFixture::config_ = nullptr;
+PpFsmModel *CheckpointFixture::model_ = nullptr;
+graph::StateGraph *CheckpointFixture::graph_ = nullptr;
+std::vector<graph::Trace> *CheckpointFixture::tours_ = nullptr;
+std::vector<vecgen::TestTrace> *CheckpointFixture::traces_ = nullptr;
+std::vector<BugSet> *CheckpointFixture::bug_sets_ = nullptr;
+std::vector<PlayResult> *CheckpointFixture::expected_ = nullptr;
+
+/** Field-by-field PlayResult equality with a readable message. */
+void
+expectSameResult(const PlayResult &expected, const PlayResult &actual,
+                 const std::string &what)
+{
+    EXPECT_EQ(expected.diverged, actual.diverged) << what;
+    EXPECT_EQ(expected.diff, actual.diff) << what;
+    EXPECT_EQ(expected.cycles, actual.cycles) << what;
+    EXPECT_EQ(expected.instructions, actual.instructions) << what;
+    EXPECT_EQ(expected.lockstepErrors, actual.lockstepErrors) << what;
+    EXPECT_EQ(expected.drained, actual.drained) << what;
+    EXPECT_EQ(expected.skipped, actual.skipped) << what;
+}
+
+/** Run the engine under @p options over the fixture matrix and
+ *  require byte-identical results. @return the run's stats. */
+ReplayStats
+expectMatrixIdentical(const PpConfig &config,
+                      const std::vector<vecgen::TestTrace> &traces,
+                      const std::vector<BugSet> &bug_sets,
+                      const std::vector<PlayResult> &expected,
+                      const ReplayOptions &options,
+                      const std::string &what)
+{
+    ReplayEngine engine(config, options);
+    std::vector<PlayResult> actual = engine.playAll(traces, bug_sets);
+    EXPECT_EQ(actual.size(), expected.size()) << what;
+    for (size_t i = 0; i < expected.size() && i < actual.size(); ++i)
+        expectSameResult(expected[i], actual[i],
+                         what + " job " + std::to_string(i));
+    return engine.stats();
+}
+
+// ---------------------------------------------------------------------
+// Claim 1: serialization is lossless and damage is rejected.
+// ---------------------------------------------------------------------
+
+TEST_F(CheckpointFixture, SerializedSnapshotRoundTripsExactly)
+{
+    const vecgen::TestTrace &trace = *std::min_element(
+        traces_->begin(), traces_->end(),
+        [](const auto &a, const auto &b) {
+            return a.cycles.size() < b.cycles.size();
+        });
+    ASSERT_GE(trace.cycles.size(), 4u);
+
+    VectorPlayer player(*config_);
+    PlayResult fresh = player.play(trace, BugSet{});
+
+    rtl::PpCore core(*config_, rtl::CoreMode::Vector);
+    VectorPlayer::primeCore(core, trace, BugSet{});
+    size_t half = trace.cycles.size() / 2;
+    VectorPlayer::drive(core, trace, 0, half);
+
+    std::vector<uint8_t> bytes = core.snapshot().serialize();
+    ASSERT_FALSE(bytes.empty());
+
+    rtl::PpCore::Snapshot snap = rtl::PpCore::deserializeSnapshot(
+        *config_, rtl::CoreMode::Vector, bytes.data(), bytes.size());
+    ASSERT_TRUE(snap.valid());
+    EXPECT_EQ(snap.cycles(), half);
+
+    rtl::PpCore resumed(*config_, rtl::CoreMode::Vector);
+    VectorPlayer::primeCore(resumed, trace, BugSet{});
+    resumed.restore(snap);
+    VectorPlayer::drive(resumed, trace, half, trace.cycles.size());
+    expectSameResult(fresh,
+                     VectorPlayer::finish(*config_, resumed, trace),
+                     "deserialized mid-trace snapshot");
+}
+
+TEST_F(CheckpointFixture, DeserializeRejectsDamage)
+{
+    const vecgen::TestTrace &trace = traces_->front();
+    rtl::PpCore core(*config_, rtl::CoreMode::Vector);
+    VectorPlayer::primeCore(core, trace, BugSet{});
+    VectorPlayer::drive(core, trace, 0, trace.cycles.size() / 2);
+    std::vector<uint8_t> bytes = core.snapshot().serialize();
+    ASSERT_GT(bytes.size(), 64u);
+
+    // Truncation at any boundary must fail cleanly, never read out
+    // of bounds (exercised under sanitizers by the tsan/asan builds).
+    for (size_t keep :
+         {size_t{0}, size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+        EXPECT_FALSE(rtl::PpCore::deserializeSnapshot(
+                         *config_, rtl::CoreMode::Vector,
+                         bytes.data(), keep)
+                         .valid())
+            << "truncated to " << keep;
+    }
+
+    // A snapshot from a different machine configuration must be
+    // rejected by the config fingerprint.
+    PpConfig other = PpConfig::smallPreset();
+    other.machine.dmemWords *= 2;
+    EXPECT_FALSE(rtl::PpCore::deserializeSnapshot(
+                     other, rtl::CoreMode::Vector, bytes.data(),
+                     bytes.size())
+                     .valid());
+
+    // Damaged magic/version header must be rejected.
+    std::vector<uint8_t> bad = bytes;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(rtl::PpCore::deserializeSnapshot(
+                     *config_, rtl::CoreMode::Vector, bad.data(),
+                     bad.size())
+                     .valid());
+}
+
+// ---------------------------------------------------------------------
+// Claim 2: cross-bug-set restore with mask re-arming.
+// ---------------------------------------------------------------------
+
+TEST_F(CheckpointFixture, BugRearmRoundTripFuzz)
+{
+    // Randomized attack on the validity rule: for random (trace,
+    // cycle, bug set) draws, snapshot the *bug-free* run at the
+    // cycle, round-trip it through bytes, restore with the bug mask
+    // re-armed, and require the finished run to match the sequential
+    // bugged run — whenever the cycle lies strictly below the bug
+    // set's first trigger (the rule's precondition). Draws at or
+    // above the trigger are discarded: the rule makes no promise
+    // there.
+    Rng rng(0xC0FFEE42);
+    size_t checked = 0;
+    for (int draw = 0; draw < 40 && checked < 12; ++draw) {
+        const size_t t = rng.index(traces_->size());
+        const vecgen::TestTrace &trace = (*traces_)[t];
+        if (trace.cycles.size() < 2)
+            continue;
+
+        BugSet bugs;
+        bugs.set(rng.index(rtl::numBugs));
+        if (rng.chance(1, 3))
+            bugs.set(rng.index(rtl::numBugs));
+
+        // Donor run: record first-trigger cycles and snapshot at a
+        // random mid-trace cycle.
+        const size_t cut = 1 + rng.index(trace.cycles.size() - 1);
+        rtl::PpCore donor(*config_, rtl::CoreMode::Vector);
+        VectorPlayer::primeCore(donor, trace, BugSet{});
+        VectorPlayer::drive(donor, trace, 0, cut);
+        std::vector<uint8_t> bytes = donor.snapshot().serialize();
+        VectorPlayer::drive(donor, trace, cut, trace.cycles.size());
+        VectorPlayer::finish(*config_, donor, trace);
+
+        uint64_t first = UINT64_MAX;
+        for (size_t b = 0; b < rtl::numBugs; ++b)
+            if (bugs.test(b))
+                first = std::min(
+                    first,
+                    donor.bugFirstTrigger(static_cast<BugId>(b)));
+        if (cut >= first)
+            continue; // precondition unmet: no promise to check
+        ++checked;
+
+        rtl::PpCore::Snapshot snap = rtl::PpCore::deserializeSnapshot(
+            *config_, rtl::CoreMode::Vector, bytes.data(),
+            bytes.size());
+        ASSERT_TRUE(snap.valid());
+
+        rtl::PpCore resumed(*config_, rtl::CoreMode::Vector);
+        VectorPlayer::primeCore(resumed, trace, bugs);
+        resumed.restoreWithBugs(snap, bugs);
+        VectorPlayer::drive(resumed, trace, cut, trace.cycles.size());
+        PlayResult result =
+            VectorPlayer::finish(*config_, resumed, trace);
+
+        VectorPlayer player(*config_);
+        expectSameResult(player.play(trace, bugs), result,
+                         "trace " + std::to_string(t) + " cut " +
+                             std::to_string(cut) + " bugs " +
+                             bugs.to_string());
+    }
+    // The batch triggers bugs late enough that mid-trace cuts below
+    // the trigger are common; if this ever fires, re-seed the fuzz.
+    EXPECT_GE(checked, 6u) << "too few valid draws to trust the fuzz";
+}
+
+// ---------------------------------------------------------------------
+// Claim 3: the engine differential across the full sweep.
+// ---------------------------------------------------------------------
+
+TEST_F(CheckpointFixture, EngineMatchesSequentialAcrossTierSweep)
+{
+    // The acceptance sweep: stride × (memory budget, spill budget) ×
+    // worker count, all six Table 2.1 bug sets plus the bug-free
+    // donor. Tiny memory budgets force evictions into the spill
+    // tier; spill budget 0 forces evictions into drops.
+    const size_t one = snapshotBytes();
+    struct Tier
+    {
+        size_t memory;
+        size_t spill;
+        const char *name;
+    };
+    const Tier tiers[] = {
+        {size_t{1} << 40, 0, "mem-unbounded"},
+        {2 * one, size_t{1} << 40, "mem-tiny+spill"},
+        {2 * one, 0, "mem-tiny+drop"},
+    };
+    const size_t strides[] = {0, 64, 4096};
+    bool stride_hit_somewhere = false;
+
+    for (size_t stride : strides) {
+        for (const Tier &tier : tiers) {
+            for (unsigned nw : {1u, 2u, 8u}) {
+                ReplayOptions options;
+                options.numThreads = nw;
+                options.checkpointStride = stride;
+                options.checkpointBudgetBytes = tier.memory;
+                options.spillBudgetBytes = tier.spill;
+                ReplayStats stats = expectMatrixIdentical(
+                    *config_, *traces_, *bug_sets_, *expected_,
+                    options,
+                    std::string(tier.name) + " stride=" +
+                        std::to_string(stride) +
+                        " workers=" + std::to_string(nw));
+                if (stride > 0) {
+                    EXPECT_GT(stats.strideCheckpoints, 0u)
+                        << tier.name << " stride=" << stride;
+                }
+                if (stats.strideHits > 0) {
+                    stride_hit_somewhere = true;
+                    EXPECT_GT(stats.strideResumeCycles, 0u);
+                    // Resumes land strictly below the first trigger,
+                    // so the skipped cycles fit inside the jobs'
+                    // reset-to-trigger leads.
+                    EXPECT_LE(stats.strideResumeCycles,
+                              stats.triggeredLeadCycles);
+                    EXPECT_LE(stats.triggeredLeadCycles,
+                              stats.triggeredJobCycles);
+                }
+                if (tier.spill == 0 &&
+                    tier.memory > (size_t{1} << 30)) {
+                    EXPECT_EQ(stats.spillWrites, 0u);
+                }
+            }
+        }
+    }
+    // The sweep must actually exercise the tier it validates: at
+    // least one configuration resumes a triggered job mid-trace.
+    EXPECT_TRUE(stride_hit_somewhere);
+}
+
+TEST_F(CheckpointFixture, RandomizedPropertyDifferential)
+{
+    // Property test: random engine configurations and random bug-set
+    // subsets must always reproduce the sequential player. Seeded,
+    // so a failure is reproducible from the draw index.
+    Rng rng(0x7E57C0DE);
+    const size_t one = snapshotBytes();
+    size_t max_len = 0;
+    for (const auto &trace : *traces_)
+        max_len = std::max(max_len, trace.cycles.size());
+
+    for (int draw = 0; draw < 8; ++draw) {
+        // Random subset of bug sets, donor included half the time.
+        std::vector<BugSet> bug_sets;
+        std::vector<PlayResult> expected;
+        for (size_t b = 0; b < bug_sets_->size(); ++b) {
+            if (rng.chance(1, 2))
+                continue;
+            bug_sets.push_back((*bug_sets_)[b]);
+            expected.insert(
+                expected.end(),
+                expected_->begin() +
+                    static_cast<long>(b * traces_->size()),
+                expected_->begin() +
+                    static_cast<long>((b + 1) * traces_->size()));
+        }
+        if (bug_sets.empty()) {
+            bug_sets.push_back((*bug_sets_)[0]);
+            expected.assign(expected_->begin(),
+                            expected_->begin() +
+                                static_cast<long>(traces_->size()));
+        }
+
+        ReplayOptions options;
+        options.numThreads = 1 + (unsigned)rng.index(8);
+        options.checkpointStride = rng.index(2 * max_len);
+        options.checkpointBudgetBytes =
+            rng.chance(1, 4) ? 0 : rng.range(one, 64 * one);
+        options.spillBudgetBytes =
+            rng.chance(1, 2) ? 0 : rng.range(one, 64 * one);
+        options.minPrefixCycles = rng.range(1, 64);
+        expectMatrixIdentical(
+            *config_, *traces_, bug_sets, expected, options,
+            "draw " + std::to_string(draw) + " workers=" +
+                std::to_string(options.numThreads) + " stride=" +
+                std::to_string(options.checkpointStride));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spill-tier fault injection: damage may cost cycles, never bytes.
+// ---------------------------------------------------------------------
+
+TEST_F(CheckpointFixture, SpillTierRoundTripsUnderPressure)
+{
+    // A memory budget of ~1 snapshot forces every published
+    // checkpoint through the spill tier; results must not change and
+    // the spill counters must show real traffic.
+    ReplayOptions options;
+    options.numThreads = 2;
+    options.checkpointStride = 64;
+    options.checkpointBudgetBytes = snapshotBytes() + 1;
+    options.spillBudgetBytes = size_t{1} << 40;
+    options.minPrefixCycles = 4;
+    ReplayStats stats = expectMatrixIdentical(
+        *config_, *traces_, *bug_sets_, *expected_, options,
+        "spill pressure");
+    EXPECT_GT(stats.spillWrites, 0u);
+    EXPECT_GT(stats.spillBytes, 0u);
+    EXPECT_GT(stats.spillReads, 0u);
+    EXPECT_EQ(stats.spillFallbacks, 0u);
+}
+
+TEST_F(CheckpointFixture, InjectedSpillFaultsDegradeGracefully)
+{
+    // Every spilled record is damaged on disk (flipped payload byte,
+    // then truncation). Faulting back must detect the damage, count
+    // a fallback, and replay from an earlier checkpoint or reset —
+    // with byte-identical results throughout.
+    for (auto fault : {ReplayOptions::SpillFault::CorruptCrc,
+                       ReplayOptions::SpillFault::Truncate}) {
+        ReplayOptions options;
+        options.numThreads = 2;
+        options.checkpointStride = 64;
+        options.checkpointBudgetBytes = snapshotBytes() + 1;
+        options.spillBudgetBytes = size_t{1} << 40;
+        options.minPrefixCycles = 4;
+        options.spillFault = fault;
+        const char *name =
+            fault == ReplayOptions::SpillFault::CorruptCrc
+                ? "corrupt-crc"
+                : "truncate";
+        ReplayStats stats = expectMatrixIdentical(
+            *config_, *traces_, *bug_sets_, *expected_, options,
+            name);
+        EXPECT_GT(stats.spillWrites, 0u) << name;
+        EXPECT_GT(stats.spillFallbacks, 0u) << name;
+    }
+}
+
+TEST_F(CheckpointFixture, UnusableSpillDirectoryDisablesTier)
+{
+    // A nonexistent spill directory must disable the tier (no file,
+    // no writes) without affecting results.
+    ReplayOptions options;
+    options.numThreads = 2;
+    options.checkpointBudgetBytes = snapshotBytes() + 1;
+    options.spillBudgetBytes = size_t{1} << 40;
+    options.spillDir = "/nonexistent/archval-spill-dir";
+    options.minPrefixCycles = 4;
+    ReplayStats stats = expectMatrixIdentical(
+        *config_, *traces_, *bug_sets_, *expected_, options,
+        "bad spill dir");
+    EXPECT_EQ(stats.spillWrites, 0u);
+    EXPECT_EQ(stats.spillReads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// SpillStore unit-level faults (real file damage, no engine).
+// ---------------------------------------------------------------------
+
+TEST(SpillStoreTest, RoundTripAndStats)
+{
+    SpillStore store(SpillStore::Options{});
+    ASSERT_TRUE(store.enabled());
+    std::vector<uint8_t> a(1000);
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = (uint8_t)(i * 7);
+    std::vector<uint8_t> b(313, 0x5A);
+
+    int64_t ida = store.append(a.data(), a.size());
+    int64_t idb = store.append(b.data(), b.size());
+    ASSERT_NE(ida, SpillStore::invalidId);
+    ASSERT_NE(idb, SpillStore::invalidId);
+
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(store.read(idb, out));
+    EXPECT_EQ(out, b);
+    EXPECT_TRUE(store.read(ida, out));
+    EXPECT_EQ(out, a);
+    EXPECT_EQ(store.writes(), 2u);
+    EXPECT_EQ(store.reads(), 2u);
+    EXPECT_EQ(store.readFailures(), 0u);
+    EXPECT_EQ(store.bytesWritten(), a.size() + b.size());
+
+    EXPECT_FALSE(store.read(99, out)); // unknown id
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(SpillStoreTest, CorruptedRecordFailsCrc)
+{
+    SpillStore store(SpillStore::Options{});
+    ASSERT_TRUE(store.enabled());
+    std::vector<uint8_t> data(4096, 0xA5);
+    int64_t id = store.append(data.data(), data.size());
+    ASSERT_NE(id, SpillStore::invalidId);
+    ASSERT_TRUE(store.corruptRecordForTesting(id));
+
+    std::vector<uint8_t> out(3, 1);
+    EXPECT_FALSE(store.read(id, out));
+    EXPECT_TRUE(out.empty()) << "failed read must not leak bytes";
+    EXPECT_EQ(store.readFailures(), 1u);
+}
+
+TEST(SpillStoreTest, TruncatedFileFailsShortRead)
+{
+    SpillStore store(SpillStore::Options{});
+    ASSERT_TRUE(store.enabled());
+    std::vector<uint8_t> first(256, 0x11);
+    std::vector<uint8_t> second(256, 0x22);
+    int64_t id0 = store.append(first.data(), first.size());
+    int64_t id1 = store.append(second.data(), second.size());
+    ASSERT_TRUE(store.truncateAtRecordForTesting(id1));
+
+    std::vector<uint8_t> out;
+    EXPECT_TRUE(store.read(id0, out)) << "record before cut survives";
+    EXPECT_EQ(out, first);
+    EXPECT_FALSE(store.read(id1, out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(SpillStoreTest, BudgetCapRefusesOverflow)
+{
+    SpillStore store(SpillStore::Options{"", 100});
+    ASSERT_TRUE(store.enabled());
+    std::vector<uint8_t> data(60, 0x33);
+    EXPECT_NE(store.append(data.data(), data.size()),
+              SpillStore::invalidId);
+    // 60 + 60 > 100: the second append must be refused, and the
+    // refusal must not disable the store.
+    EXPECT_EQ(store.append(data.data(), data.size()),
+              SpillStore::invalidId);
+    std::vector<uint8_t> small(30, 0x44);
+    EXPECT_NE(store.append(small.data(), small.size()),
+              SpillStore::invalidId);
+}
+
+TEST(SpillStoreTest, ZeroBudgetAndBadDirDisable)
+{
+    SpillStore none(SpillStore::Options{"", 0});
+    EXPECT_FALSE(none.enabled());
+    EXPECT_TRUE(none.path().empty());
+
+    SpillStore bad(
+        SpillStore::Options{"/nonexistent/archval-spill-dir", 1024});
+    EXPECT_FALSE(bad.enabled());
+    std::vector<uint8_t> data(8, 0);
+    EXPECT_EQ(bad.append(data.data(), data.size()),
+              SpillStore::invalidId);
+}
+
+TEST(SpillStoreTest, ReadOnlyDirectoryDisables)
+{
+    // Root bypasses directory permission bits, so the scenario is
+    // only constructible as an unprivileged user.
+    if (::geteuid() == 0)
+        GTEST_SKIP() << "running as root: mode 0500 is not read-only";
+    std::string dir = ::testing::TempDir() + "/archval-ro-spill";
+    ASSERT_EQ(::mkdir(dir.c_str(), 0500), 0);
+    SpillStore store(SpillStore::Options{dir, 1024});
+    EXPECT_FALSE(store.enabled());
+    ::rmdir(dir.c_str());
+}
+
+} // namespace
+} // namespace archval::harness

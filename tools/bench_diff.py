@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Diff a bench --json emission against its committed baseline.
+
+Usage:
+    bench_diff.py BASELINE CURRENT [--threshold 0.20]
+
+Exit codes:
+    0   no gated metric regressed
+    1   regression (or structural mismatch) detected
+    77  CURRENT does not exist — the bench has not been run in this
+        build tree; ctest treats 77 as SKIP (SKIP_RETURN_CODE)
+
+Rows are matched on their identifying keys (sweep coordinates such as
+workers/stride/bug). Metrics fall into three classes:
+
+  * exact    — must not change at all: correctness booleans and
+               deterministic structure counts (states, edges,
+               identical, *_detected). Any drift is a bug, not a
+               regression.
+  * gated    — performance counters that are allowed to drift up to
+               the threshold (default 20%) in the bad direction:
+               lower-is-better (simulated cycles) or higher-is-better
+               (avoided fraction, hit rate, stride savings).
+  * informational — everything else, most importantly wall-clock and
+               CPU seconds: machine-dependent, reported but never
+               gated (the committed baseline may come from different
+               hardware — see the "host" object in each emission).
+"""
+
+import argparse
+import json
+import sys
+
+# Keys that identify a row within a bench (sweep coordinates).
+ID_KEYS = (
+    "section",
+    "kind",
+    "configuration",
+    "workers",
+    "threads",
+    "cache",
+    "stride",
+    "spill_budget_mb",
+    "bug",
+    "limit",
+    "nested",
+)
+
+# Metrics that must match the baseline exactly.
+EXACT_KEYS = {
+    "identical",
+    "states",
+    "edges",
+    "batch_cycles",
+    "traces",
+    "instructions",
+    "longest_trace_edges",
+    "tour_detected",
+    "random_detected",
+    "directed_detected",
+}
+EXACT_SUFFIXES = ("_detected",)
+
+# Gated metrics and their good direction.
+LOWER_IS_BETTER = {
+    "simulated_cycles",
+    "sim_cycles_cache_off",
+    "sim_cycles_cache_on",
+    "bits_per_state",
+    "tour_instructions",
+    "tour_cycles",
+}
+HIGHER_IS_BETTER = {
+    "avoided_fraction",
+    "hit_rate",
+    "stride_savings",
+}
+
+
+def row_id(row):
+    """Identity of a row: its sweep coordinates."""
+    return tuple((k, row[k]) for k in ID_KEYS if k in row)
+
+
+def classify(key):
+    if key in EXACT_KEYS or key.endswith(EXACT_SUFFIXES):
+        return "exact"
+    if key in LOWER_IS_BETTER:
+        return "lower"
+    if key in HIGHER_IS_BETTER:
+        return "higher"
+    return "info"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if "rows" not in doc or not isinstance(doc["rows"], list):
+        raise ValueError(f"{path}: not a bench emission (no rows)")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench results against a committed baseline."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional drift in the bad direction "
+        "(default 0.20)",
+    )
+    args = parser.parse_args()
+
+    try:
+        current = load(args.current)
+    except FileNotFoundError:
+        print(
+            f"SKIP: {args.current} not found — run the bench with "
+            f"--json first",
+            file=sys.stderr,
+        )
+        return 77
+    baseline = load(args.baseline)  # committed: missing is an error
+
+    if baseline.get("bench") != current.get("bench"):
+        print(
+            f"FAIL: bench name mismatch: baseline "
+            f"{baseline.get('bench')!r} vs current "
+            f"{current.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    current_rows = {row_id(r): r for r in current["rows"]}
+    failures = []
+    compared = 0
+
+    for base_row in baseline["rows"]:
+        rid = row_id(base_row)
+        label = " ".join(f"{k}={v}" for k, v in rid) or "(row)"
+        cur_row = current_rows.get(rid)
+        if cur_row is None:
+            failures.append(f"{label}: row missing from current run")
+            continue
+        for key, base_val in base_row.items():
+            if key in ID_KEYS or key not in cur_row:
+                continue
+            cur_val = cur_row[key]
+            kind = classify(key)
+            if kind == "exact":
+                compared += 1
+                if cur_val != base_val:
+                    failures.append(
+                        f"{label}: {key} changed "
+                        f"{base_val!r} -> {cur_val!r} (must be exact)"
+                    )
+                continue
+            if kind == "info":
+                continue
+            if not isinstance(base_val, (int, float)) or not isinstance(
+                cur_val, (int, float)
+            ):
+                continue
+            compared += 1
+            if base_val == 0:
+                # No relative scale; only flag a higher-is-better
+                # metric that has collapsed below an absolute zero
+                # baseline (impossible) — i.e. nothing to gate.
+                continue
+            drift = (cur_val - base_val) / base_val
+            bad = drift > args.threshold if kind == "lower" else (
+                -drift > args.threshold
+            )
+            if bad:
+                failures.append(
+                    f"{label}: {key} regressed "
+                    f"{base_val:g} -> {cur_val:g} "
+                    f"({100 * drift:+.1f}%, threshold "
+                    f"{100 * args.threshold:.0f}%)"
+                )
+
+    bench = baseline.get("bench")
+    if failures:
+        print(f"FAIL: {bench}: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(
+        f"OK: {bench}: {compared} gated metrics within "
+        f"{100 * args.threshold:.0f}% of baseline "
+        f"({len(baseline['rows'])} rows)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
