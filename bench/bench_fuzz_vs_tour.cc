@@ -60,12 +60,13 @@ latencyCell(bool detected, uint64_t instructions)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const bool smoke = smokeMode();
     bench::banner("Fuzz vs tour",
                   "Coverage-guided fuzzing as a stimulus source");
     std::printf("\nmode: %s\n", smoke ? "smoke" : "full");
+    bench::JsonWriter json("fuzz_vs_tour");
 
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
@@ -103,6 +104,11 @@ main()
                     options.workers,
                     (unsigned long long)options.seed,
                     same ? "bit-identical" : "MISMATCH");
+        json.beginRow();
+        json.add("section", "determinism");
+        json.add("configuration", smoke ? "smoke" : "full");
+        json.add("workers", options.workers);
+        json.add("identical", same);
         if (!same)
             return 1;
     }
@@ -131,6 +137,19 @@ main()
     std::printf("\nsummary: tour %u/6, biased-random %u/6, fuzz "
                 "campaign %u/6 (need >= 4)\n",
                 tour_found, random_found, fuzz_found);
+
+    for (const auto &r : results) {
+        json.beginRow();
+        json.add("section", "hunt");
+        json.add("configuration", smoke ? "smoke" : "full");
+        json.add("bug", rtl::bugName(r.bug));
+        json.add("tour_detected", r.tour.detected);
+        json.add("random_detected", r.random.detected);
+        json.add("directed_detected", r.directed.detected);
+        json.add("fuzz_detected", r.fuzz.detected);
+        json.add("tour_instructions", r.tour.instructions);
+        json.add("fuzz_instructions", r.fuzz.instructions);
+    }
 
     // --- Mutation bank: each data-visible control mutation changes
     // the state graph itself, so the model is re-enumerated and the
@@ -179,7 +198,20 @@ main()
                     latencyCell(campaign.detected,
                                 campaign.instructions)
                         .c_str());
+
+        json.beginRow();
+        json.add("section", "mutation");
+        json.add("configuration", smoke ? "smoke" : "full");
+        json.add("mutation", rtl::mutationName(mutation));
+        json.add("tour_detected", tour_detected);
+        json.add("fuzz_detected", campaign.detected);
+        json.add("mutated_states", mutated_graph.numStates());
+        json.add("mutated_edges", mutated_graph.numEdges());
     }
 
+    if (!json.write(bench::jsonPath(argc, argv))) {
+        std::fprintf(stderr, "failed to write --json output\n");
+        return 1;
+    }
     return fuzz_found >= 4 ? 0 : 1;
 }

@@ -22,7 +22,7 @@
 using namespace archval;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Coverage series",
                   "Arc coverage vs simulated instructions: tour vs "
@@ -135,5 +135,31 @@ main()
         100.0 * biased_uncovered / graph.numEdges(),
         withCommas(uniform_uncovered).c_str(),
         100.0 * uniform_uncovered / graph.numEdges());
+
+    bench::JsonWriter json("random_vs_tour");
+    json.beginRow();
+    json.add("section", "graph");
+    json.add("states", graph.numStates());
+    json.add("edges", graph.numEdges());
+    json.add("tour_budget_instructions", tour_budget);
+    auto coverage_row = [&](const char *kind,
+                            const harness::CoverageTracker &cov) {
+        json.beginRow();
+        json.add("section", "coverage");
+        json.add("kind", kind);
+        json.add("covered_edges", cov.coveredEdges());
+        json.add("uncovered_edges",
+                 graph.numEdges() - cov.coveredEdges());
+        json.add("coverage_fraction",
+                 double(cov.coveredEdges()) / graph.numEdges());
+        json.add("instructions", cov.instructions());
+    };
+    coverage_row("tour", tour_cov);
+    coverage_row("biased_random", biased_cov);
+    coverage_row("uniform_random", rand_cov);
+    if (!json.write(bench::jsonPath(argc, argv))) {
+        std::fprintf(stderr, "failed to write --json output\n");
+        return 1;
+    }
     return 0;
 }

@@ -20,11 +20,13 @@
  */
 
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.hh"
 #include "harness/replay_engine.hh"
 #include "murphi/enumerator.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 #include "support/timer.hh"
 
 using namespace archval;
@@ -66,6 +68,10 @@ main(int argc, char **argv)
                   "Checkpointed batch replay: workers x prefix "
                   "cache");
 
+    telemetry::setThreadName("main");
+    std::optional<telemetry::ScopedSpan> phase;
+    phase.emplace("bench.setup");
+
     rtl::PpConfig config = bench::benchSimConfig();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);
@@ -103,6 +109,7 @@ main(int argc, char **argv)
 
     // Sequential reference: the plain per-trace player path the
     // engine must match byte-for-byte.
+    phase.emplace("bench.seq_reference");
     harness::ReplayOptions seq_options;
     seq_options.numThreads = 1;
     seq_options.checkpointBudgetBytes = 0;
@@ -122,6 +129,8 @@ main(int argc, char **argv)
     double best_reduction = 0.0;
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
         for (bool cache : {false, true}) {
+            phase.emplace("bench.sweep_point", "workers", threads,
+                          "cache", (uint64_t)cache);
             harness::ReplayOptions options;
             options.numThreads = threads;
             options.checkpointBudgetBytes =
@@ -206,6 +215,7 @@ main(int argc, char **argv)
     // useful stride. Plain traces cover disjoint graph regions, so
     // trigger cycles spread across the whole trace length.
     // ------------------------------------------------------------------
+    phase.emplace("bench.plain_setup");
     graph::TourOptions plain_options;
     plain_options.maxInstructionsPerTrace = 10'000;
     graph::TourGenerator plain_gen(graph, plain_options);
@@ -227,6 +237,9 @@ main(int argc, char **argv)
     for (size_t stride : {size_t{0}, size_t{256}, size_t{1024},
                           size_t{4096}}) {
         for (size_t spill_mb : {size_t{0}, size_t{256}}) {
+            phase.emplace("bench.stride_point", "stride",
+                          (uint64_t)stride, "spill_mb",
+                          (uint64_t)spill_mb);
             harness::ReplayOptions options;
             options.numThreads = 4;
             options.checkpointStride = stride;
@@ -288,6 +301,7 @@ main(int argc, char **argv)
                 "results\nstay byte-identical throughout.\n",
                 100.0 * best_savings);
 
+    phase.reset();
     std::string path = bench::jsonPath(argc, argv);
     if (!json.write(path)) {
         std::fprintf(stderr, "failed to write %s\n", path.c_str());

@@ -23,10 +23,12 @@
 using namespace archval;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Table 3.2", "State enumeration statistics");
 
+    const char *scale = std::getenv("ARCHVAL_BENCH_SCALE");
+    const bool small = scale && std::strcmp(scale, "small") == 0;
     rtl::PpConfig config = bench::benchConfig();
     rtl::PpFsmModel model(config);
 
@@ -69,5 +71,21 @@ main()
         "of the FSMs prevents the\nexponential explosion the state "
         "bits suggest.\n",
         log2_reachable, stats.bitsPerState);
+
+    bench::JsonWriter json("table3_2");
+    json.beginRow();
+    json.add("section", "enumeration");
+    json.add("configuration", small ? "small" : "full");
+    json.add("states", stats.numStates);
+    json.add("edges", stats.numEdges);
+    json.add("bits_per_state", stats.bitsPerState);
+    json.add("transitions_tried", stats.transitionsTried);
+    json.add("transitions_valid", stats.transitionsValid);
+    json.add("cpu_seconds", stats.cpuSeconds);
+    json.add("memory_bytes", stats.memoryBytes);
+    if (!json.write(bench::jsonPath(argc, argv))) {
+        std::fprintf(stderr, "failed to write --json output\n");
+        return 1;
+    }
     return 0;
 }

@@ -20,14 +20,18 @@
 #include <vector>
 
 #include "rtl/pp_config.hh"
+#include "support/telemetry.hh"
 
 namespace archval::bench
 {
 
-/** Print a bench banner. */
+/** Print a bench banner. Also arms telemetry from the environment
+ *  (ARCHVAL_TRACE / ARCHVAL_HEARTBEAT) — every bench calls banner()
+ *  first, so tracing works uniformly with no per-bench wiring. */
 inline void
 banner(const char *id, const char *title)
 {
+    telemetry::initTelemetryFromEnv();
     std::printf("\n================================================="
                 "=============\n");
     std::printf("%s — %s\n", id, title);
@@ -177,7 +181,12 @@ class JsonWriter
             }
             std::fprintf(file, "}");
         }
-        std::fprintf(file, "\n  ]\n}\n");
+        // Observability snapshot: the whole metrics registry as of
+        // this emission, so bench_diff can gate on counters (cache
+        // hit rates, fallback counts) alongside the printed rows.
+        std::fprintf(file, "\n  ],\n  \"metrics\": %s\n}\n",
+                     telemetry::metricsJson(telemetry::snapshotMetrics())
+                         .c_str());
         return std::fclose(file) == 0;
     }
 

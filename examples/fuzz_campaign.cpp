@@ -16,12 +16,14 @@
 #include "fuzz/engine.hh"
 #include "murphi/enumerator.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 using namespace archval;
 
 int
 main()
 {
+    archval::telemetry::initTelemetryFromEnv();
     rtl::PpConfig config = rtl::PpConfig::smallPreset();
     rtl::PpFsmModel model(config);
     // Enumerate with the parallel sharded search; the graph is

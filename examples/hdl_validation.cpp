@@ -20,6 +20,7 @@
 #include "hdl/translate.hh"
 #include "murphi/enumerator.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 using namespace archval;
 
@@ -92,6 +93,7 @@ endmodule
 int
 main()
 {
+    archval::telemetry::initTelemetryFromEnv();
     auto translated = hdl::translateSource(dmaDesign, "dma");
     if (!translated.ok()) {
         std::fprintf(stderr, "translate failed: %s\n",

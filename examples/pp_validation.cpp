@@ -18,12 +18,14 @@
 #include "core/validation_flow.hh"
 #include "rtl/faults.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 using namespace archval;
 
 int
 main(int argc, char **argv)
 {
+    archval::telemetry::initTelemetryFromEnv();
     rtl::PpConfig config = rtl::PpConfig::smallPreset();
     core::FlowOptions options;
     rtl::BugSet bugs;

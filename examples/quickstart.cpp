@@ -17,6 +17,7 @@
 #include "hdl/translate.hh"
 #include "rtl/faults.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 using namespace archval;
 
@@ -61,6 +62,7 @@ endmodule
 int
 main()
 {
+    archval::telemetry::initTelemetryFromEnv();
     std::printf("=== Part 1: annotated Verilog -> FSM -> tours ===\n");
     auto translated = hdl::translateSource(trafficLight, "traffic");
     if (!translated.ok()) {

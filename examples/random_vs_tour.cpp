@@ -17,12 +17,14 @@
 #include "harness/coverage.hh"
 #include "murphi/enumerator.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 using namespace archval;
 
 int
 main()
 {
+    archval::telemetry::initTelemetryFromEnv();
     rtl::PpConfig config = rtl::PpConfig::smallPreset();
     rtl::PpFsmModel model(config);
     murphi::Enumerator enumerator(model);

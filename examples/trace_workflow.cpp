@@ -19,6 +19,7 @@
 #include "harness/vector_player.hh"
 #include "support/strings.hh"
 #include "vecgen/trace_io.hh"
+#include "support/telemetry.hh"
 
 using namespace archval;
 
@@ -94,6 +95,7 @@ replay(const std::string &dir, const rtl::PpConfig &config,
 int
 main(int argc, char **argv)
 {
+    archval::telemetry::initTelemetryFromEnv();
     std::string mode = argc > 1 ? argv[1] : "demo";
     rtl::PpConfig config = rtl::PpConfig::smallPreset();
     rtl::BugSet bugs;

@@ -5,6 +5,7 @@
 
 #include "support/status.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 namespace archval::fuzz
 {
@@ -89,6 +90,8 @@ CampaignRunner::run(const rtl::BugSet &bugs,
     uint64_t cycles_before = 0;
 
     for (unsigned round = 0; round < options_.maxRounds; ++round) {
+        telemetry::ScopedSpan round_span("fuzz.round", "round", round,
+                                         "workers", workers);
         std::vector<uint64_t> instr_at_start(workers);
         std::vector<uint64_t> cycles_at_start(workers);
         std::vector<FuzzDetection> outcomes(workers);
@@ -103,6 +106,10 @@ CampaignRunner::run(const rtl::BugSet &bugs,
             instr_at_start[w] = engines[w]->stats().instructions;
             cycles_at_start[w] = engines[w]->stats().cycles;
             threads.emplace_back([&, w] {
+                if (telemetry::tracingEnabled()) {
+                    telemetry::setThreadName(
+                        formatString("fuzz.worker.%u", w));
+                }
                 outcomes[w] = engines[w]->run(
                     bugs, options_.roundInstructions);
             });

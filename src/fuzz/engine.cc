@@ -5,6 +5,7 @@
 #include "harness/baselines.hh"
 #include "pp/ref_sim.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 #include "vecgen/vector_gen.hh"
 
 namespace archval::fuzz
@@ -113,7 +114,10 @@ FuzzEngine::evaluate(const Candidate &candidate,
                      const char *origin,
                      const harness::PlayResult *primed)
 {
+    telemetry::ScopedSpan span("fuzz.iter", "edges",
+                               candidate.trace.edges.size());
     ++stats_.iterations;
+    telemetry::counter("fuzz.iterations").add(1);
 
     // Arc novelty is static: the candidate is a walk in the
     // enumerated graph, so its coverage is known before simulation.
@@ -140,11 +144,16 @@ FuzzEngine::evaluate(const Candidate &candidate,
             corpus_.add(candidate, energy, new_arcs, new_state);
         roundAdds_.push_back(corpus_.entry(index));
         ++stats_.admitted;
+        telemetry::counter("fuzz.admitted").add(1);
     }
-    if (new_arcs > 0)
+    if (new_arcs > 0) {
         ++stats_.arcNovel;
-    if (new_state)
+        telemetry::counter("fuzz.arc_novel").add(1);
+    }
+    if (new_state) {
         ++stats_.stateNovel;
+        telemetry::counter("fuzz.state_novel").add(1);
+    }
 
     if (play.diverged) {
         FuzzDetection detection;

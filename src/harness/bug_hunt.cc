@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 namespace archval::harness
 {
@@ -34,19 +35,24 @@ BugHunt::hunt(rtl::BugId bug, uint64_t random_budget, uint64_t seed)
     ReplayEngine engine(config_, replay);
 
     // Transition-tour vectors, in generation order.
-    std::vector<PlayResult> tour_plays = engine.playAll(tourTraces_, bugs);
-    for (size_t t = 0; t < tourTraces_.size(); ++t) {
-        const PlayResult &play = tour_plays[t];
-        if (play.skipped)
-            break;
-        result.tour.instructions += play.instructions;
-        result.tour.cycles += play.cycles;
-        if (play.diverged) {
-            result.tour.detected = true;
-            result.tour.detail = formatString(
-                "trace %zu: %s", tourTraces_[t].traceIndex,
-                play.diff.c_str());
-            break;
+    {
+        telemetry::ScopedSpan arm_span(
+            "hunt.tour", "bug", static_cast<uint64_t>(bug));
+        std::vector<PlayResult> tour_plays =
+            engine.playAll(tourTraces_, bugs);
+        for (size_t t = 0; t < tourTraces_.size(); ++t) {
+            const PlayResult &play = tour_plays[t];
+            if (play.skipped)
+                break;
+            result.tour.instructions += play.instructions;
+            result.tour.cycles += play.cycles;
+            if (play.diverged) {
+                result.tour.detected = true;
+                result.tour.detail = formatString(
+                    "trace %zu: %s", tourTraces_[t].traceIndex,
+                    play.diff.c_str());
+                break;
+            }
         }
     }
 
@@ -55,62 +61,72 @@ BugHunt::hunt(rtl::BugId bug, uint64_t random_budget, uint64_t seed)
     // content never depends on play results, so pre-generating a
     // batch and replaying it preserves the sequential arm's trace
     // sequence, accumulation and stopping point.
-    BiasedWalker walker(model_, graph_, seed);
-    vecgen::VectorGenerator generator(model_, seed ^ 0x5eedu);
-    const uint64_t chunk = 2'000;
-    const size_t batch_size = std::max(2 * replay.numThreads, 4u);
-    size_t walk_index = 0;
-    bool exhausted = false;
-    while (result.random.instructions < random_budget && !exhausted &&
-           !result.random.detected) {
-        std::vector<vecgen::TestTrace> batch;
-        while (batch.size() < batch_size) {
-            graph::Trace walk = walker.walk(chunk);
-            if (walk.edges.empty()) {
-                exhausted = true;
-                break;
+    {
+        telemetry::ScopedSpan arm_span(
+            "hunt.random", "bug", static_cast<uint64_t>(bug));
+        BiasedWalker walker(model_, graph_, seed);
+        vecgen::VectorGenerator generator(model_, seed ^ 0x5eedu);
+        const uint64_t chunk = 2'000;
+        const size_t batch_size = std::max(2 * replay.numThreads, 4u);
+        size_t walk_index = 0;
+        bool exhausted = false;
+        while (result.random.instructions < random_budget &&
+               !exhausted && !result.random.detected) {
+            std::vector<vecgen::TestTrace> batch;
+            while (batch.size() < batch_size) {
+                graph::Trace walk = walker.walk(chunk);
+                if (walk.edges.empty()) {
+                    exhausted = true;
+                    break;
+                }
+                batch.push_back(
+                    generator.generate(graph_, walk, walk_index++));
             }
-            batch.push_back(
-                generator.generate(graph_, walk, walk_index++));
-        }
-        if (batch.empty())
-            break;
-        std::vector<PlayResult> plays = engine.playAll(batch, bugs);
-        for (size_t i = 0; i < batch.size(); ++i) {
-            const PlayResult &play = plays[i];
-            if (play.skipped)
+            if (batch.empty())
                 break;
-            result.random.instructions += play.instructions;
-            result.random.cycles += play.cycles;
-            if (play.diverged) {
-                result.random.detected = true;
-                result.random.detail = formatString(
-                    "walk %zu: %s", batch[i].traceIndex,
-                    play.diff.c_str());
-                break;
+            std::vector<PlayResult> plays = engine.playAll(batch, bugs);
+            for (size_t i = 0; i < batch.size(); ++i) {
+                const PlayResult &play = plays[i];
+                if (play.skipped)
+                    break;
+                result.random.instructions += play.instructions;
+                result.random.cycles += play.cycles;
+                if (play.diverged) {
+                    result.random.detected = true;
+                    result.random.detail = formatString(
+                        "walk %zu: %s", batch[i].traceIndex,
+                        play.diff.c_str());
+                    break;
+                }
+                if (result.random.instructions >= random_budget)
+                    break;
             }
-            if (result.random.instructions >= random_budget)
-                break;
         }
     }
 
     // Hand-written directed tests.
-    for (const DirectedResult &directed :
-         runDirectedSuite(config_, bugs)) {
-        if (!directed.ran)
-            continue;
-        result.directed.instructions += directed.instructions;
-        result.directed.cycles += directed.cycles;
-        if (directed.diverged) {
-            result.directed.detected = true;
-            result.directed.detail =
-                directed.name + ": " + directed.diff;
-            break;
+    {
+        telemetry::ScopedSpan arm_span(
+            "hunt.directed", "bug", static_cast<uint64_t>(bug));
+        for (const DirectedResult &directed :
+             runDirectedSuite(config_, bugs)) {
+            if (!directed.ran)
+                continue;
+            result.directed.instructions += directed.instructions;
+            result.directed.cycles += directed.cycles;
+            if (directed.diverged) {
+                result.directed.detected = true;
+                result.directed.detail =
+                    directed.name + ": " + directed.diff;
+                break;
+            }
         }
     }
 
     // Coverage-guided fuzzing, when an arm is installed.
     if (fuzzArm_) {
+        telemetry::ScopedSpan arm_span(
+            "hunt.fuzz", "bug", static_cast<uint64_t>(bug));
         result.fuzz = fuzzArm_(bug);
         result.fuzzRan = true;
     }

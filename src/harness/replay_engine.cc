@@ -11,6 +11,8 @@
 
 #include "support/spill_store.hh"
 #include "support/status.hh"
+#include "support/strings.hh"
+#include "support/telemetry.hh"
 
 namespace archval::harness
 {
@@ -639,7 +641,15 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     for (auto &fd : first_div)
         fd.store(nt, std::memory_order_relaxed);
 
+    telemetry::ScopedSpan batch_span("replay.batch", "traces", nt,
+                                     "bug_sets", nb);
+    telemetry::Histogram &resume_depth = telemetry::histogram(
+        "replay.resume_depth", telemetry::depthBounds());
+
     auto run_one = [&](const Job &job, LocalStats &ls) {
+        telemetry::ScopedSpan job_span("replay.job", "trace",
+                                       job.trace, "bug_set",
+                                       job.bugSet);
         const vecgen::TestTrace &trace = traces[job.trace];
         const size_t len = trace.cycles.size();
         const bool is_donor = donor_active && job.bugSet == donor_set;
@@ -783,6 +793,8 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
             }
         }
 
+        resume_depth.record(double(start));
+
         // Drive to the end of the trace, pausing at this job's
         // planned publish depth and (donor runs) at every stride
         // boundary to snapshot. The donor publishes its chain links
@@ -849,6 +861,10 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         pool.reserve(workers);
         for (unsigned w = 0; w < workers; ++w) {
             pool.emplace_back([&, w] {
+                if (telemetry::tracingEnabled()) {
+                    telemetry::setThreadName(
+                        formatString("replay.worker.%u", w));
+                }
                 while (true) {
                     size_t j = next_job.fetch_add(
                         1, std::memory_order_relaxed);
@@ -900,6 +916,29 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     stats_.spillReads = spill.reads();
     stats_.spillBytes = spill.bytesWritten();
     stats_.spillFallbacks = cache.spillFallbacks();
+
+    // Registry mirror of the batch stats: one add per batch keeps
+    // the hot path free of shared-counter traffic.
+    telemetry::counter("replay.jobs").add(stats_.jobs);
+    telemetry::counter("replay.checkpoint_hits")
+        .add(stats_.checkpointHits);
+    telemetry::counter("replay.checkpoint_misses")
+        .add(stats_.checkpointMisses);
+    telemetry::counter("replay.verify_fallbacks")
+        .add(stats_.verifyFallbacks);
+    telemetry::counter("replay.bug_set_copies")
+        .add(stats_.bugSetCopies);
+    telemetry::counter("replay.stride_hits").add(stats_.strideHits);
+    telemetry::counter("replay.spill_writes").add(stats_.spillWrites);
+    telemetry::counter("replay.spill_reads").add(stats_.spillReads);
+    telemetry::counter("replay.spill_fallbacks")
+        .add(stats_.spillFallbacks);
+    telemetry::counter("replay.cycles_avoided")
+        .add(stats_.cyclesAvoided);
+    telemetry::counter("replay.cycles_simulated")
+        .add(stats_.simulatedCycles);
+    telemetry::gauge("replay.peak_cache_bytes")
+        .set(static_cast<int64_t>(stats_.peakCacheBytes));
     return results;
 }
 

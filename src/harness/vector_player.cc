@@ -2,6 +2,7 @@
 
 #include "pp/ref_sim.hh"
 #include "support/status.hh"
+#include "support/telemetry.hh"
 
 namespace archval::harness
 {
@@ -109,6 +110,9 @@ PlayResult
 VectorPlayer::play(const vecgen::TestTrace &trace,
                    const rtl::BugSet &bugs) const
 {
+    telemetry::ScopedSpan span("player.play", "cycles",
+                               trace.cycles.size());
+    telemetry::counter("player.plays").add(1);
     rtl::PpCore core(config_, rtl::CoreMode::Vector);
     primeCore(core, trace, bugs);
     drive(core, trace, 0, trace.cycles.size());
@@ -125,6 +129,9 @@ VectorPlayer::playChecked(const rtl::PpFsmModel &model,
     if (tour.edges.size() != trace.cycles.size())
         fatal("tour and generated trace disagree on cycle count");
 
+    telemetry::ScopedSpan span("player.play_checked", "cycles",
+                               trace.cycles.size());
+    telemetry::counter("player.plays").add(1);
     rtl::PpCore core(config_, rtl::CoreMode::Vector);
     primeCore(core, trace, bugs);
     LockstepSpec lockstep{&model, &graph, &tour};

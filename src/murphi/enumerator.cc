@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +11,7 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table_memory.hh"
+#include "support/telemetry.hh"
 #include "support/timer.hh"
 
 namespace archval::murphi
@@ -107,6 +109,18 @@ resetWidthMessage(size_t reset_bits, size_t state_bits)
         reset_bits, state_bits);
 }
 
+void
+recordEnumMetrics(const EnumStats &stats)
+{
+    telemetry::counter("enum.states").add(stats.numStates);
+    telemetry::counter("enum.edges").add(stats.numEdges);
+    telemetry::counter("enum.levels").add(stats.levels.size());
+    telemetry::gauge("enum.shard_states_min")
+        .set(static_cast<int64_t>(stats.minShardStates));
+    telemetry::gauge("enum.shard_states_max")
+        .set(static_cast<int64_t>(stats.maxShardStates));
+}
+
 } // namespace
 
 Enumerator::Enumerator(const fsm::Model &model, EnumOptions options)
@@ -139,6 +153,7 @@ Enumerator::runOrThrow()
 Result<graph::StateGraph>
 Enumerator::runSequential()
 {
+    telemetry::ScopedSpan run_span("enum.run", "threads", 1);
     CpuTimer timer;
 
     const fsm::ChoiceCodec codec = model_.makeChoiceCodec();
@@ -187,6 +202,10 @@ Enumerator::runSequential()
     uint64_t level_end = 1;
     uint64_t level_start_edges = 0;
     WallTimer level_timer;
+    telemetry::Gauge &frontier_gauge = telemetry::gauge("enum.frontier");
+    std::optional<telemetry::ScopedSpan> level_span;
+    if (telemetry::tracingEnabled())
+        level_span.emplace("enum.level", "level", 0, "frontier", 1);
     auto close_level = [&] {
         LevelStats level;
         level.frontierWidth = level_end - level_first;
@@ -198,6 +217,14 @@ Enumerator::runSequential()
         level_end = graph.numStates();
         level_start_edges = graph.numEdges();
         level_timer.reset();
+        frontier_gauge.set(
+            static_cast<int64_t>(level_end - level_first));
+        level_span.reset();
+        if (telemetry::tracingEnabled()) {
+            level_span.emplace("enum.level", "level",
+                               stats_.levels.size(), "frontier",
+                               level_end - level_first);
+        }
     };
 
     std::string error;
@@ -261,6 +288,7 @@ Enumerator::runSequential()
     if (!error.empty())
         return Result<graph::StateGraph>::error(error);
     close_level();
+    level_span.reset();
 
     stats_.numStates = graph.numStates();
     stats_.numEdges = graph.numEdges();
@@ -275,12 +303,14 @@ Enumerator::runSequential()
         private_bytes += state.memoryBytes() + sizeof(state);
     stats_.memoryBytes =
         graph.memoryBytes() + stateTableBytes(known) + private_bytes;
+    recordEnumMetrics(stats_);
     return graph;
 }
 
 Result<graph::StateGraph>
 Enumerator::runParallel(unsigned num_threads)
 {
+    telemetry::ScopedSpan run_span("enum.run", "threads", num_threads);
     CpuTimer timer;
 
     const fsm::ChoiceCodec codec = model_.makeChoiceCodec();
@@ -358,6 +388,9 @@ Enumerator::runParallel(unsigned num_threads)
 
     std::vector<graph::StateId> level = {0};
     std::string error;
+    telemetry::Gauge &frontier_gauge = telemetry::gauge("enum.frontier");
+    telemetry::Histogram &barrier_wait =
+        telemetry::histogram("enum.barrier_wait_seconds");
 
     while (!level.empty() && error.empty()) {
         WallTimer level_timer;
@@ -365,6 +398,11 @@ Enumerator::runParallel(unsigned num_threads)
         const unsigned workers = static_cast<unsigned>(
             std::min<size_t>(num_threads, width));
         std::vector<WorkerOut> outs(workers);
+        frontier_gauge.set(static_cast<int64_t>(width));
+        telemetry::ScopedSpan level_span("enum.level", "level",
+                                         stats_.levels.size(),
+                                         "frontier", width);
+        std::vector<uint64_t> finish_ns(workers, 0);
 
         // Expand a disjoint contiguous slice of the level. Sources
         // are visited in level order and transitions buffered in
@@ -373,6 +411,12 @@ Enumerator::runParallel(unsigned num_threads)
         auto expand = [&](unsigned w) {
             const size_t begin = width * w / workers;
             const size_t end = width * (w + 1) / workers;
+            if (telemetry::tracingEnabled()) {
+                telemetry::setThreadName(
+                    formatString("enum.worker.%u", w));
+            }
+            telemetry::ScopedSpan expand_span(
+                "enum.expand", "worker", w, "sources", end - begin);
             WorkerOut &out = outs[w];
             out.perSource.reserve(end - begin);
             std::unordered_set<uint64_t> dst_seen;
@@ -426,6 +470,7 @@ Enumerator::runParallel(unsigned num_threads)
                     });
                 out.perSource.push_back(out.trans.size() - before);
             }
+            finish_ns[w] = telemetry::nowNs();
         };
 
         if (workers == 1) {
@@ -438,6 +483,13 @@ Enumerator::runParallel(unsigned num_threads)
             for (std::thread &t : threads)
                 t.join();
         }
+
+        // Barrier imbalance: how long each worker sat idle between
+        // finishing its slice and the slowest worker finishing.
+        const uint64_t slowest =
+            *std::max_element(finish_ns.begin(), finish_ns.end());
+        for (unsigned w = 0; w < workers; ++w)
+            barrier_wait.record(double(slowest - finish_ns[w]) / 1e9);
 
         stats_.transitionsTried += uint64_t(width) * combos;
         for (const WorkerOut &out : outs)
@@ -565,6 +617,7 @@ Enumerator::runParallel(unsigned num_threads)
         private_bytes += state.memoryBytes() + sizeof(state);
     stats_.memoryBytes =
         graph.memoryBytes() + table_bytes + private_bytes;
+    recordEnumMetrics(stats_);
     return graph;
 }
 

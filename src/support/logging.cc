@@ -1,6 +1,8 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace archval
 {
@@ -8,7 +10,16 @@ namespace archval
 namespace
 {
 
-LogLevel globalLevel = LogLevel::Warn;
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+/** Serializes the stderr write so lines from concurrent replay/enum
+ *  workers never tear. The line itself is built outside the lock. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 const char *
 levelTag(LogLevel level)
@@ -25,26 +36,51 @@ levelTag(LogLevel level)
     }
 }
 
+void
+emitLine(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) >
+        static_cast<int>(globalLevel.load(std::memory_order_relaxed)))
+        return;
+    std::string line = "[";
+    line += levelTag(level);
+    line += "]";
+    if (tag) {
+        line += "[";
+        line += tag;
+        line += "]";
+    }
+    line += " ";
+    line += msg;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(globalLevel))
-        return;
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+    emitLine(level, nullptr, msg);
+}
+
+void
+logTagged(LogLevel level, const char *tag, const std::string &msg)
+{
+    emitLine(level, tag, msg);
 }
 
 } // namespace archval

@@ -30,8 +30,15 @@ void setLogLevel(LogLevel level);
 /** @return the process-global log level. */
 LogLevel logLevel();
 
-/** Emit @p msg at @p level if the global level admits it. */
+/** Emit @p msg at @p level if the global level admits it. The line
+ *  is assembled in one buffer and written with a single locked write,
+ *  so concurrent workers never interleave mid-line. */
 void logMessage(LogLevel level, const std::string &msg);
+
+/** Like logMessage, with a subsystem tag prefix:
+ *  `[info][telemetry] ...`. Used by the telemetry heartbeat; @p tag
+ *  must be non-null. */
+void logTagged(LogLevel level, const char *tag, const std::string &msg);
 
 /** Emit a warning message. */
 inline void logWarn(const std::string &msg) { logMessage(LogLevel::Warn, msg); }

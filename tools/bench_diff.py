@@ -42,6 +42,7 @@ ID_KEYS = (
     "stride",
     "spill_budget_mb",
     "bug",
+    "mutation",
     "limit",
     "nested",
 )
@@ -58,6 +59,13 @@ EXACT_KEYS = {
     "tour_detected",
     "random_detected",
     "directed_detected",
+    "transitions_tried",
+    "transitions_valid",
+    "covered_edges",
+    "uncovered_edges",
+    "tour_budget_instructions",
+    "mutated_states",
+    "mutated_edges",
 }
 EXACT_SUFFIXES = ("_detected",)
 
@@ -74,6 +82,30 @@ HIGHER_IS_BETTER = {
     "avoided_fraction",
     "hit_rate",
     "stride_savings",
+    "coverage_fraction",
+}
+
+# Observability counters from the embedded telemetry registry
+# snapshot (the emission's top-level "metrics" object). Gated with
+# the same drift threshold as row metrics; everything not named here
+# (wall-clock histograms, gauges) is informational.
+METRICS_LOWER_IS_BETTER = {
+    "replay.checkpoint_misses",
+    "replay.verify_fallbacks",
+    "replay.spill_fallbacks",
+    "replay.cycles_simulated",
+}
+METRICS_HIGHER_IS_BETTER = {
+    "replay.checkpoint_hits",
+    "replay.stride_hits",
+    "replay.bug_set_copies",
+    "replay.cycles_avoided",
+    "fuzz.arc_novel",
+    "fuzz.state_novel",
+}
+METRICS_EXACT = {
+    "enum.states",
+    "enum.edges",
 }
 
 
@@ -182,6 +214,45 @@ def main():
                     f"({100 * drift:+.1f}%, threshold "
                     f"{100 * args.threshold:.0f}%)"
                 )
+
+    # Observability gating: the registry snapshot embedded by
+    # JsonWriter. Baselines without one (pre-telemetry) skip this
+    # block, so old baselines stay valid.
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name, base_val in base_metrics.items():
+        if name in METRICS_EXACT:
+            compared += 1
+            if cur_metrics.get(name) != base_val:
+                failures.append(
+                    f"metrics: {name} changed {base_val!r} -> "
+                    f"{cur_metrics.get(name)!r} (must be exact)"
+                )
+            continue
+        if name in METRICS_LOWER_IS_BETTER:
+            direction = "lower"
+        elif name in METRICS_HIGHER_IS_BETTER:
+            direction = "higher"
+        else:
+            continue
+        cur_val = cur_metrics.get(name)
+        if not isinstance(base_val, (int, float)) or not isinstance(
+            cur_val, (int, float)
+        ):
+            continue
+        compared += 1
+        if base_val == 0:
+            continue
+        drift = (cur_val - base_val) / base_val
+        bad = drift > args.threshold if direction == "lower" else (
+            -drift > args.threshold
+        )
+        if bad:
+            failures.append(
+                f"metrics: {name} regressed {base_val:g} -> "
+                f"{cur_val:g} ({100 * drift:+.1f}%, threshold "
+                f"{100 * args.threshold:.0f}%)"
+            )
 
     bench = baseline.get("bench")
     if failures:

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""CI driver for the `telemetry_smoke` ctest.
+
+Runs the telemetry_smoke binary with ARCHVAL_TRACE pointing at a
+temporary file, then validates the emitted trace with
+trace_summary.py --check (schema validation + nonzero span count)
+and asserts the trace embeds a non-empty metrics snapshot.
+
+Usage: tools/telemetry_smoke.py <path-to-telemetry_smoke-binary>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    summary = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "trace_summary.py")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "smoke_trace.json")
+        env = dict(os.environ, ARCHVAL_TRACE=trace)
+        run = subprocess.run([binary], env=env)
+        if run.returncode != 0:
+            print(f"smoke binary failed (exit {run.returncode})",
+                  file=sys.stderr)
+            return 1
+        if not os.path.exists(trace):
+            print("smoke binary wrote no trace file", file=sys.stderr)
+            return 1
+
+        check = subprocess.run(
+            [sys.executable, summary, trace, "--check"])
+        if check.returncode != 0:
+            print("trace_summary --check failed", file=sys.stderr)
+            return 1
+
+        with open(trace) as f:
+            doc = json.load(f)
+        metrics = doc.get("otherData", {}).get("metrics", {})
+        if not metrics:
+            print("trace embeds no metrics snapshot", file=sys.stderr)
+            return 1
+        expected = ("enum.states", "replay.jobs")
+        missing = [k for k in expected if k not in metrics]
+        if missing:
+            print(f"metrics snapshot missing {missing}",
+                  file=sys.stderr)
+            return 1
+
+    print("telemetry smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
