@@ -55,8 +55,11 @@ PpValidationFlow::makeTours()
         tours_ = generator.run();
         tourStats_ = generator.stats();
         std::string check = graph::checkTourCoverage(*graph_, *tours_);
+        // fatal, not panic: tour generation runs inside long-lived
+        // callers (the archvald job loop); a coverage failure must
+        // surface as a catchable job error, never abort the process.
         if (!check.empty())
-            panic("tour coverage check failed: " + check);
+            fatal("tour coverage check failed: " + check);
     }
     return *tours_;
 }
@@ -141,7 +144,7 @@ exploreModel(const fsm::Model &model, murphi::EnumOptions enum_options,
     exploration.tourStats = tours.stats();
     std::string check = graph::checkTourCoverage(graph, traces);
     if (!check.empty())
-        panic("tour coverage check failed: " + check);
+        fatal("tour coverage check failed: " + check); // catchable
     return exploration;
 }
 

@@ -70,6 +70,8 @@ CampaignRunner::run(const rtl::BugSet &bugs,
             harness::ReplayOptions replay = options_.replay;
             if (replay.numThreads == 0)
                 replay.numThreads = workers;
+            if (!replay.cancelFlag)
+                replay.cancelFlag = options_.cancelFlag;
             harness::ReplayEngine replayer(config_, replay);
             std::vector<harness::PlayResult> plays =
                 replayer.playAll(seed_traces, bugs);
@@ -90,6 +92,11 @@ CampaignRunner::run(const rtl::BugSet &bugs,
     uint64_t cycles_before = 0;
 
     for (unsigned round = 0; round < options_.maxRounds; ++round) {
+        if (options_.cancelFlag &&
+            options_.cancelFlag->load(std::memory_order_relaxed)) {
+            result.cancelled = true;
+            break;
+        }
         telemetry::ScopedSpan round_span("fuzz.round", "round", round,
                                          "workers", workers);
         std::vector<uint64_t> instr_at_start(workers);

@@ -19,6 +19,7 @@
 #ifndef ARCHVAL_FUZZ_CAMPAIGN_HH
 #define ARCHVAL_FUZZ_CAMPAIGN_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,12 +47,19 @@ struct CampaignOptions
         options.numThreads = 0;
         return options;
     }();
+
+    /** Cooperative cancellation: when non-null and it reads true,
+     *  the campaign stops at the next round barrier (and the seed
+     *  replay skips its remaining jobs) with
+     *  CampaignResult::cancelled set. The flag is only read. */
+    const std::atomic<bool> *cancelFlag = nullptr;
 };
 
 /** Outcome of a campaign against one bug set. */
 struct CampaignResult
 {
     bool detected = false;
+    bool cancelled = false; ///< stopped early by the cancel flag
     uint64_t instructions = 0; ///< deterministic latency (see .cc)
     uint64_t cycles = 0;
     std::string detail;

@@ -80,6 +80,23 @@ class BugHunt
     /** Install (or clear) the coverage-guided fuzz arm. */
     void setFuzzArm(FuzzArm arm) { fuzzArm_ = std::move(arm); }
 
+    /**
+     * Install (or clear) a cross-hunt warm cache. With a cache
+     * installed the tour arm plays {bug-free, bug} instead of just
+     * {bug}: the first hunt's bug-free donor block deposits every
+     * tour trace's result and stride-checkpoint chain in the cache,
+     * and each later hunt's donor block collapses to warm copies —
+     * the donor chain stays alive across hunt() calls, so a
+     * triggered bug resumes from the checkpoint tier instead of
+     * replaying the bug-free lead from reset. Opt in deliberately:
+     * the first hunt pays for the donor block (a second pass over
+     * the tour corpus). Detection results are unchanged either way.
+     */
+    void setWarmCache(std::shared_ptr<ReplayWarmCache> cache)
+    {
+        warmCache_ = std::move(cache);
+    }
+
   private:
     rtl::PpConfig config_;
     const rtl::PpFsmModel &model_;
@@ -87,6 +104,7 @@ class BugHunt
     const std::vector<vecgen::TestTrace> &tourTraces_;
     ReplayOptions replay_;
     FuzzArm fuzzArm_;
+    std::shared_ptr<ReplayWarmCache> warmCache_;
 };
 
 /** Render hunt results as the bench table. */

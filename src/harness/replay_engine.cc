@@ -13,6 +13,7 @@
 #include "support/status.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
+#include "vecgen/trace_io.hh"
 
 namespace archval::harness
 {
@@ -472,6 +473,11 @@ struct LocalStats
     uint64_t triggeredJobs = 0;
     uint64_t triggeredJobCycles = 0;
     uint64_t triggeredLeadCycles = 0;
+    uint64_t cancelled = 0;
+    uint64_t warmCopies = 0;
+    uint64_t warmChainHits = 0;
+    uint64_t warmResumeCycles = 0;
+    uint64_t warmInserts = 0;
 };
 
 /** Lower @p target to @p value if it is smaller (atomic min). */
@@ -486,6 +492,66 @@ fetchMin(std::atomic<size_t> &target, size_t value)
 }
 
 } // namespace
+
+std::shared_ptr<const ReplayWarmCache::Entry>
+ReplayWarmCache::find(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return nullptr;
+    ++hits_;
+    it->second.lastUse = ++clock_;
+    return it->second.entry;
+}
+
+void
+ReplayWarmCache::insert(std::shared_ptr<Entry> entry)
+{
+    if (!entry)
+        return;
+    size_t bytes = sizeof(Entry) + entry->key.size();
+    for (const ChainLink &link : entry->chain)
+        bytes += sizeof(ChainLink) + link.snapshot.size();
+    entry->bytes = bytes;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(entry->key))
+        return; // entries are immutable; the first insert wins
+    if (bytes > budget_)
+        return; // alone past the whole budget: not cacheable
+    while (bytes_ + bytes > budget_ && !entries_.empty()) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        bytes_ -= victim->second.entry->bytes;
+        entries_.erase(victim);
+        ++evictions_;
+    }
+    bytes_ += bytes;
+    ++inserts_;
+    Slot &slot = entries_[entry->key];
+    slot.entry = std::move(entry);
+    slot.lastUse = ++clock_;
+}
+
+ReplayWarmCache::Stats
+ReplayWarmCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.lookups = lookups_;
+    s.hits = hits_;
+    s.inserts = inserts_;
+    s.evictions = evictions_;
+    s.bytes = bytes_;
+    s.entries = entries_.size();
+    return s;
+}
 
 ReplayEngine::ReplayEngine(const rtl::PpConfig &config,
                            ReplayOptions options)
@@ -513,6 +579,27 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     if (nt == 0 || nb == 0)
         return results;
     stats_.jobs = nt * nb;
+
+    // Cross-batch warm cache: resolve each trace's entry up front by
+    // its full serialized content (exact match, so a foreign trace
+    // can never borrow a warm result). Keys of the misses are kept —
+    // they become the insert keys when this batch's bug-free runs
+    // populate the cache.
+    ReplayWarmCache *warm = options_.warmCache.get();
+    std::vector<std::shared_ptr<const ReplayWarmCache::Entry>>
+        warm_entries(warm ? nt : 0);
+    std::vector<std::string> warm_keys(warm ? nt : 0);
+    if (warm) {
+        stats_.warmLookups = nt;
+        for (size_t t = 0; t < nt; ++t) {
+            std::string key = vecgen::serializeTrace(traces[t]);
+            warm_entries[t] = warm->find(key);
+            if (warm_entries[t])
+                ++stats_.warmHits;
+            else
+                warm_keys[t] = std::move(key);
+        }
+    }
 
     // ------------------------------------------------------------------
     // Plan: the batch's prefix tree. Sorting traces lexicographically
@@ -660,11 +747,17 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
                 cache.dropChain(chains.release(job.trace));
         };
 
-        if (options_.stopOnDivergence &&
+        const bool past_divergence =
+            options_.stopOnDivergence &&
             first_div[job.bugSet].load(std::memory_order_acquire) <
-                job.trace) {
+                job.trace;
+        const bool cancelled =
+            !past_divergence && options_.cancelFlag &&
+            options_.cancelFlag->load(std::memory_order_relaxed);
+        if (past_divergence || cancelled) {
             // A trace earlier in the batch already diverged under
-            // this bug set; drop our claims so waiters resolve.
+            // this bug set (or the batch was cancelled); drop our
+            // claims so waiters resolve.
             if (job.restoreSlot >= 0)
                 cache.release(static_cast<size_t>(job.restoreSlot));
             if (job.publishSlot >= 0)
@@ -673,8 +766,64 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
                 donors.fail(job.trace);
             release_chain();
             results[job.bugSet * nt + job.trace].skipped = true;
+            if (cancelled)
+                ++ls.cancelled;
             return;
         }
+
+        // Fourth sharing axis: a warm entry deposited by an earlier
+        // batch's bug-free run over a content-identical trace. It
+        // plays the donor-block role without the wait — copy the
+        // donor result outright when none of this job's bugs ever
+        // triggered, otherwise resume from the warm checkpoint chain
+        // below the first trigger (selected further down).
+        const ReplayWarmCache::Entry *warm_entry_hit =
+            warm ? warm_entries[job.trace].get() : nullptr;
+        uint64_t warm_first = UINT64_MAX;
+        if (warm_entry_hit) {
+            uint64_t first = UINT64_MAX;
+            for (size_t i = 0; i < rtl::numBugs; ++i) {
+                if (bug_sets[job.bugSet].test(i))
+                    first = std::min(first, warm_entry_hit->triggers[i]);
+            }
+            if (first == UINT64_MAX) {
+                ++ls.warmCopies;
+                ls.batchCycles += len;
+                ls.cyclesAvoided += warm_entry_hit->donorResult.cycles;
+                results[job.bugSet * nt + job.trace] =
+                    warm_entry_hit->donorResult;
+                if (is_donor)
+                    donors.publish(job.trace,
+                                   warm_entry_hit->donorResult,
+                                   warm_entry_hit->triggers);
+                if (job.restoreSlot >= 0)
+                    cache.release(
+                        static_cast<size_t>(job.restoreSlot));
+                if (job.publishSlot >= 0)
+                    cache.abandon(
+                        static_cast<size_t>(job.publishSlot));
+                release_chain();
+                if (warm_entry_hit->donorResult.diverged &&
+                    options_.stopOnDivergence)
+                    fetchMin(first_div[job.bugSet], job.trace);
+                return;
+            }
+            warm_first = first;
+            ++ls.triggeredJobs;
+            ls.triggeredJobCycles += len;
+            ls.triggeredLeadCycles += std::min<uint64_t>(first, len);
+        }
+
+        // Bug-free jobs of a warm-enabled batch deposit the entry
+        // the next batch will hit: the in-batch donor when there is
+        // one, or a single-bug-set batch's own empty-set jobs (the
+        // service's warm-up shape).
+        const bool populate =
+            warm && !warm_entry_hit &&
+            bug_sets[job.bugSet].none() && (is_donor || nb == 1);
+        std::shared_ptr<ReplayWarmCache::Entry> warm_entry;
+        if (populate)
+            warm_entry = std::make_shared<ReplayWarmCache::Entry>();
 
         // The cross-bug-set axes: wholesale donor-result reuse for
         // never-triggered jobs, donor-chain resume for triggered
@@ -683,7 +832,7 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         // on the bug-free run — so the donor's trajectory *is* the
         // bugged trajectory below the first trigger.
         int64_t stride_entry = -1;
-        if (donor_active && !is_donor) {
+        if (!warm_entry_hit && donor_active && !is_donor) {
             PlayResult donor_result;
             std::array<uint64_t, rtl::numBugs> triggers{};
             if (donors.wait(job.trace, donor_result, triggers)) {
@@ -729,7 +878,48 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         VectorPlayer::primeCore(core, trace, bug_sets[job.bugSet]);
 
         size_t start = 0;
-        if (stride_entry >= 0) {
+        if (warm_entry_hit) {
+            // Warm-chain resume: greatest link strictly below the
+            // first trigger (the cross-bug-set validity rule), within
+            // the trace, and — when this job still owes a planned
+            // checkpoint — strictly below its publish depth so the
+            // drive loop pauses there. A serialized snapshot is
+            // self-contained (the core owns its stream and inbox by
+            // value, and the key guarantees identical content), so a
+            // valid record restores with nothing to rebind; a damaged
+            // or foreign record degrades to from-reset replay.
+            const ReplayWarmCache::ChainLink *link = nullptr;
+            const auto &chain = warm_entry_hit->chain;
+            for (size_t i = chain.size(); i-- > 0;) {
+                if (chain[i].cycle < warm_first &&
+                    chain[i].cycle <= len &&
+                    (job.publishSlot < 0 ||
+                     chain[i].cycle < job.publishDepth)) {
+                    link = &chain[i];
+                    break;
+                }
+            }
+            if (link) {
+                rtl::PpCore::Snapshot snap =
+                    rtl::PpCore::deserializeSnapshot(
+                        config_, rtl::CoreMode::Vector,
+                        link->snapshot.data(), link->snapshot.size());
+                if (snap.valid() && snap.cycles() <= len) {
+                    core.restoreWithBugs(snap, bug_sets[job.bugSet]);
+                    start = snap.cycles();
+                    ++ls.warmChainHits;
+                    ls.warmResumeCycles += start;
+                    ls.cyclesAvoided += start;
+                } else {
+                    ++ls.misses;
+                }
+            }
+        }
+        if (warm_entry_hit && start > 0 && job.restoreSlot >= 0) {
+            // The warm resume superseded the planned restore; drop
+            // the claim so the slot can be freed.
+            cache.release(static_cast<size_t>(job.restoreSlot));
+        } else if (stride_entry >= 0) {
             // In-trace donor checkpoint: same trace, so the stimulus
             // is identical by construction and no prefix
             // verification is needed; validity below the first
@@ -802,10 +992,55 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         // complete chain.
         const size_t my_stride =
             (stride_active && is_donor) ? stride : 0;
+        // Populating runs pause at stride boundaries even when the
+        // in-batch tier is off (single-bug-set warm-up batches have
+        // no in-batch consumers) — one snapshot per boundary serves
+        // both the in-batch chain and the warm entry.
+        const size_t snap_stride =
+            my_stride ? my_stride
+                      : (populate && stride > 0 ? stride : 0);
         uint64_t stepped_from = core.cycles();
         size_t pos = start;
         size_t next_stride =
-            my_stride ? (start / my_stride + 1) * my_stride : len + 1;
+            snap_stride ? (start / snap_stride + 1) * snap_stride
+                        : len + 1;
+        // Warm-chain population stays under the cache's per-entry
+        // byte cap by logarithmic thinning: when the next link would
+        // overflow, drop every other kept link and double the link
+        // stride. Coverage degrades gracefully — a long trace keeps
+        // geometrically spaced resume points instead of none.
+        size_t warm_link_stride = snap_stride;
+        size_t warm_chain_bytes = 0;
+        auto warm_add_link = [&](size_t cycle,
+                                 const rtl::PpCore::Snapshot &snap) {
+            if (cycle % warm_link_stride != 0)
+                return;
+            std::vector<uint8_t> bytes = snap.serialize();
+            const size_t cap = warm->chainBytesCap();
+            const size_t cost = sizeof(ReplayWarmCache::ChainLink) +
+                                bytes.size();
+            auto &chain = warm_entry->chain;
+            while (warm_chain_bytes + cost > cap && !chain.empty()) {
+                warm_link_stride *= 2;
+                size_t kept = 0;
+                warm_chain_bytes = 0;
+                for (size_t i = 0; i < chain.size(); ++i) {
+                    if (chain[i].cycle % warm_link_stride != 0)
+                        continue;
+                    warm_chain_bytes +=
+                        sizeof(ReplayWarmCache::ChainLink) +
+                        chain[i].snapshot.size();
+                    chain[kept++] = std::move(chain[i]);
+                }
+                chain.resize(kept);
+            }
+            if (cycle % warm_link_stride != 0 ||
+                warm_chain_bytes + cost > cap)
+                return;
+            warm_chain_bytes += cost;
+            chain.push_back(ReplayWarmCache::ChainLink{
+                cycle, std::move(bytes)});
+        };
         while (pos < len) {
             size_t stop = len;
             if (job.publishSlot >= 0 && job.publishDepth > pos)
@@ -817,11 +1052,16 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
             if (job.publishSlot >= 0 && pos == job.publishDepth)
                 cache.publish(static_cast<size_t>(job.publishSlot),
                               core.snapshot());
-            if (my_stride && pos == next_stride) {
-                if (pos < len)
-                    chains.add(job.trace, pos,
-                               cache.addStride(core.snapshot()));
-                next_stride += my_stride;
+            if (snap_stride && pos == next_stride) {
+                if (pos < len) {
+                    rtl::PpCore::Snapshot snap = core.snapshot();
+                    if (populate)
+                        warm_add_link(pos, snap);
+                    if (my_stride)
+                        chains.add(job.trace, pos,
+                                   cache.addStride(std::move(snap)));
+                }
+                next_stride += snap_stride;
             }
         }
         // The loop above always reaches publishDepth (the plan keeps
@@ -834,7 +1074,7 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         ls.batchCycles += len;
         results[job.bugSet * nt + job.trace] = result;
 
-        if (is_donor) {
+        if (is_donor || populate) {
             // Trigger cycles are exact even when this run resumed
             // from a checkpoint: the snapshot carries the donor
             // prefix's counters, and the verified-identical stimulus
@@ -843,7 +1083,15 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
             for (size_t i = 0; i < rtl::numBugs; ++i)
                 triggers[i] =
                     core.bugFirstTrigger(static_cast<rtl::BugId>(i));
-            donors.publish(job.trace, result, triggers);
+            if (is_donor)
+                donors.publish(job.trace, result, triggers);
+            if (populate) {
+                warm_entry->key = std::move(warm_keys[job.trace]);
+                warm_entry->donorResult = result;
+                warm_entry->triggers = triggers;
+                warm->insert(std::move(warm_entry));
+                ++ls.warmInserts;
+            }
         }
         release_chain();
 
@@ -907,6 +1155,11 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         stats_.triggeredJobs += ls.triggeredJobs;
         stats_.triggeredJobCycles += ls.triggeredJobCycles;
         stats_.triggeredLeadCycles += ls.triggeredLeadCycles;
+        stats_.jobsSkipped += ls.cancelled;
+        stats_.warmCopies += ls.warmCopies;
+        stats_.warmChainHits += ls.warmChainHits;
+        stats_.warmResumeCycles += ls.warmResumeCycles;
+        stats_.warmInserts += ls.warmInserts;
     }
     stats_.checkpointsPublished = cache.published();
     stats_.strideCheckpoints = cache.strideCheckpoints();
@@ -939,6 +1192,17 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
         .add(stats_.simulatedCycles);
     telemetry::gauge("replay.peak_cache_bytes")
         .set(static_cast<int64_t>(stats_.peakCacheBytes));
+    if (warm) {
+        telemetry::counter("replay.warm_lookups")
+            .add(stats_.warmLookups);
+        telemetry::counter("replay.warm_hits").add(stats_.warmHits);
+        telemetry::counter("replay.warm_copies")
+            .add(stats_.warmCopies);
+        telemetry::counter("replay.warm_chain_hits")
+            .add(stats_.warmChainHits);
+        telemetry::counter("replay.warm_inserts")
+            .add(stats_.warmInserts);
+    }
     return results;
 }
 

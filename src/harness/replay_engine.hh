@@ -68,14 +68,120 @@
 #ifndef ARCHVAL_HARNESS_REPLAY_ENGINE_HH
 #define ARCHVAL_HARNESS_REPLAY_ENGINE_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "harness/vector_player.hh"
 
 namespace archval::harness
 {
+
+/**
+ * Cross-batch warm cache — the fourth sharing axis, across playAll()
+ * calls (and across engines: the cache is shared by handle, so a
+ * service session or a hunt loop keeps it alive between requests).
+ *
+ * Every bug-free donor run deposits an entry keyed by the trace's
+ * *entire serialized content* (vecgen::serializeTrace — exact-match
+ * lookup, so a foreign trace can never borrow a warm result): the
+ * donor PlayResult, the first-trigger cycle of every bug, and the
+ * donor's periodic checkpoint chain as serialized core snapshots. A
+ * later batch containing the same trace then reuses the warm entry
+ * exactly like an in-batch donor block:
+ *
+ *  - a job whose bugs never triggered on the donor run copies the
+ *    donor result outright (zero cycles simulated);
+ *  - a job whose bugs did trigger resumes from the greatest warm
+ *    checkpoint strictly below its first trigger cycle, with the bug
+ *    mask re-armed on restore (PpCore::restoreWithBugs) — the same
+ *    validity rule as the in-batch stride tier.
+ *
+ * Snapshot records are config-fingerprinted; a record that fails to
+ * deserialize degrades that job to from-reset replay, never to wrong
+ * bytes. Entries are immutable once inserted and evicted whole, LRU,
+ * under a byte budget. All operations are thread-safe.
+ */
+class ReplayWarmCache
+{
+  public:
+    /** @param budget_bytes Whole-cache LRU byte budget.
+     *  @param chain_cap_bytes Per-entry checkpoint-chain byte cap —
+     *  populating runs thin their chain logarithmically (drop every
+     *  other link, double the link stride) to stay under it, so one
+     *  long trace cannot monopolize the cache with snapshots. */
+    explicit ReplayWarmCache(size_t budget_bytes = 256ull << 20,
+                             size_t chain_cap_bytes = 32ull << 20)
+        : budget_(budget_bytes), chainCap_(chain_cap_bytes)
+    {
+    }
+
+    /** Per-entry chain byte cap (see constructor). */
+    size_t chainBytesCap() const { return chainCap_; }
+
+    /** One periodic donor checkpoint (serialized core snapshot). */
+    struct ChainLink
+    {
+        uint64_t cycle = 0;
+        std::vector<uint8_t> snapshot;
+    };
+
+    /** One warm entry; immutable once inserted. */
+    struct Entry
+    {
+        std::string key; ///< full serialized trace content
+        PlayResult donorResult;
+        /** First cycle each bug's trigger conjunction held on the
+         *  bug-free run (UINT64_MAX = never). */
+        std::array<uint64_t, rtl::numBugs> triggers{};
+        std::vector<ChainLink> chain; ///< increasing cycle order
+        size_t bytes = 0;             ///< filled by insert()
+    };
+
+    /** Cache observability (monotonic over the cache's lifetime). */
+    struct Stats
+    {
+        uint64_t lookups = 0;
+        uint64_t hits = 0;
+        uint64_t inserts = 0;
+        uint64_t evictions = 0;
+        size_t bytes = 0;
+        size_t entries = 0;
+    };
+
+    /** @return the entry whose key equals @p key, or null. */
+    std::shared_ptr<const Entry> find(const std::string &key);
+
+    /** Insert @p entry (an existing entry with the same key wins;
+     *  LRU entries are evicted past the byte budget; an entry alone
+     *  exceeding the budget is dropped). */
+    void insert(std::shared_ptr<Entry> entry);
+
+    Stats stats() const;
+
+  private:
+    struct Slot
+    {
+        std::shared_ptr<Entry> entry;
+        uint64_t lastUse = 0;
+    };
+
+    mutable std::mutex mutex_;
+    size_t budget_;
+    size_t chainCap_;
+    size_t bytes_ = 0;
+    uint64_t clock_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t inserts_ = 0;
+    uint64_t evictions_ = 0;
+    std::unordered_map<std::string, Slot> entries_;
+};
 
 /** Engine tuning. */
 struct ReplayOptions
@@ -137,6 +243,23 @@ struct ReplayOptions
      * any worker count.
      */
     bool stopOnDivergence = false;
+
+    /**
+     * Cross-batch warm cache (see ReplayWarmCache). When set, jobs
+     * consult it before simulating and bug-free donor runs populate
+     * it, so a later batch over the same traces skips the donor
+     * simulation entirely. Shared: any number of engines (and
+     * threads) may hold the same cache.
+     */
+    std::shared_ptr<ReplayWarmCache> warmCache;
+
+    /**
+     * Cooperative cancellation: when non-null and it reads true,
+     * jobs not yet started are skipped (PlayResult::skipped) and
+     * playAll returns early. Results produced before the flag was
+     * observed are still exact. The flag is only read, never written.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
 };
 
 /** Batch statistics (one playAll run). */
@@ -180,6 +303,17 @@ struct ReplayStats
     /** Spill read/decode failures; each degraded a planned restore
      *  to a miss (from-reset or nearest earlier checkpoint). */
     uint64_t spillFallbacks = 0;
+    /** @} */
+
+    /** @name Cross-batch warm cache (ReplayWarmCache) @{ */
+    uint64_t warmLookups = 0; ///< traces looked up in the warm cache
+    uint64_t warmHits = 0;    ///< traces found warm
+    /** Jobs whose whole result was copied from a warm donor entry
+     *  (zero cycles simulated). */
+    uint64_t warmCopies = 0;
+    uint64_t warmChainHits = 0;     ///< jobs resumed from a warm link
+    uint64_t warmResumeCycles = 0;  ///< cycles those resumes skipped
+    uint64_t warmInserts = 0;       ///< donor entries published
     /** @} */
 
     /** @return fraction of planned restores that hit the cache. */

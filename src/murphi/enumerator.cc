@@ -229,6 +229,11 @@ Enumerator::runSequential()
 
     std::string error;
     while (!frontier.empty() && error.empty()) {
+        if (options_.cancelFlag &&
+            options_.cancelFlag->load(std::memory_order_relaxed)) {
+            error = "enumeration cancelled";
+            break;
+        }
         graph::StateId src = frontier.front();
         frontier.pop_front();
         if (src == level_end)
@@ -393,6 +398,11 @@ Enumerator::runParallel(unsigned num_threads)
         telemetry::histogram("enum.barrier_wait_seconds");
 
     while (!level.empty() && error.empty()) {
+        if (options_.cancelFlag &&
+            options_.cancelFlag->load(std::memory_order_relaxed)) {
+            error = "enumeration cancelled";
+            break;
+        }
         WallTimer level_timer;
         const size_t width = level.size();
         const unsigned workers = static_cast<unsigned>(

@@ -28,6 +28,7 @@
 #ifndef ARCHVAL_MURPHI_ENUMERATOR_HH
 #define ARCHVAL_MURPHI_ENUMERATOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -68,6 +69,13 @@ struct EnumOptions
      *  1 = the sequential search; 0 = one per hardware thread. The
      *  resulting graph is bit-identical for every value. */
     unsigned numThreads = 1;
+
+    /** Cooperative cancellation: when non-null and it reads true,
+     *  the search stops at the next source (sequential) or level
+     *  barrier (parallel) and run() returns an error result — the
+     *  same recoverable path as maxStates, never a process exit.
+     *  The flag is only read. */
+    const std::atomic<bool> *cancelFlag = nullptr;
 };
 
 /** Per-BFS-level observability (frontier shape and throughput). */

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * `archvald` — the validation service daemon.
+ *
+ * Usage:
+ *   archvald --socket /tmp/archval.sock [--workers N] [--sessions N]
+ *   archvald --tcp 0          # loopback TCP, ephemeral port
+ *
+ * Prints one `archvald listening ...` line to stdout once the
+ * listeners are up (scripts parse the bound TCP port from it), then
+ * serves until a client sends the `shutdown` verb. Telemetry follows
+ * the usual environment: ARCHVAL_TRACE, ARCHVAL_HEARTBEAT,
+ * ARCHVAL_HEARTBEAT_DELTAS.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/daemon.hh"
+#include "support/telemetry.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH] [--tcp PORT] [--workers N] "
+        "[--sessions N]\n"
+        "  --socket PATH   listen on a unix-domain socket\n"
+        "  --tcp PORT      listen on loopback TCP (0 = ephemeral)\n"
+        "  --workers N     concurrent job executors (default 2)\n"
+        "  --sessions N    session cache capacity (default 4)\n",
+        argv0);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace archval;
+
+    service::Daemon::Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--socket") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.unixPath = v;
+        } else if (arg == "--tcp") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.tcpPort = std::atoi(v);
+        } else if (arg == "--workers") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.workers =
+                static_cast<unsigned>(std::max(1, std::atoi(v)));
+        } else if (arg == "--sessions") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.maxSessions =
+                static_cast<size_t>(std::max(1, std::atoi(v)));
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (options.unixPath.empty() && options.tcpPort < 0)
+        return usage(argv[0]);
+
+    std::signal(SIGPIPE, SIG_IGN);
+    telemetry::initTelemetryFromEnv();
+
+    service::Daemon daemon(options);
+    std::string error = daemon.start();
+    if (!error.empty()) {
+        std::fprintf(stderr, "archvald: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("archvald listening");
+    if (!options.unixPath.empty())
+        std::printf(" socket=%s", options.unixPath.c_str());
+    if (options.tcpPort >= 0)
+        std::printf(" tcp=%d", daemon.tcpPort());
+    std::printf("\n");
+    std::fflush(stdout);
+
+    daemon.wait();
+    std::printf("archvald stopped\n");
+    return 0;
+}

@@ -1,0 +1,384 @@
+#include "daemon.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/telemetry.hh"
+
+namespace archval::service
+{
+
+/**
+ * One accepted client. Lives as a shared_ptr captured by the
+ * connection's reader thread and by every EventSink it registered,
+ * so writes stay valid for as long as any job may still emit.
+ */
+struct Daemon::Connection
+{
+    int fd = -1;
+    /** Serializes whole frames onto the socket. Recursive because
+     *  submit() may emit synchronously (daemon already stopping)
+     *  while the dispatcher holds it to order `accepted` first. */
+    std::recursive_mutex writeMutex;
+    std::atomic<bool> dead{false};
+    std::vector<uint64_t> jobIds; ///< guarded by writeMutex
+
+    void send(const json::Value &message)
+    {
+        if (dead.load(std::memory_order_relaxed))
+            return;
+        const std::string frame = encodeFrame(message);
+        std::lock_guard<std::recursive_mutex> lock(writeMutex);
+        size_t off = 0;
+        while (off < frame.size()) {
+            // MSG_NOSIGNAL: a client that vanished mid-stream must
+            // produce EPIPE here, not SIGPIPE for the process.
+            ssize_t n = ::send(fd, frame.data() + off,
+                               frame.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) {
+                dead.store(true, std::memory_order_relaxed);
+                return;
+            }
+            off += static_cast<size_t>(n);
+        }
+    }
+};
+
+namespace
+{
+
+json::Value
+errorReply(const std::string &message)
+{
+    json::Value reply = json::Value::object();
+    reply.set("type", "error");
+    reply.set("message", message);
+    return reply;
+}
+
+int
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "unix socket path too long: " + path;
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = "socket(AF_UNIX) failed";
+        return -1;
+    }
+    ::unlink(path.c_str()); // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        error = formatString("cannot listen on %s: %s", path.c_str(),
+                             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(int port, int &bound_port, std::string &error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = "socket(AF_INET) failed";
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        error = formatString("cannot listen on tcp port %d: %s", port,
+                             std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        bound_port = ntohs(bound.sin_port);
+    return fd;
+}
+
+} // namespace
+
+Daemon::Daemon(const Options &options)
+    : options_(options), sessions_(options.maxSessions),
+      jobs_(std::make_unique<JobManager>(sessions_, options.workers))
+{
+}
+
+Daemon::~Daemon()
+{
+    stop();
+    wait();
+}
+
+std::string
+Daemon::start()
+{
+    if (options_.unixPath.empty() && options_.tcpPort < 0)
+        return "no listener configured (need a socket path or port)";
+    std::string error;
+    if (!options_.unixPath.empty()) {
+        unixFd_ = listenUnix(options_.unixPath, error);
+        if (unixFd_ < 0)
+            return error;
+    }
+    if (options_.tcpPort >= 0) {
+        tcpFd_ = listenTcp(options_.tcpPort, boundTcpPort_, error);
+        if (tcpFd_ < 0) {
+            if (unixFd_ >= 0) {
+                ::close(unixFd_);
+                unixFd_ = -1;
+            }
+            return error;
+        }
+    }
+    if (unixFd_ >= 0)
+        acceptThreads_.emplace_back(
+            [this, fd = unixFd_] { acceptLoop(fd); });
+    if (tcpFd_ >= 0)
+        acceptThreads_.emplace_back(
+            [this, fd = tcpFd_] { acceptLoop(fd); });
+    return {};
+}
+
+void
+Daemon::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // Wake the accept threads; their accept() fails and they exit.
+    if (unixFd_ >= 0)
+        ::shutdown(unixFd_, SHUT_RDWR);
+    if (tcpFd_ >= 0)
+        ::shutdown(tcpFd_, SHUT_RDWR);
+    stopCv_.notify_all();
+}
+
+void
+Daemon::wait()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopCv_.wait(lock, [&] { return stopping_.load(); });
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    for (std::thread &t : acceptThreads_)
+        t.join();
+    acceptThreads_.clear();
+    if (unixFd_ >= 0) {
+        ::close(unixFd_);
+        unixFd_ = -1;
+        ::unlink(options_.unixPath.c_str());
+    }
+    if (tcpFd_ >= 0) {
+        ::close(tcpFd_);
+        tcpFd_ = -1;
+    }
+    // Cancel running jobs and join the workers; terminal events
+    // still reach clients whose connections are alive.
+    jobs_->shutdown();
+    std::vector<std::shared_ptr<Connection>> conns;
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns.swap(conns_);
+        threads.swap(connThreads_);
+    }
+    for (auto &conn : conns) {
+        conn->dead.store(true, std::memory_order_relaxed);
+        ::shutdown(conn->fd, SHUT_RDWR); // unblock the reader thread
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (auto &conn : conns)
+        ::close(conn->fd);
+}
+
+void
+Daemon::acceptLoop(int listen_fd)
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_relaxed))
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return; // listener unusable
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_.load(std::memory_order_relaxed)) {
+                ::close(fd);
+                return;
+            }
+            conns_.push_back(conn);
+            connThreads_.emplace_back(
+                [this, conn] { serveConnection(conn); });
+        }
+        telemetry::counter("service.connections").add(1);
+    }
+}
+
+void
+Daemon::serveConnection(std::shared_ptr<Connection> conn)
+{
+    FrameReader reader;
+    char buf[64 * 1024];
+    bool protocol_ok = true;
+    while (protocol_ok) {
+        ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break; // disconnect (or teardown shut the fd down)
+        reader.feed(buf, static_cast<size_t>(n));
+        std::string payload;
+        FrameReader::Status status;
+        while ((status = reader.next(payload)) ==
+               FrameReader::Status::Ready) {
+            Result<json::Value> parsed = json::parse(payload);
+            if (!parsed.ok()) {
+                conn->send(errorReply("bad request: " +
+                                      parsed.errorMessage()));
+                protocol_ok = false;
+                break;
+            }
+            handleMessage(conn, parsed.value());
+        }
+        if (status == FrameReader::Status::Error) {
+            conn->send(errorReply("protocol error: " +
+                                  reader.error()));
+            protocol_ok = false;
+        }
+    }
+    conn->dead.store(true, std::memory_order_relaxed);
+    // The client is gone: nothing will read its streamed events, so
+    // stop paying for its jobs.
+    std::vector<uint64_t> owned;
+    {
+        std::lock_guard<std::recursive_mutex> lock(conn->writeMutex);
+        owned.swap(conn->jobIds);
+    }
+    for (uint64_t id : owned)
+        jobs_->cancel(id);
+    if (!stopping_.load(std::memory_order_relaxed))
+        ::close(conn->fd); // else wait() owns the fd
+}
+
+void
+Daemon::handleMessage(const std::shared_ptr<Connection> &conn,
+                      const json::Value &message)
+{
+    const std::string &verb = message.get("verb").asString();
+    if (verb == "ping") {
+        json::Value reply = json::Value::object();
+        reply.set("type", "pong");
+        conn->send(reply);
+        return;
+    }
+    if (verb == "status") {
+        uint64_t id = static_cast<uint64_t>(
+            message.get("job").asInt(0));
+        std::optional<JobInfo> info = jobs_->status(id);
+        if (!info) {
+            conn->send(errorReply(
+                formatString("unknown job %llu",
+                             static_cast<unsigned long long>(id))));
+            return;
+        }
+        json::Value reply = json::Value::object();
+        reply.set("type", "status");
+        reply.set("job", static_cast<int64_t>(info->id));
+        reply.set("verb", info->verb);
+        reply.set("state", info->state);
+        reply.set("detail", info->detail);
+        conn->send(reply);
+        return;
+    }
+    if (verb == "cancel") {
+        uint64_t id = static_cast<uint64_t>(
+            message.get("job").asInt(0));
+        json::Value reply = json::Value::object();
+        reply.set("type", "cancel");
+        reply.set("job", static_cast<int64_t>(id));
+        reply.set("ok", jobs_->cancel(id));
+        conn->send(reply);
+        return;
+    }
+    if (verb == "list") {
+        json::Value reply = json::Value::object();
+        reply.set("type", "jobs");
+        json::Value jobs = json::Value::array();
+        for (const JobInfo &info : jobs_->list()) {
+            json::Value rec = json::Value::object();
+            rec.set("job", static_cast<int64_t>(info.id));
+            rec.set("verb", info.verb);
+            rec.set("state", info.state);
+            rec.set("detail", info.detail);
+            jobs.push(std::move(rec));
+        }
+        reply.set("jobs", std::move(jobs));
+        conn->send(reply);
+        return;
+    }
+    if (verb == "shutdown") {
+        json::Value reply = json::Value::object();
+        reply.set("type", "shutting_down");
+        conn->send(reply);
+        logInfo("archvald: shutdown requested by client");
+        stop();
+        return;
+    }
+
+    // Job verbs.
+    Result<JobRequest> request = JobRequest::fromJson(message);
+    if (!request.ok()) {
+        conn->send(errorReply(request.errorMessage()));
+        return;
+    }
+    // Hold the write lock across submit so the `accepted` frame hits
+    // the wire before any event the job emits.
+    std::lock_guard<std::recursive_mutex> lock(conn->writeMutex);
+    std::weak_ptr<Connection> weak = conn;
+    uint64_t id = jobs_->submit(
+        request.take(), [weak](const json::Value &event) {
+            if (auto c = weak.lock())
+                c->send(event);
+        });
+    conn->jobIds.push_back(id);
+    json::Value accepted = json::Value::object();
+    accepted.set("type", "accepted");
+    accepted.set("job", static_cast<int64_t>(id));
+    accepted.set("verb", verb);
+    conn->send(accepted);
+}
+
+} // namespace archval::service

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The archvald daemon: socket listeners, connection handling and
+ * verb dispatch on top of the JobManager.
+ *
+ * The daemon listens on a Unix-domain socket and/or a loopback TCP
+ * port (tests use port 0 and read the bound port back). Each
+ * accepted connection gets its own reader thread running the
+ * FrameReader loop; job events are written back by JobManager worker
+ * threads through a per-connection write lock, so events of
+ * concurrent jobs interleave frame-atomically on the wire.
+ *
+ * A connection is a failure domain: a malformed frame or non-JSON
+ * payload fails only that connection (one final `error` frame, then
+ * close), and a disconnect cancels the jobs the connection submitted
+ * — their sinks go quiet, the daemon itself is untouched.
+ *
+ * Lifecycle: start() binds the listeners, wait() blocks until a
+ * `shutdown` verb or stop() flips the stop flag, then tears
+ * everything down in order: stop accepting, drain/cancel jobs,
+ * shut down connections, join every thread.
+ */
+
+#ifndef ARCHVAL_SERVICE_DAEMON_HH
+#define ARCHVAL_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_manager.hh"
+#include "service/session_cache.hh"
+
+namespace archval::service
+{
+
+class Daemon
+{
+  public:
+    struct Options
+    {
+        /** Unix-domain socket path; empty disables the listener. A
+         *  stale socket file at the path is replaced. */
+        std::string unixPath;
+        /** Loopback TCP port; -1 disables, 0 picks an ephemeral
+         *  port (read it back with tcpPort()). */
+        int tcpPort = -1;
+        unsigned workers = 2;    ///< concurrent job executors
+        size_t maxSessions = 4;  ///< session cache capacity
+    };
+
+    explicit Daemon(const Options &options);
+
+    /** Stops and joins if still running. */
+    ~Daemon();
+
+    /** Bind + listen + spawn the accept threads. @return an error
+     *  message, or empty on success. */
+    std::string start();
+
+    /** Block until stop() (e.g. via the `shutdown` verb), then tear
+     *  down: cancel jobs, close connections, join all threads. */
+    void wait();
+
+    /** Request shutdown; safe from any thread, idempotent. wait()
+     *  performs the actual teardown. */
+    void stop();
+
+    /** Actual TCP port after start() (for Options::tcpPort == 0). */
+    int tcpPort() const { return boundTcpPort_; }
+
+    SessionCache &sessions() { return sessions_; }
+    JobManager &jobs() { return *jobs_; }
+
+  private:
+    struct Connection;
+
+    void acceptLoop(int listen_fd);
+    void serveConnection(std::shared_ptr<Connection> conn);
+    void handleMessage(const std::shared_ptr<Connection> &conn,
+                       const json::Value &message);
+
+    Options options_;
+    SessionCache sessions_;
+    std::unique_ptr<JobManager> jobs_;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int boundTcpPort_ = -1;
+    std::vector<std::thread> acceptThreads_;
+
+    std::mutex mutex_; ///< guards conns_, connThreads_, stopped_
+    std::condition_variable stopCv_;
+    std::atomic<bool> stopping_{false};
+    bool stopped_ = false; ///< teardown already ran
+    std::vector<std::shared_ptr<Connection>> conns_;
+    std::vector<std::thread> connThreads_;
+};
+
+} // namespace archval::service
+
+#endif // ARCHVAL_SERVICE_DAEMON_HH

@@ -1,0 +1,516 @@
+#include "job_manager.hh"
+
+#include <algorithm>
+
+#include "fuzz/campaign.hh"
+#include "harness/bug_hunt.hh"
+#include "harness/replay_engine.hh"
+#include "support/strings.hh"
+#include "support/telemetry.hh"
+
+namespace archval::service
+{
+
+namespace
+{
+
+json::Value
+makeEvent(const char *type, uint64_t job)
+{
+    json::Value event = json::Value::object();
+    event.set("type", type);
+    event.set("job", static_cast<int64_t>(job));
+    return event;
+}
+
+/** Current registry snapshot as a JSON value (metrics events). */
+json::Value
+metricsValue()
+{
+    Result<json::Value> parsed = json::parse(
+        telemetry::metricsJson(telemetry::snapshotMetrics()));
+    return parsed.ok() ? parsed.take() : json::Value::object();
+}
+
+/** Summarize one replayed block as a JSON array of play records —
+ *  the exact per-trace content a batch entry point would report, so
+ *  clients (and the determinism tests) can compare byte-for-byte. */
+json::Value
+playsValue(const std::vector<harness::PlayResult> &plays, size_t base,
+           size_t count)
+{
+    json::Value out = json::Value::array();
+    for (size_t t = 0; t < count; ++t) {
+        const harness::PlayResult &play = plays[base + t];
+        json::Value rec = json::Value::object();
+        rec.set("trace", static_cast<int64_t>(t));
+        rec.set("diverged", play.diverged);
+        rec.set("cycles", static_cast<int64_t>(play.cycles));
+        rec.set("instructions",
+                static_cast<int64_t>(play.instructions));
+        if (play.skipped)
+            rec.set("skipped", true);
+        if (play.diverged)
+            rec.set("diff", play.diff);
+        out.push(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+parseBugs(const json::Value &bugs, rtl::BugSet &out)
+{
+    out.reset();
+    if (bugs.isNull())
+        return {};
+    if (!bugs.isArray())
+        return "'bugs' must be an array of names or indices";
+    for (const json::Value &item : bugs.items()) {
+        if (item.isInt()) {
+            int64_t index = item.asInt();
+            if (index < 0 ||
+                index >= static_cast<int64_t>(rtl::numBugs))
+                return formatString("bug index %lld out of range",
+                                    static_cast<long long>(index));
+            out.set(static_cast<size_t>(index));
+            continue;
+        }
+        if (item.isString()) {
+            bool found = false;
+            for (size_t i = 0; i < rtl::numBugs; ++i) {
+                if (item.asString() ==
+                    rtl::bugName(static_cast<rtl::BugId>(i))) {
+                    out.set(i);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return "unknown bug name '" + item.asString() + "'";
+            continue;
+        }
+        return "'bugs' entries must be names or indices";
+    }
+    return {};
+}
+
+Result<JobRequest>
+JobRequest::fromJson(const json::Value &message)
+{
+    JobRequest request;
+    request.verb = message.get("verb").asString();
+    static const char *const kVerbs[] = {"enumerate", "tour",
+                                         "replay", "fuzz", "bughunt"};
+    if (std::find(std::begin(kVerbs), std::end(kVerbs),
+                  request.verb) == std::end(kVerbs)) {
+        return Result<JobRequest>::error("unknown job verb '" +
+                                         request.verb + "'");
+    }
+    request.design = DesignSpec::fromJson(message.get("design"));
+    std::string bug_error = parseBugs(message.get("bugs"),
+                                      request.bugs);
+    if (!bug_error.empty())
+        return Result<JobRequest>::error(bug_error);
+    request.threads = static_cast<unsigned>(std::max<int64_t>(
+        1, message.get("threads").asInt(request.threads)));
+    request.checkpointStride = static_cast<size_t>(std::max<int64_t>(
+        0, message.get("stride").asInt(
+               static_cast<int64_t>(request.checkpointStride))));
+    request.randomBudget = static_cast<uint64_t>(std::max<int64_t>(
+        0, message.get("budget").asInt(
+               static_cast<int64_t>(request.randomBudget))));
+    request.roundInstructions =
+        static_cast<uint64_t>(std::max<int64_t>(
+            1, message.get("roundInstructions")
+                   .asInt(static_cast<int64_t>(
+                       request.roundInstructions))));
+    request.maxRounds = static_cast<unsigned>(std::max<int64_t>(
+        1, message.get("rounds").asInt(request.maxRounds)));
+    request.seed = static_cast<uint64_t>(
+        message.get("seed").asInt(static_cast<int64_t>(request.seed)));
+    return request;
+}
+
+JobManager::JobManager(SessionCache &sessions, unsigned workers)
+    : sessions_(sessions)
+{
+    workers_.reserve(std::max(1u, workers));
+    for (unsigned w = 0; w < std::max(1u, workers); ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    shutdown();
+}
+
+uint64_t
+JobManager::submit(JobRequest request, EventSink sink)
+{
+    auto job = std::make_shared<Job>();
+    job->request = std::move(request);
+    job->sink = std::move(sink);
+    bool rejected = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->id = nextId_++;
+        jobs_[job->id] = job;
+        if (stopping_) {
+            job->state = "cancelled";
+            job->detail = "daemon shutting down";
+            rejected = true;
+        } else {
+            queue_.push_back(job);
+        }
+    }
+    if (rejected) {
+        json::Value event = makeEvent("cancelled", job->id);
+        event.set("reason", "daemon shutting down");
+        emit(*job, event);
+    } else {
+        cv_.notify_one();
+    }
+    return job->id;
+}
+
+bool
+JobManager::cancel(uint64_t id)
+{
+    std::shared_ptr<Job> job;
+    bool was_queued = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return false;
+        job = it->second;
+        if (job->state != "queued" && job->state != "running")
+            return false;
+        job->cancel.store(true, std::memory_order_relaxed);
+        if (job->state == "queued") {
+            was_queued = true;
+            job->state = "cancelled";
+            job->detail = "cancelled before start";
+            queue_.erase(std::remove(queue_.begin(), queue_.end(),
+                                     job),
+                         queue_.end());
+        }
+    }
+    if (was_queued)
+        emit(*job, makeEvent("cancelled", id));
+    telemetry::counter("service.jobs_cancel_requests").add(1);
+    return true;
+}
+
+std::optional<JobInfo>
+JobManager::status(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return std::nullopt;
+    const Job &job = *it->second;
+    return JobInfo{job.id, job.request.verb, job.state, job.detail};
+}
+
+std::vector<JobInfo>
+JobManager::list() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<JobInfo> out;
+    out.reserve(jobs_.size());
+    for (const auto &[id, job] : jobs_)
+        out.push_back(
+            JobInfo{job->id, job->request.verb, job->state,
+                    job->detail});
+    return out;
+}
+
+void
+JobManager::shutdown()
+{
+    std::vector<std::shared_ptr<Job>> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && workers_.empty())
+            return;
+        stopping_ = true;
+        for (auto &job : queue_) {
+            job->state = "cancelled";
+            job->detail = "daemon shutting down";
+            dropped.push_back(job);
+        }
+        queue_.clear();
+        // Running jobs: flip their flags so they wind down promptly.
+        for (auto &[id, job] : jobs_) {
+            if (job->state == "running")
+                job->cancel.store(true, std::memory_order_relaxed);
+        }
+    }
+    cv_.notify_all();
+    for (auto &job : dropped)
+        emit(*job, makeEvent("cancelled", job->id));
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+JobManager::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = queue_.front();
+            queue_.pop_front();
+            job->state = "running";
+        }
+        execute(*job);
+    }
+}
+
+void
+JobManager::emit(Job &job, const json::Value &event)
+{
+    if (!job.sink)
+        return;
+    try {
+        job.sink(event);
+    } catch (...) {
+        // A sink failure (client gone) must never unwind a worker.
+    }
+}
+
+void
+JobManager::setState(Job &job, const std::string &state,
+                     const std::string &detail)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.state = state;
+    job.detail = detail;
+}
+
+void
+JobManager::execute(Job &job)
+{
+    const JobRequest &request = job.request;
+    telemetry::ScopedSpan job_span("service.job", "id", job.id);
+    telemetry::counter("service.jobs_started").add(1);
+
+    json::Value started = makeEvent("started", job.id);
+    started.set("verb", request.verb);
+    emit(job, started);
+
+    auto cancelled = [&] {
+        return job.cancel.load(std::memory_order_relaxed);
+    };
+    auto finish_cancelled = [&] {
+        setState(job, "cancelled", "cancelled while running");
+        emit(job, makeEvent("cancelled", job.id));
+        telemetry::counter("service.jobs_cancelled").add(1);
+    };
+    auto finish_error = [&](const std::string &message) {
+        setState(job, "failed", message);
+        json::Value event = makeEvent("error", job.id);
+        event.set("message", message);
+        emit(job, event);
+        telemetry::counter("service.jobs_failed").add(1);
+    };
+    auto progress = [&](const char *phase, json::Value detail) {
+        json::Value event = makeEvent("progress", job.id);
+        event.set("phase", phase);
+        event.set("detail", std::move(detail));
+        emit(job, event);
+    };
+
+    try {
+        std::shared_ptr<Session> session =
+            sessions_.acquire(request.design);
+        progress("session", json::Value(session->fingerprint()));
+
+        const Session::Stage stage =
+            request.verb == "enumerate" ? Session::Stage::Graph
+            : request.verb == "tour" || request.verb == "fuzz"
+                ? Session::Stage::Tours
+                : Session::Stage::Vectors;
+        std::string build_error = session->ensure(stage, &job.cancel);
+        if (cancelled())
+            return finish_cancelled();
+        if (!build_error.empty())
+            return finish_error(build_error);
+
+        json::Value result = makeEvent("result", job.id);
+        result.set("verb", request.verb);
+
+        if (request.verb == "enumerate") {
+            const murphi::EnumStats &stats = session->enumStats();
+            result.set("states",
+                       static_cast<int64_t>(stats.numStates));
+            result.set("edges", static_cast<int64_t>(stats.numEdges));
+            result.set("bitsPerState",
+                       static_cast<int64_t>(stats.bitsPerState));
+            result.set("levels",
+                       static_cast<int64_t>(stats.levels.size()));
+        } else if (request.verb == "tour") {
+            result.set("tours", static_cast<int64_t>(
+                                    session->tours().size()));
+            result.set("states", static_cast<int64_t>(
+                                     session->enumStats().numStates));
+        } else if (request.verb == "replay") {
+            progress("replay",
+                     json::Value(static_cast<int64_t>(
+                         session->vectors().size())));
+            harness::ReplayOptions options;
+            options.numThreads = request.threads;
+            options.checkpointStride = request.checkpointStride;
+            options.warmCache = session->warmCache();
+            options.cancelFlag = &job.cancel;
+            harness::ReplayEngine engine(session->config(), options);
+            // A bug-free donor block leads every batch: it feeds the
+            // session warm cache on the first run and collapses to
+            // warm copies on every repeat. The client-visible block
+            // is the last one.
+            std::vector<rtl::BugSet> bug_sets{rtl::BugSet{}};
+            if (request.bugs.any())
+                bug_sets.push_back(request.bugs);
+            std::vector<harness::PlayResult> plays =
+                engine.playAll(session->vectors(), bug_sets);
+            if (cancelled())
+                return finish_cancelled();
+            const size_t nt = session->vectors().size();
+            const size_t base = (bug_sets.size() - 1) * nt;
+            uint64_t diverged = 0;
+            std::string first_diff;
+            for (size_t t = 0; t < nt; ++t) {
+                if (plays[base + t].diverged) {
+                    if (diverged == 0)
+                        first_diff = plays[base + t].diff;
+                    ++diverged;
+                }
+            }
+            const harness::ReplayStats &stats = engine.stats();
+            result.set("traces", static_cast<int64_t>(nt));
+            result.set("diverged", static_cast<int64_t>(diverged));
+            if (diverged > 0)
+                result.set("firstDivergence", first_diff);
+            result.set("batchCycles",
+                       static_cast<int64_t>(stats.batchCycles));
+            result.set("simulatedCycles",
+                       static_cast<int64_t>(stats.simulatedCycles));
+            result.set("cyclesAvoided",
+                       static_cast<int64_t>(stats.cyclesAvoided));
+            json::Value warm = json::Value::object();
+            warm.set("lookups",
+                     static_cast<int64_t>(stats.warmLookups));
+            warm.set("hits", static_cast<int64_t>(stats.warmHits));
+            warm.set("copies",
+                     static_cast<int64_t>(stats.warmCopies));
+            warm.set("chainHits",
+                     static_cast<int64_t>(stats.warmChainHits));
+            warm.set("resumeCycles",
+                     static_cast<int64_t>(stats.warmResumeCycles));
+            warm.set("inserts",
+                     static_cast<int64_t>(stats.warmInserts));
+            result.set("warm", std::move(warm));
+            result.set("plays", playsValue(plays, base, nt));
+        } else if (request.verb == "fuzz") {
+            fuzz::CampaignOptions options;
+            options.workers = request.threads;
+            options.roundInstructions = request.roundInstructions;
+            options.maxRounds = request.maxRounds;
+            options.seed = request.seed;
+            options.cancelFlag = &job.cancel;
+            fuzz::CampaignRunner runner(session->config(),
+                                        session->model(),
+                                        session->graph(), options);
+            fuzz::CampaignResult campaign =
+                runner.run(request.bugs, session->tours());
+            if (cancelled() && !campaign.detected)
+                return finish_cancelled();
+            result.set("detected", campaign.detected);
+            result.set("cancelled", campaign.cancelled);
+            result.set("instructions", static_cast<int64_t>(
+                                           campaign.instructions));
+            result.set("cycles",
+                       static_cast<int64_t>(campaign.cycles));
+            result.set("iterations",
+                       static_cast<int64_t>(campaign.iterations));
+            result.set("coverage", campaign.coverageFraction);
+            if (campaign.detected)
+                result.set("detail", campaign.detail);
+        } else if (request.verb == "bughunt") {
+            harness::ReplayOptions options;
+            options.numThreads = request.threads;
+            options.checkpointStride = request.checkpointStride;
+            options.cancelFlag = &job.cancel;
+            harness::BugHunt hunt(session->config(), session->model(),
+                                  session->graph(),
+                                  session->vectors(), options);
+            hunt.setWarmCache(session->warmCache());
+            json::Value hunts = json::Value::array();
+            bool any_detected = false;
+            for (size_t i = 0; i < rtl::numBugs; ++i) {
+                if (!request.bugs.test(i))
+                    continue;
+                if (cancelled())
+                    return finish_cancelled();
+                harness::HuntResult hr = hunt.hunt(
+                    static_cast<rtl::BugId>(i),
+                    request.randomBudget, request.seed);
+                json::Value rec = json::Value::object();
+                rec.set("bug", rtl::bugName(hr.bug));
+                auto arm = [&](const char *name,
+                               const harness::Detection &d) {
+                    json::Value a = json::Value::object();
+                    a.set("detected", d.detected);
+                    a.set("instructions",
+                          static_cast<int64_t>(d.instructions));
+                    if (d.detected)
+                        a.set("detail", d.detail);
+                    rec.set(name, std::move(a));
+                };
+                arm("tour", hr.tour);
+                arm("random", hr.random);
+                arm("directed", hr.directed);
+                any_detected = any_detected || hr.tour.detected ||
+                               hr.random.detected ||
+                               hr.directed.detected;
+                hunts.push(std::move(rec));
+            }
+            result.set("detected", any_detected);
+            result.set("hunts", std::move(hunts));
+        }
+
+        if (cancelled())
+            return finish_cancelled();
+
+        json::Value metrics = makeEvent("metrics", job.id);
+        metrics.set("metrics", metricsValue());
+        emit(job, metrics);
+
+        std::string verdict = "ok";
+        if (result.get("diverged").asInt(0) > 0 ||
+            result.get("detected").asBool(false))
+            verdict = "detected";
+        result.set("verdict", verdict);
+        setState(job, "done", verdict);
+        emit(job, result);
+        telemetry::counter("service.jobs_done").add(1);
+    } catch (const FatalError &err) {
+        finish_error(err.what());
+    } catch (const std::exception &err) {
+        finish_error(std::string("internal error: ") + err.what());
+    }
+}
+
+} // namespace archval::service

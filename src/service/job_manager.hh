@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Job queue and executor for the archvald daemon.
+ *
+ * The JobManager owns a small worker pool. submit() assigns a
+ * monotonically increasing job id, enqueues the request and returns
+ * immediately; a worker later runs the job and streams its lifecycle
+ * through the caller-supplied EventSink:
+ *
+ *   started -> progress* -> metrics -> result | error | cancelled
+ *
+ * Exactly one terminal event is emitted per job. Every failure mode
+ * of a job — bad request, unknown preset, state explosion, tour
+ * coverage failure — is caught and reported as an `error` event;
+ * nothing a client sends can take the process down (the library
+ * keeps panic() for genuine internal invariants only).
+ *
+ * Cancellation is cooperative: cancel() flips the job's atomic flag,
+ * which is wired into murphi::EnumOptions, harness::ReplayOptions
+ * and fuzz::CampaignOptions, so a running job stops at the next
+ * source/job/round boundary and reports `cancelled`. A still-queued
+ * job is cancelled without ever starting.
+ *
+ * Jobs resolve their Session through the shared SessionCache, so
+ * concurrent jobs with equal design fingerprints share one product
+ * chain and one replay warm cache — the second replay of a trace
+ * set reuses the first one's bug-free donor runs even across
+ * clients.
+ */
+
+#ifndef ARCHVAL_SERVICE_JOB_MANAGER_HH
+#define ARCHVAL_SERVICE_JOB_MANAGER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtl/faults.hh"
+#include "service/session_cache.hh"
+#include "support/json.hh"
+#include "support/status.hh"
+
+namespace archval::service
+{
+
+/** Streamed job event consumer (a connection writer, a test). Must
+ *  be thread-safe; called from worker threads. */
+using EventSink = std::function<void(const json::Value &event)>;
+
+/** One parsed job request. */
+struct JobRequest
+{
+    std::string verb; ///< enumerate | tour | replay | fuzz | bughunt
+    DesignSpec design;
+    rtl::BugSet bugs;
+
+    unsigned threads = 2;        ///< replay / campaign workers
+    size_t checkpointStride = 128; ///< replay warm-chain granularity
+    uint64_t randomBudget = 30'000; ///< bughunt random-arm budget
+    uint64_t roundInstructions = 10'000; ///< fuzz, per worker/round
+    unsigned maxRounds = 4;      ///< fuzz campaign length
+    uint64_t seed = 1;           ///< bughunt / fuzz seed
+
+    /** Parse a request message. @return the request or an error
+     *  (unknown verb, malformed bug list). */
+    static Result<JobRequest> fromJson(const json::Value &message);
+};
+
+/** Point-in-time job descriptor (status / list verbs). */
+struct JobInfo
+{
+    uint64_t id = 0;
+    std::string verb;
+    std::string state; ///< queued | running | done | failed | cancelled
+    std::string detail; ///< fingerprint, error, or verdict
+};
+
+class JobManager
+{
+  public:
+    /** @param sessions Shared session store.
+     *  @param workers Concurrent job executors. */
+    explicit JobManager(SessionCache &sessions, unsigned workers = 2);
+
+    /** Drains and joins (equivalent to shutdown()). */
+    ~JobManager();
+
+    /**
+     * Enqueue @p request. Emits an immediate `started`-on-dequeue
+     * lifecycle into @p sink (see file comment). @return the job id.
+     */
+    uint64_t submit(JobRequest request, EventSink sink);
+
+    /** Request cooperative cancellation. @return false for an
+     *  unknown id or a job already in a terminal state. */
+    bool cancel(uint64_t id);
+
+    /** @return the job's descriptor, if the id was ever assigned. */
+    std::optional<JobInfo> status(uint64_t id) const;
+
+    /** @return descriptors of every job, id order. */
+    std::vector<JobInfo> list() const;
+
+    /** Stop accepting, cancel queued jobs, join the workers. Safe to
+     *  call repeatedly. */
+    void shutdown();
+
+  private:
+    struct Job
+    {
+        uint64_t id = 0;
+        JobRequest request;
+        EventSink sink;
+        std::atomic<bool> cancel{false};
+        std::string state = "queued";
+        std::string detail;
+    };
+
+    void workerLoop();
+    void execute(Job &job);
+    void emit(Job &job, const json::Value &event);
+    void setState(Job &job, const std::string &state,
+                  const std::string &detail);
+
+    SessionCache &sessions_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    uint64_t nextId_ = 1;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::map<uint64_t, std::shared_ptr<Job>> jobs_;
+    std::vector<std::thread> workers_;
+};
+
+/** Parse a `bugs` JSON array ("bug1".."bug6" names or 0-based
+ *  indices) into a BugSet. @return an error message or empty. */
+std::string parseBugs(const json::Value &bugs, rtl::BugSet &out);
+
+} // namespace archval::service
+
+#endif // ARCHVAL_SERVICE_JOB_MANAGER_HH

@@ -1,0 +1,76 @@
+#include "protocol.hh"
+
+#include <cstring>
+
+#include "support/status.hh"
+#include "support/strings.hh"
+
+namespace archval::service
+{
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    if (payload.empty() || payload.size() > kMaxFrameBytes) {
+        fatal(formatString("unsendable frame payload (%zu bytes)",
+                           payload.size()));
+    }
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    std::string out;
+    out.reserve(4 + payload.size());
+    out.push_back(static_cast<char>(len & 0xff));
+    out.push_back(static_cast<char>((len >> 8) & 0xff));
+    out.push_back(static_cast<char>((len >> 16) & 0xff));
+    out.push_back(static_cast<char>((len >> 24) & 0xff));
+    out += payload;
+    return out;
+}
+
+std::string
+encodeFrame(const json::Value &message)
+{
+    return encodeFrame(message.serialize());
+}
+
+void
+FrameReader::feed(const void *data, size_t size)
+{
+    if (failed_)
+        return;
+    // Drop the already-extracted prefix before growing the buffer,
+    // so a long-lived connection's memory stays bounded by one
+    // frame, not by its history.
+    if (consumed_ > 0) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(static_cast<const char *>(data), size);
+}
+
+FrameReader::Status
+FrameReader::next(std::string &payload)
+{
+    if (failed_)
+        return Status::Error;
+    const size_t avail = buffer_.size() - consumed_;
+    if (avail < 4)
+        return Status::NeedMore;
+    const unsigned char *p = reinterpret_cast<const unsigned char *>(
+        buffer_.data() + consumed_);
+    const uint32_t len = uint32_t(p[0]) | (uint32_t(p[1]) << 8) |
+                         (uint32_t(p[2]) << 16) |
+                         (uint32_t(p[3]) << 24);
+    if (len == 0 || len > kMaxFrameBytes) {
+        failed_ = true;
+        error_ = formatString("bad frame length %u (max %zu)", len,
+                              kMaxFrameBytes);
+        return Status::Error;
+    }
+    if (avail < 4 + size_t(len))
+        return Status::NeedMore;
+    payload.assign(buffer_, consumed_ + 4, len);
+    consumed_ += 4 + size_t(len);
+    return Status::Ready;
+}
+
+} // namespace archval::service

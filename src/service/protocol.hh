@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Wire protocol of the archvald validation service.
+ *
+ * Every message — request or event — is one *frame*: a 4-byte
+ * little-endian payload length followed by that many bytes of UTF-8
+ * JSON. Length-prefix framing keeps the stream self-synchronizing
+ * for well-behaved peers while making damage detectable: a length of
+ * zero or one exceeding kMaxFrameBytes fails the connection rather
+ * than letting a corrupted prefix commit the reader to a gigabyte of
+ * garbage. Payload validity is the next layer's job (json::parse —
+ * a frame that is not valid JSON is a protocol error too).
+ *
+ * Requests are JSON objects with a `verb`:
+ *
+ *   job verbs      enumerate | tour | replay | fuzz | bughunt
+ *   control verbs  status | cancel | list | ping | shutdown
+ *
+ * Job requests carry a `design` object (see service::DesignSpec) and
+ * job parameters (`bugs`, `threads`, `budget`, ...). The daemon
+ * answers a job request with an `accepted` event carrying the
+ * assigned job id, then streams `progress`, `metrics` and finally
+ * exactly one of `result` / `error` / `cancelled` for that id —
+ * events of concurrent jobs interleave on the connection, matched up
+ * by their `job` field. Control verbs get a single reply frame.
+ */
+
+#ifndef ARCHVAL_SERVICE_PROTOCOL_HH
+#define ARCHVAL_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.hh"
+
+namespace archval::service
+{
+
+/** Hard cap on one frame's payload bytes (16 MiB). */
+constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/**
+ * Frame @p payload for the wire: 4-byte little-endian length prefix
+ * plus the payload bytes. @throws FatalError when the payload
+ * exceeds kMaxFrameBytes (the caller built an unsendable message).
+ */
+std::string encodeFrame(const std::string &payload);
+
+/** Convenience: serialize @p message and frame it. */
+std::string encodeFrame(const json::Value &message);
+
+/**
+ * Incremental frame decoder for one connection. Feed whatever the
+ * socket produced, then drain complete frames:
+ *
+ *   reader.feed(buf, n);
+ *   std::string payload;
+ *   while (reader.next(payload) == FrameReader::Status::Ready)
+ *       handle(payload);
+ *   if (reader.failed()) drop_connection(reader.error());
+ *
+ * A protocol violation (oversized or zero-length frame) is sticky:
+ * the reader stays failed and the connection must be dropped — after
+ * a bad length prefix there is no way to find the next frame
+ * boundary. Truncated input is not an error, just NeedMore.
+ */
+class FrameReader
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Ready,    ///< one frame extracted into the out-param
+        Error,    ///< protocol violation; connection unusable
+    };
+
+    /** Append @p size raw bytes from the transport. */
+    void feed(const void *data, size_t size);
+
+    /** Extract the next complete frame's payload into @p payload. */
+    Status next(std::string &payload);
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (tests/observability). */
+    size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::string buffer_;
+    size_t consumed_ = 0; ///< prefix of buffer_ already extracted
+    bool failed_ = false;
+    std::string error_;
+};
+
+} // namespace archval::service
+
+#endif // ARCHVAL_SERVICE_PROTOCOL_HH

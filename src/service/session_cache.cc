@@ -1,0 +1,176 @@
+#include "session_cache.hh"
+
+#include <algorithm>
+
+#include "support/status.hh"
+#include "support/strings.hh"
+#include "support/telemetry.hh"
+
+namespace archval::service
+{
+
+std::string
+DesignSpec::fingerprint() const
+{
+    return formatString(
+        "preset=%s lineWords=%u modelBranches=%d dualIssue=%d "
+        "maxStates=%llu maxInstr=%llu nestedSplits=%d vectorSeed=%llu",
+        preset.c_str(), lineWords, modelBranches, dualIssue,
+        static_cast<unsigned long long>(maxStates),
+        static_cast<unsigned long long>(maxInstructionsPerTrace),
+        nestedPrefixSplits ? 1 : 0,
+        static_cast<unsigned long long>(vectorSeed));
+}
+
+rtl::PpConfig
+DesignSpec::toConfig() const
+{
+    rtl::PpConfig config;
+    if (preset == "small")
+        config = rtl::PpConfig::smallPreset();
+    else if (preset == "full")
+        config = rtl::PpConfig::fullPreset();
+    else
+        fatal("unknown design preset '" + preset + "'");
+    if (lineWords > 0)
+        config.lineWords = lineWords;
+    if (modelBranches >= 0)
+        config.modelBranches = modelBranches != 0;
+    if (dualIssue >= 0)
+        config.dualIssue = dualIssue != 0;
+    return config;
+}
+
+DesignSpec
+DesignSpec::fromJson(const json::Value &design)
+{
+    DesignSpec spec;
+    if (design.get("preset").isString())
+        spec.preset = design.get("preset").asString();
+    spec.lineWords = static_cast<unsigned>(
+        design.get("lineWords").asInt(spec.lineWords));
+    if (design.has("modelBranches"))
+        spec.modelBranches = design.get("modelBranches").asBool() ? 1 : 0;
+    if (design.has("dualIssue"))
+        spec.dualIssue = design.get("dualIssue").asBool() ? 1 : 0;
+    spec.maxStates = static_cast<uint64_t>(design.get("maxStates")
+                                               .asInt(static_cast<int64_t>(
+                                                   spec.maxStates)));
+    spec.enumThreads = static_cast<unsigned>(
+        design.get("enumThreads").asInt(spec.enumThreads));
+    spec.maxInstructionsPerTrace = static_cast<uint64_t>(
+        design.get("maxInstructionsPerTrace").asInt(0));
+    spec.nestedPrefixSplits =
+        design.get("nestedPrefixSplits").asBool(false);
+    spec.vectorSeed = static_cast<uint64_t>(
+        design.get("vectorSeed").asInt(1));
+    return spec;
+}
+
+Session::Session(const DesignSpec &spec)
+    : spec_(spec), fingerprint_(spec.fingerprint()),
+      config_(spec.toConfig()),
+      warm_(std::make_shared<harness::ReplayWarmCache>())
+{
+}
+
+std::string
+Session::ensure(Stage stage, const std::atomic<bool> *cancel)
+{
+    std::lock_guard<std::mutex> lock(buildMutex_);
+    try {
+        if (!graph_) {
+            if (!model_)
+                model_ = std::make_unique<rtl::PpFsmModel>(config_);
+            murphi::EnumOptions options;
+            options.maxStates = spec_.maxStates;
+            options.numThreads = std::max(1u, spec_.enumThreads);
+            options.retainStates = true; // vecgen condition mapping
+            options.cancelFlag = cancel;
+            murphi::Enumerator enumerator(*model_, options);
+            Result<graph::StateGraph> result = enumerator.run();
+            if (!result.ok())
+                return result.errorMessage();
+            graph_ = result.take();
+            enumStats_ = enumerator.stats();
+        }
+        if (stage == Stage::Graph)
+            return {};
+        if (!tours_) {
+            graph::TourOptions options;
+            options.maxInstructionsPerTrace =
+                spec_.maxInstructionsPerTrace;
+            options.nestedPrefixSplits = spec_.nestedPrefixSplits;
+            graph::TourGenerator generator(*graph_, options);
+            auto tours = generator.run();
+            std::string check =
+                graph::checkTourCoverage(*graph_, tours);
+            if (!check.empty())
+                return "tour coverage check failed: " + check;
+            tours_ = std::move(tours);
+            tourStats_ = generator.stats();
+        }
+        if (stage == Stage::Tours)
+            return {};
+        if (!vectors_) {
+            vecgen::VectorGenerator generator(*model_,
+                                              spec_.vectorSeed);
+            vectors_ = generator.generateAll(*graph_, *tours_);
+        }
+        return {};
+    } catch (const FatalError &err) {
+        // Build machinery reports bad input by throwing; to a job it
+        // is an error result, never a dead daemon.
+        return err.what();
+    }
+}
+
+SessionCache::SessionCache(size_t max_sessions)
+    : maxSessions_(std::max<size_t>(1, max_sessions))
+{
+}
+
+std::shared_ptr<Session>
+SessionCache::acquire(const DesignSpec &spec)
+{
+    const std::string key = spec.fingerprint();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot &slot : slots_) {
+        if (slot.session->fingerprint() == key) {
+            slot.lastUse = ++clock_;
+            ++hits_;
+            telemetry::counter("service.session_hits").add(1);
+            return slot.session;
+        }
+    }
+    ++misses_;
+    telemetry::counter("service.session_misses").add(1);
+    // Construction validates the spec (throws FatalError on an
+    // unknown preset) before anything is inserted.
+    auto session = std::make_shared<Session>(spec);
+    if (slots_.size() >= maxSessions_) {
+        size_t victim = 0;
+        for (size_t i = 1; i < slots_.size(); ++i) {
+            if (slots_[i].lastUse < slots_[victim].lastUse)
+                victim = i;
+        }
+        slots_.erase(slots_.begin() + static_cast<long>(victim));
+        ++evictions_;
+    }
+    slots_.push_back(Slot{session, ++clock_});
+    return session;
+}
+
+SessionCache::Stats
+SessionCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.sessions = slots_.size();
+    return s;
+}
+
+} // namespace archval::service

@@ -1,0 +1,524 @@
+#include "json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/strings.hh"
+
+namespace archval::json
+{
+
+namespace
+{
+
+const Value &
+nullValue()
+{
+    static const Value v;
+    return v;
+}
+
+} // namespace
+
+Value::Value(uint64_t u)
+{
+    if (u <= static_cast<uint64_t>(INT64_MAX)) {
+        kind_ = Kind::Int;
+        int_ = static_cast<int64_t>(u);
+    } else {
+        kind_ = Kind::Double;
+        double_ = static_cast<double>(u);
+    }
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool(bool fallback) const
+{
+    return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+int64_t
+Value::asInt(int64_t fallback) const
+{
+    if (kind_ == Kind::Int)
+        return int_;
+    if (kind_ == Kind::Double)
+        return static_cast<int64_t>(double_);
+    return fallback;
+}
+
+double
+Value::asDouble(double fallback) const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ == Kind::Double)
+        return double_;
+    return fallback;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    kind_ = Kind::Object;
+    object_[key] = std::move(v);
+    return *this;
+}
+
+const Value &
+Value::get(const std::string &key) const
+{
+    auto it = object_.find(key);
+    return it == object_.end() ? nullValue() : it->second;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return object_.count(key) != 0;
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == other.bool_;
+      case Kind::Int:
+        return int_ == other.int_;
+      case Kind::Double:
+        return double_ == other.double_;
+      case Kind::String:
+        return string_ == other.string_;
+      case Kind::Array:
+        return array_ == other.array_;
+      case Kind::Object:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+std::string
+quote(std::string_view text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += formatString("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Value::serialize() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return bool_ ? "true" : "false";
+      case Kind::Int:
+        return formatString("%lld", static_cast<long long>(int_));
+      case Kind::Double:
+        if (!std::isfinite(double_))
+            return "null"; // JSON has no Inf/NaN
+        return formatString("%.17g", double_);
+      case Kind::String:
+        return quote(string_);
+      case Kind::Array: {
+        std::string out = "[";
+        for (size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += array_[i].serialize();
+        }
+        out += ']';
+        return out;
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[key, value] : object_) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += quote(key) + ":" + value.serialize();
+        }
+        out += '}';
+        return out;
+      }
+    }
+    return "null";
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view; collects the first
+ *  error and stops. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, size_t max_depth)
+        : text_(text), maxDepth_(max_depth)
+    {
+    }
+
+    Result<Value>
+    run()
+    {
+        Value v = parseValue(0);
+        if (!error_.empty())
+            return fail();
+        skipWs();
+        if (pos_ != text_.size()) {
+            error_ = "trailing garbage";
+            return fail();
+        }
+        return v;
+    }
+
+  private:
+    Result<Value>
+    fail()
+    {
+        return Result<Value>::error(formatString(
+            "json parse error at byte %zu: %s", pos_,
+            error_.c_str()));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Value
+    parseValue(size_t depth)
+    {
+        if (depth > maxDepth_) {
+            error_ = "nesting too deep";
+            return {};
+        }
+        skipWs();
+        if (pos_ >= text_.size()) {
+            error_ = "unexpected end of input";
+            return {};
+        }
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            return parseString();
+          case 't':
+            if (literal("true"))
+                return Value(true);
+            break;
+          case 'f':
+            if (literal("false"))
+                return Value(false);
+            break;
+          case 'n':
+            if (literal("null"))
+                return Value();
+            break;
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            break;
+        }
+        if (error_.empty())
+            error_ = formatString("unexpected character '%c'", c);
+        return {};
+    }
+
+    Value
+    parseObject(size_t depth)
+    {
+        ++pos_; // '{'
+        Value out = Value::object();
+        if (consume('}'))
+            return out;
+        while (error_.empty()) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                error_ = "expected object key";
+                return {};
+            }
+            Value key = parseString();
+            if (!error_.empty())
+                return {};
+            if (!consume(':')) {
+                error_ = "expected ':'";
+                return {};
+            }
+            Value value = parseValue(depth + 1);
+            if (!error_.empty())
+                return {};
+            out.set(key.asString(), std::move(value));
+            if (consume('}'))
+                return out;
+            if (!consume(',')) {
+                error_ = "expected ',' or '}'";
+                return {};
+            }
+        }
+        return {};
+    }
+
+    Value
+    parseArray(size_t depth)
+    {
+        ++pos_; // '['
+        Value out = Value::array();
+        if (consume(']'))
+            return out;
+        while (error_.empty()) {
+            Value value = parseValue(depth + 1);
+            if (!error_.empty())
+                return {};
+            out.push(std::move(value));
+            if (consume(']'))
+                return out;
+            if (!consume(',')) {
+                error_ = "expected ',' or ']'";
+                return {};
+            }
+        }
+        return {};
+    }
+
+    Value
+    parseString()
+    {
+        ++pos_; // '"'
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return Value(std::move(out));
+            if (static_cast<unsigned char>(c) < 0x20) {
+                error_ = "raw control character in string";
+                return {};
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    error_ = "truncated \\u escape";
+                    return {};
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else {
+                        error_ = "bad \\u escape";
+                        return {};
+                    }
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are passed through as two separate encodings; the
+                // protocol never emits them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                error_ = "bad escape character";
+                return {};
+            }
+        }
+        error_ = "unterminated string";
+        return {};
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        size_t digits_start = pos_;
+        while (pos_ < text_.size() && std::isdigit(
+                   static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == digits_start) {
+            error_ = "malformed number";
+            return {};
+        }
+        // JSON forbids leading zeros ("01").
+        if (pos_ - digits_start > 1 && text_[digits_start] == '0') {
+            error_ = "leading zero in number";
+            return {};
+        }
+        bool integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            size_t frac_start = pos_;
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == frac_start) {
+                error_ = "malformed fraction";
+                return {};
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            size_t exp_start = pos_;
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == exp_start) {
+                error_ = "malformed exponent";
+                return {};
+            }
+        }
+        std::string_view token = text_.substr(start, pos_ - start);
+        if (integral) {
+            int64_t value = 0;
+            auto [ptr, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), value);
+            if (ec == std::errc() && ptr == token.data() + token.size())
+                return Value(value);
+            // Out-of-int64-range integer: fall through to double.
+        }
+        double value = 0.0;
+        // from_chars<double> is spotty across libstdc++ versions;
+        // the token is already validated, so strtod is safe here.
+        value = std::strtod(std::string(token).c_str(), nullptr);
+        return Value(value);
+    }
+
+    std::string_view text_;
+    size_t maxDepth_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+Result<Value>
+parse(std::string_view text, size_t max_depth)
+{
+    return Parser(text, max_depth).run();
+}
+
+} // namespace archval::json

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Minimal JSON value, parser and writer.
+ *
+ * The validation service speaks a JSON job protocol, and a daemon
+ * must treat every inbound byte as hostile: the parser is fully
+ * validating (RFC 8259 structure), never throws, never recurses
+ * past a fixed depth, and reports failures through Result so a
+ * malformed request is an error frame, not a dead process.
+ *
+ * Numbers keep their integer identity when they have one: a token
+ * with no fraction/exponent that fits int64 reads back via asInt()
+ * bit-exactly, which the protocol relies on for job ids and cycle
+ * counts. serialize() emits compact output that this parser (and any
+ * other) round-trips.
+ */
+
+#ifndef ARCHVAL_SUPPORT_JSON_HH
+#define ARCHVAL_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hh"
+
+namespace archval::json
+{
+
+/** One JSON value (tagged union; copies are deep). */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,    ///< number with exact int64 representation
+        Double, ///< any other number
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int64_t i) : kind_(Kind::Int), int_(i) {}
+    Value(uint64_t u);
+    Value(int i) : Value(static_cast<int64_t>(i)) {}
+    Value(double d) : kind_(Kind::Double), double_(d) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(const char *s) : Value(std::string(s)) {}
+
+    /** @return an empty array/object value. */
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @name Typed reads with defaults (never throw). @{ */
+    bool asBool(bool fallback = false) const;
+    int64_t asInt(int64_t fallback = 0) const;
+    double asDouble(double fallback = 0.0) const;
+    const std::string &asString() const { return string_; }
+    /** @} */
+
+    /** @name Array access. @{ */
+    std::vector<Value> &items() { return array_; }
+    const std::vector<Value> &items() const { return array_; }
+    void push(Value v) { array_.push_back(std::move(v)); }
+    /** @} */
+
+    /** @name Object access. @{ */
+    /** Set @p key (creating it); value must be an object. */
+    Value &set(const std::string &key, Value v);
+    /** @return the member, or a shared null value when absent (or
+     *  when this value is not an object). */
+    const Value &get(const std::string &key) const;
+    bool has(const std::string &key) const;
+    const std::map<std::string, Value> &members() const
+    {
+        return object_;
+    }
+    /** @} */
+
+    /** Compact serialization (no whitespace, sorted object keys). */
+    std::string serialize() const;
+
+    bool operator==(const Value &other) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::map<std::string, Value> object_;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * Fully validating: trailing garbage, bad escapes, unterminated
+ * strings, malformed numbers and nesting deeper than @p max_depth
+ * all come back as errors. Never throws.
+ */
+Result<Value> parse(std::string_view text, size_t max_depth = 64);
+
+/** @return @p text as a quoted JSON string literal. */
+std::string quote(std::string_view text);
+
+} // namespace archval::json
+
+#endif // ARCHVAL_SUPPORT_JSON_HH

@@ -189,14 +189,20 @@ stopHeartbeatLocked(Global &g)
 }
 
 void
-startHeartbeatLocked(Global &g, double seconds, std::string tag)
+startHeartbeatLocked(Global &g, double seconds, std::string tag,
+                     bool deltas)
 {
     {
         std::lock_guard<std::mutex> lock(g.hbMutex);
         g.hbStop = false;
     }
-    g.heartbeatThread = std::thread([seconds, tag = std::move(tag)] {
+    g.heartbeatThread = std::thread([seconds, tag = std::move(tag),
+                                     deltas] {
         Global &g = global();
+        RegistrySnapshot prev;
+        uint64_t prev_ns = nowNs();
+        if (deltas)
+            prev = snapshotMetrics();
         std::unique_lock<std::mutex> lock(g.hbMutex);
         while (!g.hbStop) {
             g.hbCv.wait_for(
@@ -205,8 +211,16 @@ startHeartbeatLocked(Global &g, double seconds, std::string tag)
             if (g.hbStop)
                 break;
             lock.unlock();
+            RegistrySnapshot snap = snapshotMetrics();
+            uint64_t now = nowNs();
             logTagged(LogLevel::Info, tag.c_str(),
-                      snapshotMetrics().renderCompact());
+                      deltas ? snap.renderCompactDelta(
+                                   prev, double(now - prev_ns) / 1e9)
+                             : snap.renderCompact());
+            if (deltas) {
+                prev = std::move(snap);
+                prev_ns = now;
+            }
             lock.lock();
         }
     });
@@ -440,6 +454,61 @@ RegistrySnapshot::renderCompact() const
           case MetricSample::Kind::Histogram:
             out += formatString("%s=n%llu/p50=%.3g", s.name.c_str(),
                                 (unsigned long long)s.count, s.p50);
+            break;
+        }
+    }
+    return out.empty() ? std::string("(no metrics)") : out;
+}
+
+std::string
+RegistrySnapshot::renderCompactDelta(const RegistrySnapshot &prev,
+                                     double seconds) const
+{
+    // Both sample lists are name-sorted; walk them together.
+    std::string out;
+    size_t p = 0;
+    auto rate_suffix = [&](uint64_t now_count, uint64_t prev_count) {
+        if (seconds <= 0.0 || now_count < prev_count)
+            return std::string();
+        return formatString("(+%.3g/s)",
+                            double(now_count - prev_count) / seconds);
+    };
+    for (const MetricSample &s : samples) {
+        while (p < prev.samples.size() && prev.samples[p].name < s.name)
+            ++p;
+        const MetricSample *before =
+            (p < prev.samples.size() && prev.samples[p].name == s.name &&
+             prev.samples[p].kind == s.kind)
+                ? &prev.samples[p]
+                : nullptr;
+        bool zero =
+            (s.kind == MetricSample::Kind::Counter && s.count == 0) ||
+            (s.kind == MetricSample::Kind::Gauge && s.gauge == 0 &&
+             s.gaugeMax == 0) ||
+            (s.kind == MetricSample::Kind::Histogram && s.count == 0);
+        if (zero)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        switch (s.kind) {
+          case MetricSample::Kind::Counter:
+            out += formatString(
+                "%s=%llu%s", s.name.c_str(),
+                (unsigned long long)s.count,
+                rate_suffix(s.count, before ? before->count : 0)
+                    .c_str());
+            break;
+          case MetricSample::Kind::Gauge:
+            out += formatString("%s=%lld", s.name.c_str(),
+                                (long long)s.gauge);
+            break;
+          case MetricSample::Kind::Histogram:
+            out += formatString(
+                "%s=n%llu%s/p50=%.3g", s.name.c_str(),
+                (unsigned long long)s.count,
+                rate_suffix(s.count, before ? before->count : 0)
+                    .c_str(),
+                s.p50);
             break;
         }
     }
@@ -683,7 +752,8 @@ initTelemetry(const TelemetryOptions &options)
     }
     if (options.heartbeatSeconds > 0)
         startHeartbeatLocked(g, options.heartbeatSeconds,
-                             options.heartbeatTag);
+                             options.heartbeatTag,
+                             options.heartbeatDeltas);
     if (!options.tracePath.empty())
         g.tracing.store(true, std::memory_order_release);
 }
@@ -702,6 +772,9 @@ initTelemetryFromEnv()
             options.tracePath = trace;
         if (heartbeat)
             options.heartbeatSeconds = std::atof(heartbeat);
+        const char *deltas = std::getenv("ARCHVAL_HEARTBEAT_DELTAS");
+        options.heartbeatDeltas =
+            deltas && *deltas && std::string_view(deltas) != "0";
         // The heartbeat was asked for explicitly; make sure its Info
         // lines are admitted.
         if (options.heartbeatSeconds > 0 &&

@@ -62,6 +62,12 @@ struct TelemetryOptions
     /** Tag the heartbeat logs under, e.g. `[info][telemetry] ...`. */
     std::string heartbeatTag = "telemetry";
 
+    /** Report per-metric rates since the previous beat
+     *  (`name=total(+rate/s)`) instead of monotone totals only, so
+     *  long sessions show throughput trends. Env:
+     *  `ARCHVAL_HEARTBEAT_DELTAS=1`. */
+    bool heartbeatDeltas = false;
+
     /** Per-thread span ring capacity; the oldest spans are dropped
      *  once a thread exceeds it (the drop count is exported). */
     size_t spanRingCapacity = 1 << 16;
@@ -244,6 +250,17 @@ struct RegistrySnapshot
     /** @return a one-line `name=value` digest (heartbeat format);
      *  zero-valued metrics are elided. */
     std::string renderCompact() const;
+
+    /**
+     * Like renderCompact(), with per-metric rates since @p prev:
+     * counters and histogram sample counts render as
+     * `name=total(+rate/s)` over the @p seconds between the two
+     * snapshots; gauges stay instantaneous. Metrics zero in both
+     * snapshots are elided; a metric absent from @p prev rates from
+     * zero. Non-positive @p seconds suppresses the rates.
+     */
+    std::string renderCompactDelta(const RegistrySnapshot &prev,
+                                   double seconds) const;
 };
 
 RegistrySnapshot snapshotMetrics();

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "support/bitvec.hh"
+#include "support/json.hh"
 #include "support/memusage.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
@@ -299,6 +300,91 @@ TEST(MemUsage, RssIsPositiveOnLinux)
 {
     EXPECT_GT(currentRssBytes(), 0u);
     EXPECT_GE(peakRssBytes(), currentRssBytes() / 2);
+}
+
+TEST(Json, ParseScalars)
+{
+    EXPECT_TRUE(json::parse("null").value().isNull());
+    EXPECT_EQ(json::parse("true").value().asBool(), true);
+    EXPECT_EQ(json::parse("false").value().asBool(false), false);
+    EXPECT_EQ(json::parse("42").value().asInt(), 42);
+    EXPECT_EQ(json::parse("-7").value().asInt(), -7);
+    EXPECT_TRUE(json::parse("42").value().isInt());
+    EXPECT_FALSE(json::parse("42.5").value().isInt());
+    EXPECT_DOUBLE_EQ(json::parse("42.5").value().asDouble(), 42.5);
+    EXPECT_DOUBLE_EQ(json::parse("-1e3").value().asDouble(), -1000.0);
+    EXPECT_EQ(json::parse("\"hi\\n\\\"there\\\"\"").value().asString(),
+              "hi\n\"there\"");
+}
+
+TEST(Json, ParseStructures)
+{
+    auto r = json::parse(
+        " {\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"} ");
+    ASSERT_TRUE(r.ok()) << r.errorMessage();
+    const json::Value &v = r.value();
+    ASSERT_TRUE(v.isObject());
+    ASSERT_TRUE(v.get("a").isArray());
+    EXPECT_EQ(v.get("a").items().size(), 3u);
+    EXPECT_EQ(v.get("a").items()[1].asInt(), 2);
+    EXPECT_TRUE(v.get("a").items()[2].get("b").isNull());
+    EXPECT_EQ(v.get("c").asString(), "x");
+    EXPECT_FALSE(v.has("missing"));
+    EXPECT_TRUE(v.get("missing").isNull());
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",          "{",         "[1,",       "tru",
+        "{\"a\":}",  "{\"a\" 1}", "[1 2]",     "\"unterminated",
+        "01",        "1.",        "1e",        "nullx",
+        "{]",        "\"\\q\"",   "\"\\u12\"", "[1],[2]",
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(json::parse(text).ok())
+            << "accepted malformed input: " << text;
+    }
+    // Raw control characters must be escaped inside strings.
+    EXPECT_FALSE(json::parse("\"a\nb\"").ok());
+}
+
+TEST(Json, RejectsDeepNesting)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    EXPECT_FALSE(json::parse(deep).ok());
+    EXPECT_TRUE(json::parse(deep, 400).ok());
+}
+
+TEST(Json, SerializeRoundTrip)
+{
+    json::Value v = json::Value::object();
+    v.set("id", int64_t{7});
+    v.set("name", "enum \"fast\"\n");
+    v.set("flag", true);
+    v.set("ratio", 0.25);
+    json::Value arr = json::Value::array();
+    arr.push(int64_t{1});
+    arr.push(json::Value());
+    v.set("list", std::move(arr));
+
+    std::string text = v.serialize();
+    auto back = json::parse(text);
+    ASSERT_TRUE(back.ok()) << back.errorMessage();
+    EXPECT_TRUE(back.value() == v) << text;
+    // Integers survive bit-exactly.
+    EXPECT_EQ(back.value().get("id").asInt(), 7);
+    EXPECT_TRUE(back.value().get("id").isInt());
+}
+
+TEST(Json, LargeIntegersStayExact)
+{
+    int64_t big = INT64_MAX - 3;
+    json::Value v(big);
+    auto back = json::parse(v.serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().asInt(), big);
 }
 
 } // namespace

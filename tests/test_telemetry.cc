@@ -424,6 +424,34 @@ TEST(Metrics, SnapshotAndJson)
     EXPECT_FALSE(snap.renderCompact().empty());
 }
 
+TEST(Metrics, CompactDeltaReportsRates)
+{
+    Counter &c = counter("test.delta_counter");
+    c.add(10);
+    RegistrySnapshot before = snapshotMetrics();
+    c.add(30);
+    RegistrySnapshot after = snapshotMetrics();
+
+    // 30 new counts over 2 seconds -> +15/s.
+    std::string line = after.renderCompactDelta(before, 2.0);
+    EXPECT_NE(line.find("test.delta_counter="), std::string::npos);
+    EXPECT_NE(line.find("(+15/s)"), std::string::npos) << line;
+
+    // A metric absent from the previous beat rates from zero.
+    counter("test.delta_fresh").add(4);
+    RegistrySnapshot later = snapshotMetrics();
+    line = later.renderCompactDelta(before, 2.0);
+    EXPECT_NE(line.find("test.delta_fresh=4(+2/s)"),
+              std::string::npos)
+        << line;
+
+    // Non-positive interval suppresses the rate suffix but keeps
+    // totals.
+    line = after.renderCompactDelta(before, 0.0);
+    EXPECT_NE(line.find("test.delta_counter="), std::string::npos);
+    EXPECT_EQ(line.find("/s)"), std::string::npos) << line;
+}
+
 // ---------------------------------------------------------------------
 // Spans and trace export
 // ---------------------------------------------------------------------

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""CI driver for the `service_smoke` ctest.
+
+Boots a real archvald daemon on a unix socket with ARCHVAL_TRACE
+armed, then drives it end-to-end through archval_client:
+
+  1. `enumerate` — builds the session's state graph.
+  2. `replay` (cold) — plays the generated vectors, populating the
+     session's replay warm cache.
+  3. `replay` (warm) — must report a warm-cache hit on every trace
+     and simulate at most 10% of the cold run's cycles, while its
+     per-trace results stay byte-identical to the cold run's.
+  4. `shutdown` — stops the daemon cleanly; its telemetry trace must
+     then pass trace_summary.py --check.
+
+Usage: tools/service_smoke.py <archvald> <archval_client>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(msg):
+    print(f"service_smoke: {msg}", file=sys.stderr)
+    return 1
+
+
+def client_events(client, socket, *args, timeout=300):
+    """Run archval_client --json and return the parsed event list."""
+    run = subprocess.run(
+        [client, "--socket", socket, "--json", *args],
+        capture_output=True, text=True, timeout=timeout)
+    events = [json.loads(line) for line in run.stdout.splitlines()
+              if line.strip()]
+    return run.returncode, events
+
+
+def terminal(events):
+    for event in events:
+        if event.get("type") in ("result", "error", "cancelled"):
+            return event
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    archvald, client = sys.argv[1], sys.argv[2]
+    summary = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "trace_summary.py")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket = os.path.join(tmp, "archval.sock")
+        trace = os.path.join(tmp, "service_trace.json")
+        env = dict(os.environ, ARCHVAL_TRACE=trace)
+        daemon = subprocess.Popen(
+            [archvald, "--socket", socket, "--workers", "2"],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            # The daemon prints its listening line once ready.
+            line = daemon.stdout.readline()
+            if "listening" not in line:
+                return fail(f"unexpected daemon banner: {line!r}")
+            for _ in range(50):
+                if os.path.exists(socket):
+                    break
+                time.sleep(0.1)
+
+            code, events = client_events(client, socket, "enumerate")
+            result = terminal(events)
+            if code != 0 or not result or result["type"] != "result":
+                return fail(f"enumerate failed: exit {code}, "
+                            f"terminal {result}")
+            if result.get("states", 0) <= 0:
+                return fail("enumerate reported no states")
+
+            code, events = client_events(client, socket, "replay")
+            cold = terminal(events)
+            if code != 0 or not cold or cold["type"] != "result":
+                return fail(f"cold replay failed: exit {code}")
+            if cold["warm"]["hits"] != 0:
+                return fail("cold replay claims warm hits")
+            if cold["simulatedCycles"] <= 0:
+                return fail("cold replay simulated nothing")
+
+            code, events = client_events(client, socket, "replay")
+            warm = terminal(events)
+            if code != 0 or not warm or warm["type"] != "result":
+                return fail(f"warm replay failed: exit {code}")
+            if warm["warm"]["hits"] != warm["traces"]:
+                return fail(f"warm replay hit {warm['warm']['hits']}"
+                            f"/{warm['traces']} traces")
+            if warm["simulatedCycles"] * 10 > cold["simulatedCycles"]:
+                return fail(
+                    f"warm replay simulated "
+                    f"{warm['simulatedCycles']} cycles; cold did "
+                    f"{cold['simulatedCycles']} (> 10% bar)")
+            if warm["plays"] != cold["plays"]:
+                return fail("warm results differ from cold results")
+
+            code, events = client_events(client, socket, "shutdown")
+            if code != 0 or not events or \
+                    events[0].get("type") != "shutting_down":
+                return fail(f"shutdown failed: exit {code}")
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        if not os.path.exists(trace):
+            return fail("daemon wrote no telemetry trace")
+        check = subprocess.run(
+            [sys.executable, summary, trace, "--check"])
+        if check.returncode != 0:
+            return fail("trace_summary --check failed")
+
+        with open(trace) as f:
+            doc = json.load(f)
+        metrics = doc.get("otherData", {}).get("metrics", {})
+        expected = ("service.jobs_done", "replay.warm_hits",
+                    "service.session_hits")
+        missing = [k for k in expected if k not in metrics]
+        if missing:
+            return fail(f"metrics snapshot missing {missing}")
+
+    print("service smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
