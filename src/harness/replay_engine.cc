@@ -553,6 +553,182 @@ ReplayWarmCache::stats() const
     return s;
 }
 
+std::vector<std::shared_ptr<const ReplayWarmCache::Entry>>
+ReplayWarmCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::shared_ptr<const Entry>> out;
+    out.reserve(entries_.size());
+    for (const auto &[key, slot] : entries_)
+        out.push_back(slot.entry);
+    return out;
+}
+
+namespace
+{
+
+/** Warm-entry record format version (serializeEntry). */
+constexpr uint32_t kWarmEntryVersion = 1;
+
+void
+packU32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+packU64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+packBytes(std::vector<uint8_t> &out, const void *data, size_t size)
+{
+    packU64(out, size);
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    out.insert(out.end(), p, p + size);
+}
+
+/** Bounds-checked little-endian record reader; any overrun flips
+ *  ok and pins the cursor, so callers test once at the end. */
+struct EntryReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    uint32_t
+    u32()
+    {
+        if (!ok || size - pos < 4) {
+            ok = false;
+            return 0;
+        }
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value |= uint32_t(data[pos + i]) << (8 * i);
+        pos += 4;
+        return value;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!ok || size - pos < 8) {
+            ok = false;
+            return 0;
+        }
+        uint64_t value = 0;
+        for (int i = 0; i < 8; ++i)
+            value |= uint64_t(data[pos + i]) << (8 * i);
+        pos += 8;
+        return value;
+    }
+
+    bool
+    bytes(std::vector<uint8_t> &out)
+    {
+        uint64_t n = u64();
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        out.assign(data + pos, data + pos + n);
+        pos += n;
+        return true;
+    }
+
+    bool
+    str(std::string &out)
+    {
+        uint64_t n = u64();
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        out.assign(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<uint8_t>
+ReplayWarmCache::serializeEntry(const Entry &entry)
+{
+    std::vector<uint8_t> out;
+    packU32(out, kWarmEntryVersion);
+    packBytes(out, entry.key.data(), entry.key.size());
+    const PlayResult &donor = entry.donorResult;
+    out.push_back(donor.diverged ? 1 : 0);
+    packBytes(out, donor.diff.data(), donor.diff.size());
+    packU64(out, donor.cycles);
+    packU64(out, donor.instructions);
+    packU64(out, donor.lockstepErrors);
+    out.push_back(donor.drained ? 1 : 0);
+    out.push_back(donor.skipped ? 1 : 0);
+    packU32(out, static_cast<uint32_t>(rtl::numBugs));
+    for (uint64_t trigger : entry.triggers)
+        packU64(out, trigger);
+    packU64(out, entry.chain.size());
+    for (const ChainLink &link : entry.chain) {
+        packU64(out, link.cycle);
+        packBytes(out, link.snapshot.data(), link.snapshot.size());
+    }
+    return out;
+}
+
+std::shared_ptr<ReplayWarmCache::Entry>
+ReplayWarmCache::deserializeEntry(const uint8_t *data, size_t size)
+{
+    EntryReader in{data, size};
+    if (in.u32() != kWarmEntryVersion)
+        return nullptr;
+    auto entry = std::make_shared<Entry>();
+    in.str(entry->key);
+    PlayResult &donor = entry->donorResult;
+    auto u8 = [&]() -> uint8_t {
+        if (!in.ok || in.size - in.pos < 1) {
+            in.ok = false;
+            return 0;
+        }
+        return in.data[in.pos++];
+    };
+    donor.diverged = u8() != 0;
+    in.str(donor.diff);
+    donor.cycles = in.u64();
+    donor.instructions = in.u64();
+    donor.lockstepErrors = in.u64();
+    donor.drained = u8() != 0;
+    donor.skipped = u8() != 0;
+    // A build with a different bug roster laid the triggers array
+    // out differently; its records must not restore.
+    if (in.u32() != static_cast<uint32_t>(rtl::numBugs))
+        return nullptr;
+    for (size_t i = 0; i < rtl::numBugs; ++i)
+        entry->triggers[i] = in.u64();
+    const uint64_t links = in.u64();
+    if (!in.ok || links > in.size - in.pos)
+        return nullptr; // lying count; each link needs >1 byte
+    entry->chain.reserve(links);
+    for (uint64_t i = 0; i < links; ++i) {
+        ChainLink link;
+        link.cycle = in.u64();
+        in.bytes(link.snapshot);
+        if (!in.ok)
+            return nullptr;
+        entry->chain.push_back(std::move(link));
+    }
+    if (!in.ok || in.pos != in.size)
+        return nullptr; // trailing garbage is damage too
+    return entry;
+}
+
 ReplayEngine::ReplayEngine(const rtl::PpConfig &config,
                            ReplayOptions options)
     : config_(config), options_(options)

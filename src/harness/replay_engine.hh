@@ -162,6 +162,27 @@ class ReplayWarmCache
      *  exceeding the budget is dropped). */
     void insert(std::shared_ptr<Entry> entry);
 
+    /** @return a point-in-time snapshot of every entry (unordered).
+     *  Entries are immutable, so the snapshot stays valid however
+     *  long the caller holds it — this is the persistence walk. */
+    std::vector<std::shared_ptr<const Entry>> entries() const;
+
+    /**
+     * @name Entry persistence
+     * One warm entry to/from a self-contained byte record (for the
+     * service's disk-backed session store). The record carries its
+     * own version stamp and the build's bug count; deserializeEntry
+     * returns null on any structural mismatch — a stale or foreign
+     * record restores as "not warm", never as wrong bytes. Chain
+     * snapshots are opaque here: they stay config-fingerprinted and
+     * are re-validated by PpCore::deserializeSnapshot at use time.
+     * @{
+     */
+    static std::vector<uint8_t> serializeEntry(const Entry &entry);
+    static std::shared_ptr<Entry>
+    deserializeEntry(const uint8_t *data, size_t size);
+    /** @} */
+
     Stats stats() const;
 
   private:

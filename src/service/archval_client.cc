@@ -135,20 +135,6 @@ connectTcp(int port)
     return fd;
 }
 
-bool
-sendAll(int fd, const std::string &bytes)
-{
-    size_t off = 0;
-    while (off < bytes.size()) {
-        ssize_t n = ::send(fd, bytes.data() + off,
-                           bytes.size() - off, MSG_NOSIGNAL);
-        if (n <= 0)
-            return false;
-        off += static_cast<size_t>(n);
-    }
-    return true;
-}
-
 /** Block for the next event frame. @return false on disconnect or
  *  protocol damage. */
 bool
@@ -173,9 +159,12 @@ nextEvent(int fd, FrameReader &reader, Value &event)
                          reader.error().c_str());
             return false;
         }
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        // recvRetry retries EINTR, so a signal landing mid-stream
+        // (SIGWINCH, a profiler's SIGPROF, ...) cannot masquerade as
+        // a server disconnect and kill the CLI between two events.
+        ssize_t n = archval::service::recvRetry(fd, buf, sizeof(buf));
         if (n <= 0)
-            return false;
+            return false; // orderly shutdown or a real error
         reader.feed(buf, static_cast<size_t>(n));
     }
 }
@@ -367,7 +356,8 @@ main(int argc, char **argv)
         std::fprintf(stderr, "archval_client: cannot connect\n");
         return 1;
     }
-    if (!sendAll(fd, archval::service::encodeFrame(request))) {
+    const std::string wire = archval::service::encodeFrame(request);
+    if (!archval::service::sendAll(fd, wire.data(), wire.size())) {
         std::fprintf(stderr, "archval_client: send failed\n");
         ::close(fd);
         return 1;

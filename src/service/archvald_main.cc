@@ -31,11 +31,14 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--socket PATH] [--tcp PORT] [--workers N] "
-        "[--sessions N]\n"
-        "  --socket PATH   listen on a unix-domain socket\n"
-        "  --tcp PORT      listen on loopback TCP (0 = ephemeral)\n"
-        "  --workers N     concurrent job executors (default 2)\n"
-        "  --sessions N    session cache capacity (default 4)\n",
+        "[--sessions N] [--session-dir PATH] [--queue-bound N]\n"
+        "  --socket PATH      listen on a unix-domain socket\n"
+        "  --tcp PORT         listen on loopback TCP (0 = ephemeral)\n"
+        "  --workers N        concurrent job executors (default 2)\n"
+        "  --sessions N       session cache capacity (default 4)\n"
+        "  --session-dir PATH persist sessions here across restarts\n"
+        "  --queue-bound N    reject jobs past N queued (default "
+        "64)\n",
         argv0);
     return 1;
 }
@@ -74,6 +77,17 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             options.maxSessions =
+                static_cast<size_t>(std::max(1, std::atoi(v)));
+        } else if (arg == "--session-dir") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.sessionDir = v;
+        } else if (arg == "--queue-bound") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.queueBound =
                 static_cast<size_t>(std::max(1, std::atoi(v)));
         } else {
             return usage(argv[0]);

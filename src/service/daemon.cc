@@ -24,9 +24,11 @@ namespace archval::service
 struct Daemon::Connection
 {
     int fd = -1;
+    uint64_t id = 0; ///< fairness key for JobManager::submit
     /** Serializes whole frames onto the socket. Recursive because
-     *  submit() may emit synchronously (daemon already stopping)
-     *  while the dispatcher holds it to order `accepted` first. */
+     *  submit() may emit synchronously (busy rejection, daemon
+     *  already stopping) while the dispatcher holds it to order
+     *  `accepted` first. */
     std::recursive_mutex writeMutex;
     std::atomic<bool> dead{false};
     std::vector<uint64_t> jobIds; ///< guarded by writeMutex
@@ -37,18 +39,12 @@ struct Daemon::Connection
             return;
         const std::string frame = encodeFrame(message);
         std::lock_guard<std::recursive_mutex> lock(writeMutex);
-        size_t off = 0;
-        while (off < frame.size()) {
-            // MSG_NOSIGNAL: a client that vanished mid-stream must
-            // produce EPIPE here, not SIGPIPE for the process.
-            ssize_t n = ::send(fd, frame.data() + off,
-                               frame.size() - off, MSG_NOSIGNAL);
-            if (n <= 0) {
-                dead.store(true, std::memory_order_relaxed);
-                return;
-            }
-            off += static_cast<size_t>(n);
-        }
+        // sendAll retries EINTR and short sends; only a real
+        // transport failure may mark the connection dead, so a
+        // signal landing mid-write cannot silently drop every
+        // remaining event for this client.
+        if (!sendAll(fd, frame.data(), frame.size()))
+            dead.store(true, std::memory_order_relaxed);
     }
 };
 
@@ -125,8 +121,10 @@ listenTcp(int port, int &bound_port, std::string &error)
 } // namespace
 
 Daemon::Daemon(const Options &options)
-    : options_(options), sessions_(options.maxSessions),
-      jobs_(std::make_unique<JobManager>(sessions_, options.workers))
+    : options_(options),
+      sessions_(options.maxSessions, options.sessionDir),
+      jobs_(std::make_unique<JobManager>(sessions_, options.workers,
+                                         options.queueBound))
 {
 }
 
@@ -235,6 +233,7 @@ Daemon::acceptLoop(int listen_fd)
         }
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
+        conn->id = nextConnId_.fetch_add(1, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_.load(std::memory_order_relaxed)) {
@@ -256,7 +255,7 @@ Daemon::serveConnection(std::shared_ptr<Connection> conn)
     char buf[64 * 1024];
     bool protocol_ok = true;
     while (protocol_ok) {
-        ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        ssize_t n = recvRetry(conn->fd, buf, sizeof(buf));
         if (n <= 0)
             break; // disconnect (or teardown shut the fd down)
         reader.feed(buf, static_cast<size_t>(n));
@@ -369,10 +368,15 @@ Daemon::handleMessage(const std::shared_ptr<Connection> &conn,
     std::lock_guard<std::recursive_mutex> lock(conn->writeMutex);
     std::weak_ptr<Connection> weak = conn;
     uint64_t id = jobs_->submit(
-        request.take(), [weak](const json::Value &event) {
+        request.take(),
+        [weak](const json::Value &event) {
             if (auto c = weak.lock())
                 c->send(event);
-        });
+        },
+        conn->id);
+    std::optional<JobInfo> info = jobs_->status(id);
+    if (info && info->state == "rejected")
+        return; // admission control already sent the busy frame
     conn->jobIds.push_back(id);
     json::Value accepted = json::Value::object();
     accepted.set("type", "accepted");

@@ -51,6 +51,15 @@ class Daemon
         int tcpPort = -1;
         unsigned workers = 2;    ///< concurrent job executors
         size_t maxSessions = 4;  ///< session cache capacity
+        /** Session persistence directory (see service::SessionStore);
+         *  empty keeps sessions memory-only, so a restart rebuilds
+         *  everything cold. */
+        std::string sessionDir;
+        /** Admission-control bound on jobs queued (not running)
+         *  across all clients; a submit past the bound is answered
+         *  with a `busy` error frame (JobManager::kDefaultQueueBound
+         *  when 0). */
+        size_t queueBound = 0;
     };
 
     explicit Daemon(const Options &options);
@@ -91,6 +100,7 @@ class Daemon
     int unixFd_ = -1;
     int tcpFd_ = -1;
     int boundTcpPort_ = -1;
+    std::atomic<uint64_t> nextConnId_{1}; ///< JobManager client keys
     std::vector<std::thread> acceptThreads_;
 
     std::mutex mutex_; ///< guards conns_, connThreads_, stopped_

@@ -96,6 +96,34 @@ parseBugs(const json::Value &bugs, rtl::BugSet &out)
     return {};
 }
 
+namespace
+{
+
+/**
+ * Strict integer job field: absent keeps the default, a present
+ * field must be a JSON integer — a double or string answers the
+ * request with a `bad request` error instead of silently running
+ * with the default value (the same posture as DesignSpec::fromJson).
+ * The parsed value is clamped to at least @p min_value.
+ */
+bool
+readJobCount(const json::Value &message, const char *field,
+             int64_t min_value, int64_t &out, std::string &error)
+{
+    if (!message.has(field))
+        return true;
+    const json::Value &value = message.get(field);
+    if (!value.isInt()) {
+        error = formatString(
+            "bad request: field '%s' must be an integer", field);
+        return false;
+    }
+    out = std::max<int64_t>(min_value, value.asInt());
+    return true;
+}
+
+} // namespace
+
 Result<JobRequest>
 JobRequest::fromJson(const json::Value &message)
 {
@@ -108,33 +136,46 @@ JobRequest::fromJson(const json::Value &message)
         return Result<JobRequest>::error("unknown job verb '" +
                                          request.verb + "'");
     }
-    request.design = DesignSpec::fromJson(message.get("design"));
+    Result<DesignSpec> design =
+        DesignSpec::fromJson(message.get("design"));
+    if (!design.ok())
+        return Result<JobRequest>::error(design.errorMessage());
+    request.design = design.take();
     std::string bug_error = parseBugs(message.get("bugs"),
                                       request.bugs);
     if (!bug_error.empty())
         return Result<JobRequest>::error(bug_error);
-    request.threads = static_cast<unsigned>(std::max<int64_t>(
-        1, message.get("threads").asInt(request.threads)));
-    request.checkpointStride = static_cast<size_t>(std::max<int64_t>(
-        0, message.get("stride").asInt(
-               static_cast<int64_t>(request.checkpointStride))));
-    request.randomBudget = static_cast<uint64_t>(std::max<int64_t>(
-        0, message.get("budget").asInt(
-               static_cast<int64_t>(request.randomBudget))));
+    std::string error;
+    int64_t threads = request.threads;
+    int64_t stride = static_cast<int64_t>(request.checkpointStride);
+    int64_t budget = static_cast<int64_t>(request.randomBudget);
+    int64_t round_instructions =
+        static_cast<int64_t>(request.roundInstructions);
+    int64_t rounds = request.maxRounds;
+    int64_t seed = static_cast<int64_t>(request.seed);
+    if (!readJobCount(message, "threads", 1, threads, error) ||
+        !readJobCount(message, "stride", 0, stride, error) ||
+        !readJobCount(message, "budget", 0, budget, error) ||
+        !readJobCount(message, "roundInstructions", 1,
+                      round_instructions, error) ||
+        !readJobCount(message, "rounds", 1, rounds, error) ||
+        !readJobCount(message, "seed", 0, seed, error)) {
+        return Result<JobRequest>::error(error);
+    }
+    request.threads = static_cast<unsigned>(threads);
+    request.checkpointStride = static_cast<size_t>(stride);
+    request.randomBudget = static_cast<uint64_t>(budget);
     request.roundInstructions =
-        static_cast<uint64_t>(std::max<int64_t>(
-            1, message.get("roundInstructions")
-                   .asInt(static_cast<int64_t>(
-                       request.roundInstructions))));
-    request.maxRounds = static_cast<unsigned>(std::max<int64_t>(
-        1, message.get("rounds").asInt(request.maxRounds)));
-    request.seed = static_cast<uint64_t>(
-        message.get("seed").asInt(static_cast<int64_t>(request.seed)));
+        static_cast<uint64_t>(round_instructions);
+    request.maxRounds = static_cast<unsigned>(rounds);
+    request.seed = static_cast<uint64_t>(seed);
     return request;
 }
 
-JobManager::JobManager(SessionCache &sessions, unsigned workers)
-    : sessions_(sessions)
+JobManager::JobManager(SessionCache &sessions, unsigned workers,
+                       size_t queue_bound)
+    : sessions_(sessions),
+      queueBound_(queue_bound > 0 ? queue_bound : kDefaultQueueBound)
 {
     workers_.reserve(std::max(1u, workers));
     for (unsigned w = 0; w < std::max(1u, workers); ++w)
@@ -147,12 +188,15 @@ JobManager::~JobManager()
 }
 
 uint64_t
-JobManager::submit(JobRequest request, EventSink sink)
+JobManager::submit(JobRequest request, EventSink sink,
+                   uint64_t client)
 {
     auto job = std::make_shared<Job>();
+    job->client = client;
     job->request = std::move(request);
     job->sink = std::move(sink);
-    bool rejected = false;
+    bool shutting_down = false;
+    bool busy = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job->id = nextId_++;
@@ -160,19 +204,58 @@ JobManager::submit(JobRequest request, EventSink sink)
         if (stopping_) {
             job->state = "cancelled";
             job->detail = "daemon shutting down";
-            rejected = true;
+            shutting_down = true;
+        } else if (queued_ >= queueBound_) {
+            // Admission control: past the bound the client gets an
+            // immediate, explicit busy frame instead of an unbounded
+            // queue that one greedy connection can fill for everyone.
+            job->state = "rejected";
+            job->detail = formatString(
+                "busy: job queue is full (%zu queued, bound %zu)",
+                queued_, queueBound_);
+            busy = true;
         } else {
-            queue_.push_back(job);
+            std::deque<std::shared_ptr<Job>> &q = queues_[client];
+            if (q.empty())
+                rotation_.push_back(client);
+            q.push_back(job);
+            ++queued_;
         }
     }
-    if (rejected) {
+    if (shutting_down) {
         json::Value event = makeEvent("cancelled", job->id);
         event.set("reason", "daemon shutting down");
         emit(*job, event);
+    } else if (busy) {
+        json::Value event = makeEvent("error", job->id);
+        event.set("busy", true);
+        event.set("message", job->detail);
+        emit(*job, event);
+        telemetry::counter("service.jobs_rejected_busy").add(1);
     } else {
         cv_.notify_one();
     }
     return job->id;
+}
+
+bool
+JobManager::unqueueLocked(const std::shared_ptr<Job> &job)
+{
+    auto qit = queues_.find(job->client);
+    if (qit == queues_.end())
+        return false;
+    std::deque<std::shared_ptr<Job>> &q = qit->second;
+    auto it = std::find(q.begin(), q.end(), job);
+    if (it == q.end())
+        return false;
+    q.erase(it);
+    --queued_;
+    if (q.empty()) {
+        queues_.erase(qit);
+        rotation_.erase(std::find(rotation_.begin(), rotation_.end(),
+                                  job->client));
+    }
+    return true;
 }
 
 bool
@@ -193,9 +276,7 @@ JobManager::cancel(uint64_t id)
             was_queued = true;
             job->state = "cancelled";
             job->detail = "cancelled before start";
-            queue_.erase(std::remove(queue_.begin(), queue_.end(),
-                                     job),
-                         queue_.end());
+            unqueueLocked(job);
         }
     }
     if (was_queued)
@@ -237,12 +318,16 @@ JobManager::shutdown()
         if (stopping_ && workers_.empty())
             return;
         stopping_ = true;
-        for (auto &job : queue_) {
-            job->state = "cancelled";
-            job->detail = "daemon shutting down";
-            dropped.push_back(job);
+        for (auto &[client, q] : queues_) {
+            for (auto &job : q) {
+                job->state = "cancelled";
+                job->detail = "daemon shutting down";
+                dropped.push_back(job);
+            }
         }
-        queue_.clear();
+        queues_.clear();
+        rotation_.clear();
+        queued_ = 0;
         // Running jobs: flip their flags so they wind down promptly.
         for (auto &[id, job] : jobs_) {
             if (job->state == "running")
@@ -265,14 +350,26 @@ JobManager::workerLoop()
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock,
-                     [&] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
+                     [&] { return stopping_ || queued_ > 0; });
+            if (queued_ == 0) {
                 if (stopping_)
                     return;
                 continue;
             }
-            job = queue_.front();
-            queue_.pop_front();
+            // Round-robin across clients: take the head client's
+            // oldest job, then move that client to the back of the
+            // rotation, so B's single job runs after one of A's
+            // backlog, not after all of it.
+            const uint64_t client = rotation_.front();
+            rotation_.pop_front();
+            std::deque<std::shared_ptr<Job>> &q = queues_[client];
+            job = q.front();
+            q.pop_front();
+            --queued_;
+            if (q.empty())
+                queues_.erase(client);
+            else
+                rotation_.push_back(client);
             job->state = "running";
         }
         execute(*job);
@@ -506,6 +603,10 @@ JobManager::execute(Job &job)
         setState(job, "done", verdict);
         emit(job, result);
         telemetry::counter("service.jobs_done").add(1);
+        // Park the session's products (graph, tours, warm entries)
+        // on disk so a daemon restart replays warm. No-op when
+        // persistence is off or nothing changed since the last save.
+        session->persist();
     } catch (const FatalError &err) {
         finish_error(err.what());
     } catch (const std::exception &err) {

@@ -80,16 +80,24 @@ struct JobInfo
 {
     uint64_t id = 0;
     std::string verb;
-    std::string state; ///< queued | running | done | failed | cancelled
+    /** queued | running | done | failed | cancelled | rejected */
+    std::string state;
     std::string detail; ///< fingerprint, error, or verdict
 };
 
 class JobManager
 {
   public:
+    /** Default admission bound on queued (not running) jobs. */
+    static constexpr size_t kDefaultQueueBound = 64;
+
     /** @param sessions Shared session store.
-     *  @param workers Concurrent job executors. */
-    explicit JobManager(SessionCache &sessions, unsigned workers = 2);
+     *  @param workers Concurrent job executors.
+     *  @param queue_bound Admission bound across all clients; a
+     *  submit past it is rejected with a `busy` error frame
+     *  (0 picks kDefaultQueueBound). */
+    explicit JobManager(SessionCache &sessions, unsigned workers = 2,
+                        size_t queue_bound = 0);
 
     /** Drains and joins (equivalent to shutdown()). */
     ~JobManager();
@@ -97,8 +105,16 @@ class JobManager
     /**
      * Enqueue @p request. Emits an immediate `started`-on-dequeue
      * lifecycle into @p sink (see file comment). @return the job id.
+     *
+     * @p client keys admission fairness: queued jobs drain
+     * round-robin across clients (FIFO within one client), so one
+     * connection flooding the queue cannot starve the others — and
+     * when the whole queue is at the bound, the submit is rejected
+     * immediately with an `error` event carrying `"busy": true`
+     * (job state "rejected") instead of queueing unboundedly.
      */
-    uint64_t submit(JobRequest request, EventSink sink);
+    uint64_t submit(JobRequest request, EventSink sink,
+                    uint64_t client = 0);
 
     /** Request cooperative cancellation. @return false for an
      *  unknown id or a job already in a terminal state. */
@@ -118,6 +134,7 @@ class JobManager
     struct Job
     {
         uint64_t id = 0;
+        uint64_t client = 0; ///< fairness key (submitting connection)
         JobRequest request;
         EventSink sink;
         std::atomic<bool> cancel{false};
@@ -130,13 +147,22 @@ class JobManager
     void emit(Job &job, const json::Value &event);
     void setState(Job &job, const std::string &state,
                   const std::string &detail);
+    /** Remove @p job from its client's queue (mutex_ held).
+     *  @return true when it was queued. */
+    bool unqueueLocked(const std::shared_ptr<Job> &job);
 
     SessionCache &sessions_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
     uint64_t nextId_ = 1;
-    std::deque<std::shared_ptr<Job>> queue_;
+    size_t queueBound_;
+    size_t queued_ = 0; ///< jobs across all per-client queues
+    /** Admission structure: one FIFO per client plus a round-robin
+     *  rotation of clients with work, so dequeue order interleaves
+     *  clients fairly instead of draining one backlog first. */
+    std::map<uint64_t, std::deque<std::shared_ptr<Job>>> queues_;
+    std::deque<uint64_t> rotation_; ///< clients with non-empty queues
     std::map<uint64_t, std::shared_ptr<Job>> jobs_;
     std::vector<std::thread> workers_;
 };

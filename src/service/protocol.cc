@@ -1,12 +1,47 @@
 #include "protocol.hh"
 
+#include <cerrno>
 #include <cstring>
+
+#include <sys/socket.h>
 
 #include "support/status.hh"
 #include "support/strings.hh"
 
 namespace archval::service
 {
+
+bool
+sendAll(int fd, const void *data, size_t size)
+{
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    while (off < size) {
+        // MSG_NOSIGNAL: a peer that vanished mid-stream must produce
+        // EPIPE here, not SIGPIPE for the process.
+        ssize_t n = ::send(fd, p + off, size - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // a signal interrupted us; the peer is fine
+            return false;
+        }
+        // n == 0 is not a transport error (send never reports a
+        // closed peer that way); just try the remainder again.
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+ssize_t
+recvRetry(int fd, void *buf, size_t size)
+{
+    while (true) {
+        ssize_t n = ::recv(fd, buf, size, 0);
+        if (n < 0 && errno == EINTR)
+            continue; // a signal interrupted us, not a disconnect
+        return n; // data, 0 = orderly shutdown, or a real error
+    }
+}
 
 std::string
 encodeFrame(const std::string &payload)

@@ -28,6 +28,8 @@
 #ifndef ARCHVAL_SERVICE_PROTOCOL_HH
 #define ARCHVAL_SERVICE_PROTOCOL_HH
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <string>
 
@@ -38,6 +40,34 @@ namespace archval::service
 
 /** Hard cap on one frame's payload bytes (16 MiB). */
 constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/**
+ * @name EINTR-safe socket transfer
+ * Both daemon and client move frames with these, so the signal
+ * semantics cannot drift between the two ends: an interrupted
+ * syscall is retried, and only a real transport failure (or, for
+ * recvRetry, an orderly shutdown) surfaces to the caller. A naked
+ * `::send`/`::recv` whose -1/EINTR return is treated as a dead peer
+ * silently drops every remaining frame on that connection — the
+ * exact bug these helpers exist to prevent.
+ * @{
+ */
+
+/**
+ * Write all @p size bytes of @p data to @p fd (MSG_NOSIGNAL),
+ * retrying interrupted and short sends. @return false only on a real
+ * transport error (EPIPE, ECONNRESET, ...), never for EINTR.
+ */
+bool sendAll(int fd, const void *data, size_t size);
+
+/**
+ * One receive of up to @p size bytes into @p buf, retrying EINTR.
+ * @return bytes received, 0 on orderly peer shutdown, or -1 on a
+ * real transport error.
+ */
+ssize_t recvRetry(int fd, void *buf, size_t size);
+
+/** @} */
 
 /**
  * Frame @p payload for the wire: 4-byte little-endian length prefix

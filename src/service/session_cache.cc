@@ -41,29 +41,97 @@ DesignSpec::toConfig() const
     return config;
 }
 
-DesignSpec
+namespace
+{
+
+/** "bad request" prefix: the daemon forwards these verbatim as the
+ *  error frame, so the client sees which field it got wrong. */
+std::string
+fieldError(const char *field, const char *want)
+{
+    return formatString("bad request: design field '%s' must be %s",
+                        field, want);
+}
+
+/**
+ * Strict non-negative integer field: absent keeps the default, a
+ * present field must be a JSON integer (a double like `500000.0`
+ * or a string is an error — the old silent fallback-to-default
+ * changed the fingerprint, and with it the results, without any
+ * indication to the client).
+ */
+bool
+readCount(const json::Value &design, const char *field,
+          uint64_t &out, std::string &error)
+{
+    if (!design.has(field))
+        return true;
+    const json::Value &value = design.get(field);
+    if (!value.isInt() || value.asInt() < 0) {
+        error = fieldError(field, "a non-negative integer");
+        return false;
+    }
+    out = static_cast<uint64_t>(value.asInt());
+    return true;
+}
+
+/** Strict boolean field (absent keeps the default). */
+bool
+readFlag(const json::Value &design, const char *field, bool &out,
+         std::string &error)
+{
+    if (!design.has(field))
+        return true;
+    const json::Value &value = design.get(field);
+    if (!value.isBool()) {
+        error = fieldError(field, "a boolean");
+        return false;
+    }
+    out = value.asBool();
+    return true;
+}
+
+} // namespace
+
+Result<DesignSpec>
 DesignSpec::fromJson(const json::Value &design)
 {
     DesignSpec spec;
-    if (design.get("preset").isString())
+    if (design.isNull())
+        return spec; // no design object: all defaults
+    if (!design.isObject()) {
+        return Result<DesignSpec>::error(
+            "bad request: 'design' must be an object");
+    }
+    std::string error;
+    if (design.has("preset")) {
+        if (!design.get("preset").isString())
+            return Result<DesignSpec>::error(
+                fieldError("preset", "a string"));
         spec.preset = design.get("preset").asString();
-    spec.lineWords = static_cast<unsigned>(
-        design.get("lineWords").asInt(spec.lineWords));
+    }
+    uint64_t line_words = spec.lineWords;
+    uint64_t enum_threads = spec.enumThreads;
+    bool model_branches = false;
+    bool dual_issue = false;
+    if (!readCount(design, "lineWords", line_words, error) ||
+        !readCount(design, "maxStates", spec.maxStates, error) ||
+        !readCount(design, "enumThreads", enum_threads, error) ||
+        !readCount(design, "maxInstructionsPerTrace",
+                   spec.maxInstructionsPerTrace, error) ||
+        !readCount(design, "vectorSeed", spec.vectorSeed, error) ||
+        !readFlag(design, "nestedPrefixSplits",
+                  spec.nestedPrefixSplits, error) ||
+        !readFlag(design, "modelBranches", model_branches, error) ||
+        !readFlag(design, "dualIssue", dual_issue, error)) {
+        return Result<DesignSpec>::error(error);
+    }
+    spec.lineWords = static_cast<unsigned>(line_words);
+    spec.enumThreads = static_cast<unsigned>(enum_threads);
     if (design.has("modelBranches"))
-        spec.modelBranches = design.get("modelBranches").asBool() ? 1 : 0;
+        spec.modelBranches = model_branches ? 1 : 0;
     if (design.has("dualIssue"))
-        spec.dualIssue = design.get("dualIssue").asBool() ? 1 : 0;
-    spec.maxStates = static_cast<uint64_t>(design.get("maxStates")
-                                               .asInt(static_cast<int64_t>(
-                                                   spec.maxStates)));
-    spec.enumThreads = static_cast<unsigned>(
-        design.get("enumThreads").asInt(spec.enumThreads));
-    spec.maxInstructionsPerTrace = static_cast<uint64_t>(
-        design.get("maxInstructionsPerTrace").asInt(0));
-    spec.nestedPrefixSplits =
-        design.get("nestedPrefixSplits").asBool(false);
-    spec.vectorSeed = static_cast<uint64_t>(
-        design.get("vectorSeed").asInt(1));
+        spec.dualIssue = dual_issue ? 1 : 0;
     return spec;
 }
 
@@ -74,10 +142,25 @@ Session::Session(const DesignSpec &spec)
 {
 }
 
+void
+Session::persist()
+{
+    if (store_)
+        store_->save(*this);
+}
+
 std::string
 Session::ensure(Stage stage, const std::atomic<bool> *cancel)
 {
     std::lock_guard<std::mutex> lock(buildMutex_);
+    // First use of a persisted session: try the disk restore before
+    // building anything. Every failure mode inside loadLocked()
+    // (missing file, CRC damage, stale version, foreign fingerprint)
+    // leaves the session cold and falls through to the normal build.
+    if (store_ && !restoreTried_) {
+        restoreTried_ = true;
+        store_->loadLocked(*this);
+    }
     try {
         if (!graph_) {
             if (!model_)
@@ -125,8 +208,10 @@ Session::ensure(Stage stage, const std::atomic<bool> *cancel)
     }
 }
 
-SessionCache::SessionCache(size_t max_sessions)
-    : maxSessions_(std::max<size_t>(1, max_sessions))
+SessionCache::SessionCache(size_t max_sessions,
+                           const std::string &session_dir)
+    : store_(std::make_unique<SessionStore>(session_dir)),
+      maxSessions_(std::max<size_t>(1, max_sessions))
 {
 }
 
@@ -148,6 +233,8 @@ SessionCache::acquire(const DesignSpec &spec)
     // Construction validates the spec (throws FatalError on an
     // unknown preset) before anything is inserted.
     auto session = std::make_shared<Session>(spec);
+    if (store_->enabled())
+        session->setStore(store_.get());
     if (slots_.size() >= maxSessions_) {
         size_t victim = 0;
         for (size_t i = 1; i < slots_.size(); ++i) {
@@ -164,12 +251,19 @@ SessionCache::acquire(const DesignSpec &spec)
 SessionCache::Stats
 SessionCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     Stats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    s.evictions = evictions_;
-    s.sessions = slots_.size();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.hits = hits_;
+        s.misses = misses_;
+        s.evictions = evictions_;
+        s.sessions = slots_.size();
+    }
+    const SessionStore::Stats store = store_->stats();
+    s.restoreHits = store.restoreHits;
+    s.restoreMisses = store.restoreMisses;
+    s.restoreFailures = store.restoreFailures;
+    s.saves = store.saves;
     return s;
 }
 

@@ -44,7 +44,9 @@
 #include "harness/replay_engine.hh"
 #include "murphi/enumerator.hh"
 #include "rtl/pp_fsm_model.hh"
+#include "service/session_store.hh"
 #include "support/json.hh"
+#include "support/status.hh"
 #include "vecgen/vector_gen.hh"
 
 namespace archval::service
@@ -87,9 +89,14 @@ struct DesignSpec
      *  unknown preset — a client error, never a process exit. */
     rtl::PpConfig toConfig() const;
 
-    /** Parse the `design` object of a request (absent fields keep
-     *  their defaults; wrong types fall back to defaults too). */
-    static DesignSpec fromJson(const json::Value &design);
+    /**
+     * Parse the `design` object of a request. Absent fields keep
+     * their defaults; a present field of the wrong type is an error
+     * (answered as a `bad request` frame), never a silent default —
+     * a client sending `"maxStates": 500000.0` must not land on a
+     * different fingerprint than the 500000 it meant.
+     */
+    static Result<DesignSpec> fromJson(const json::Value &design);
 };
 
 /**
@@ -141,13 +148,28 @@ class Session
     const DesignSpec &spec() const { return spec_; }
     const std::string &fingerprint() const { return fingerprint_; }
 
+    /** Attach the persistent store (done once by SessionCache right
+     *  after construction, before the session is shared). The first
+     *  ensure() then attempts a restore before building anything. */
+    void setStore(SessionStore *store) { store_ = store; }
+
+    /** Persist built products through the attached store (no-op
+     *  without one, or when nothing changed since the last save).
+     *  Called by the JobManager after each completed job. */
+    void persist();
+
   private:
+    friend class SessionStore; ///< serializes the guarded products
+
     DesignSpec spec_;
     std::string fingerprint_;
     rtl::PpConfig config_;
     std::shared_ptr<harness::ReplayWarmCache> warm_;
+    SessionStore *store_ = nullptr; ///< null = memory-only session
 
     std::mutex buildMutex_; ///< serializes stage building
+    bool restoreTried_ = false; ///< disk restore attempted (once)
+    uint64_t savedStamp_ = 0;   ///< stampLocked() at the last save
     std::unique_ptr<rtl::PpFsmModel> model_;
     std::optional<graph::StateGraph> graph_;
     std::optional<std::vector<graph::Trace>> tours_;
@@ -165,11 +187,19 @@ class Session
 class SessionCache
 {
   public:
-    explicit SessionCache(size_t max_sessions = 4);
+    /** @param max_sessions LRU capacity.
+     *  @param session_dir Persistence directory (see SessionStore);
+     *  empty keeps sessions memory-only. */
+    explicit SessionCache(size_t max_sessions = 4,
+                          const std::string &session_dir = {});
 
     /** Find-or-create the session for @p spec. @throws FatalError
      *  for an invalid spec (unknown preset). */
     std::shared_ptr<Session> acquire(const DesignSpec &spec);
+
+    /** The persistence layer (always present; disabled when no
+     *  session_dir was given). */
+    SessionStore &store() { return *store_; }
 
     struct Stats
     {
@@ -177,6 +207,11 @@ class SessionCache
         uint64_t misses = 0;
         uint64_t evictions = 0;
         size_t sessions = 0;
+        /** Disk-restore outcomes (SessionStore::Stats mirror). */
+        uint64_t restoreHits = 0;
+        uint64_t restoreMisses = 0;
+        uint64_t restoreFailures = 0;
+        uint64_t saves = 0;
     };
     Stats stats() const;
 
@@ -188,6 +223,7 @@ class SessionCache
     };
 
     mutable std::mutex mutex_;
+    std::unique_ptr<SessionStore> store_;
     size_t maxSessions_;
     uint64_t clock_ = 0;
     uint64_t hits_ = 0;

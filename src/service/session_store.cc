@@ -1,0 +1,514 @@
+#include "session_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include <sys/stat.h>
+
+#include "service/session_cache.hh"
+#include "support/spill_store.hh"
+#include "support/strings.hh"
+#include "support/telemetry.hh"
+
+namespace archval::service
+{
+
+namespace
+{
+
+/** Record-file identity: "AVS1" + format version. Bump the version
+ *  whenever any record layout below changes — stale stores then
+ *  read as "no usable store" and rebuild cold. */
+constexpr uint32_t kStoreMagic = 0x31535641;
+constexpr uint32_t kStoreVersion = 1;
+
+/** Structural sanity caps: a record that passed its CRC but claims
+ *  sizes beyond these is from a different layout, not this one. */
+constexpr uint64_t kMaxStateBits = 1u << 20;
+constexpr uint64_t kMaxCount = 1ull << 32;
+
+void
+packU8(std::vector<uint8_t> &out, uint8_t value)
+{
+    out.push_back(value);
+}
+
+void
+packU32(std::vector<uint8_t> &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+packU64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+packF64(std::vector<uint8_t> &out, double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    packU64(out, bits);
+}
+
+/** Bounds-checked little-endian reader over one record; any overrun
+ *  flips ok, so callers validate once per record. */
+struct Reader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    size_t remaining() const { return size - pos; }
+
+    uint8_t
+    u8()
+    {
+        if (!ok || remaining() < 1) {
+            ok = false;
+            return 0;
+        }
+        return data[pos++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!ok || remaining() < 4) {
+            ok = false;
+            return 0;
+        }
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i)
+            value |= uint32_t(data[pos + i]) << (8 * i);
+        pos += 4;
+        return value;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!ok || remaining() < 8) {
+            ok = false;
+            return 0;
+        }
+        uint64_t value = 0;
+        for (int i = 0; i < 8; ++i)
+            value |= uint64_t(data[pos + i]) << (8 * i);
+        pos += 8;
+        return value;
+    }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double value = 0.0;
+        std::memcpy(&value, &bits, sizeof(value));
+        return value;
+    }
+};
+
+/** FNV-1a of the fingerprint — only a filename; the full string
+ *  inside the file is what is actually trusted. */
+uint64_t
+fingerprintHash(const std::string &fingerprint)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (char c : fingerprint) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::vector<uint8_t>
+serializeMeta(bool has_tours, const murphi::EnumStats &enum_stats,
+              const graph::TourStats &tour_stats)
+{
+    std::vector<uint8_t> out;
+    packU8(out, has_tours ? 1 : 0);
+    packU64(out, enum_stats.numStates);
+    packU64(out, enum_stats.numEdges);
+    packU64(out, enum_stats.bitsPerState);
+    packF64(out, enum_stats.cpuSeconds);
+    packU64(out, enum_stats.memoryBytes);
+    packU64(out, enum_stats.transitionsTried);
+    packU64(out, enum_stats.transitionsValid);
+    packU32(out, enum_stats.numThreads);
+    packU64(out, enum_stats.numShards);
+    packU64(out, enum_stats.minShardStates);
+    packU64(out, enum_stats.maxShardStates);
+    packU64(out, enum_stats.levels.size());
+    for (const murphi::LevelStats &level : enum_stats.levels) {
+        packU64(out, level.frontierWidth);
+        packU64(out, level.newStates);
+        packU64(out, level.newEdges);
+        packF64(out, level.seconds);
+    }
+    packU64(out, tour_stats.numTraces);
+    packU64(out, tour_stats.totalEdgeTraversals);
+    packU64(out, tour_stats.totalInstructions);
+    packU64(out, tour_stats.longestTraceEdges);
+    packU64(out, tour_stats.longestTraceInstructions);
+    packU64(out, tour_stats.tracesTerminatedByLimit);
+    packF64(out, tour_stats.generationSeconds);
+    return out;
+}
+
+bool
+deserializeMeta(const std::vector<uint8_t> &rec, bool &has_tours,
+                murphi::EnumStats &enum_stats,
+                graph::TourStats &tour_stats)
+{
+    Reader in{rec.data(), rec.size()};
+    has_tours = in.u8() != 0;
+    enum_stats.numStates = in.u64();
+    enum_stats.numEdges = in.u64();
+    enum_stats.bitsPerState = in.u64();
+    enum_stats.cpuSeconds = in.f64();
+    enum_stats.memoryBytes = in.u64();
+    enum_stats.transitionsTried = in.u64();
+    enum_stats.transitionsValid = in.u64();
+    enum_stats.numThreads = in.u32();
+    enum_stats.numShards = in.u64();
+    enum_stats.minShardStates = in.u64();
+    enum_stats.maxShardStates = in.u64();
+    const uint64_t levels = in.u64();
+    if (!in.ok || levels > kMaxCount ||
+        levels * 32 > in.remaining())
+        return false;
+    enum_stats.levels.resize(levels);
+    for (murphi::LevelStats &level : enum_stats.levels) {
+        level.frontierWidth = in.u64();
+        level.newStates = in.u64();
+        level.newEdges = in.u64();
+        level.seconds = in.f64();
+    }
+    tour_stats.numTraces = in.u64();
+    tour_stats.totalEdgeTraversals = in.u64();
+    tour_stats.totalInstructions = in.u64();
+    tour_stats.longestTraceEdges = in.u64();
+    tour_stats.longestTraceInstructions = in.u64();
+    tour_stats.tracesTerminatedByLimit = in.u64();
+    tour_stats.generationSeconds = in.f64();
+    return in.ok && in.pos == in.size;
+}
+
+std::vector<uint8_t>
+serializeGraph(const graph::StateGraph &g)
+{
+    std::vector<uint8_t> out;
+    const bool retained = g.statesRetained();
+    const uint64_t num_states = g.numStates();
+    const uint64_t bits = retained && num_states > 0
+                              ? g.packedState(0).numBits()
+                              : 0;
+    packU8(out, retained ? 1 : 0);
+    packU64(out, bits);
+    packU64(out, num_states);
+    if (retained) {
+        const size_t words = (bits + 63) / 64;
+        for (uint64_t s = 0; s < num_states; ++s) {
+            const BitVec &state =
+                g.packedState(static_cast<graph::StateId>(s));
+            for (size_t w = 0; w < words; ++w) {
+                const size_t lsb = w * 64;
+                const size_t width =
+                    std::min<size_t>(64, bits - lsb);
+                packU64(out, state.getField(lsb, width));
+            }
+        }
+    }
+    const uint64_t num_edges = g.numEdges();
+    packU64(out, num_edges);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        const graph::Edge &edge =
+            g.edge(static_cast<graph::EdgeId>(i));
+        packU32(out, edge.src);
+        packU32(out, edge.dst);
+        packU64(out, edge.choiceCode);
+        packU32(out, edge.instrCount);
+    }
+    return out;
+}
+
+bool
+deserializeGraph(const std::vector<uint8_t> &rec,
+                 graph::StateGraph &g)
+{
+    Reader in{rec.data(), rec.size()};
+    const bool retained = in.u8() != 0;
+    const uint64_t bits = in.u64();
+    const uint64_t num_states = in.u64();
+    if (!in.ok || bits > kMaxStateBits || num_states > kMaxCount)
+        return false;
+    if (retained) {
+        const size_t words = (bits + 63) / 64;
+        if (num_states * (words * 8) > in.remaining())
+            return false;
+        std::vector<BitVec> packed;
+        packed.reserve(num_states);
+        for (uint64_t s = 0; s < num_states; ++s) {
+            BitVec state(bits);
+            for (size_t w = 0; w < words; ++w) {
+                const size_t lsb = w * 64;
+                const size_t width =
+                    std::min<size_t>(64, bits - lsb);
+                state.setField(lsb, width, in.u64());
+            }
+            packed.push_back(std::move(state));
+        }
+        if (!in.ok)
+            return false;
+        if (num_states > 0)
+            g.addStates(std::move(packed));
+    } else if (num_states > 0) {
+        g.addStatesUnretained(num_states);
+    }
+    const uint64_t num_edges = in.u64();
+    if (!in.ok || num_edges > kMaxCount ||
+        num_edges * 20 > in.remaining())
+        return false;
+    std::vector<graph::Edge> batch;
+    batch.reserve(num_edges);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        graph::Edge edge;
+        edge.src = in.u32();
+        edge.dst = in.u32();
+        edge.choiceCode = in.u64();
+        edge.instrCount = in.u32();
+        // addEdges() treats out-of-range endpoints as an internal
+        // invariant violation; from a disk record they are damage.
+        if (edge.src >= num_states || edge.dst >= num_states)
+            return false;
+        batch.push_back(edge);
+    }
+    if (!in.ok || in.pos != in.size)
+        return false;
+    g.addEdges(batch);
+    return true;
+}
+
+std::vector<uint8_t>
+serializeTours(const std::vector<graph::Trace> &tours)
+{
+    std::vector<uint8_t> out;
+    packU64(out, tours.size());
+    for (const graph::Trace &trace : tours) {
+        packU64(out, trace.edges.size());
+        for (graph::EdgeId edge : trace.edges)
+            packU32(out, edge);
+        packU64(out, trace.instructions);
+        packU8(out, trace.limitTerminated ? 1 : 0);
+    }
+    return out;
+}
+
+bool
+deserializeTours(const std::vector<uint8_t> &rec, uint64_t num_edges,
+                 std::vector<graph::Trace> &tours)
+{
+    Reader in{rec.data(), rec.size()};
+    const uint64_t count = in.u64();
+    if (!in.ok || count > kMaxCount || count * 17 > in.remaining())
+        return false;
+    tours.reserve(count);
+    for (uint64_t t = 0; t < count; ++t) {
+        graph::Trace trace;
+        const uint64_t edges = in.u64();
+        if (!in.ok || edges * 4 > in.remaining())
+            return false;
+        trace.edges.reserve(edges);
+        for (uint64_t e = 0; e < edges; ++e) {
+            const graph::EdgeId id = in.u32();
+            if (id >= num_edges)
+                return false; // dangling edge reference: damage
+            trace.edges.push_back(id);
+        }
+        trace.instructions = in.u64();
+        trace.limitTerminated = in.u8() != 0;
+        tours.push_back(std::move(trace));
+    }
+    return in.ok && in.pos == in.size;
+}
+
+} // namespace
+
+SessionStore::SessionStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    ::mkdir(dir_.c_str(), 0777); // EEXIST is fine
+    struct stat st;
+    if (::stat(dir_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        dir_.clear(); // unusable directory: persistence off
+}
+
+std::string
+SessionStore::pathFor(const std::string &fingerprint) const
+{
+    return formatString("%s/session-%016llx.avs", dir_.c_str(),
+                        static_cast<unsigned long long>(
+                            fingerprintHash(fingerprint)));
+}
+
+uint64_t
+SessionStore::stampLocked(const Session &session)
+{
+    uint64_t stamp = 0;
+    if (session.graph_)
+        stamp |= 1;
+    if (session.tours_)
+        stamp |= 2;
+    stamp |= session.warm_->stats().inserts << 2;
+    return stamp;
+}
+
+bool
+SessionStore::save(Session &session)
+{
+    if (!enabled())
+        return true;
+    std::lock_guard<std::mutex> lock(session.buildMutex_);
+    if (!session.graph_)
+        return true; // nothing worth a file yet
+    const uint64_t stamp = stampLocked(session);
+    if (stamp == session.savedStamp_)
+        return true; // on-disk state is current
+    RecordFileWriter writer(pathFor(session.fingerprint_),
+                            kStoreMagic, kStoreVersion);
+    bool ok = writer.ok();
+    ok = ok && writer.append(reinterpret_cast<const uint8_t *>(
+                                 session.fingerprint_.data()),
+                             session.fingerprint_.size());
+    ok = ok && writer.append(serializeMeta(session.tours_.has_value(),
+                                           session.enumStats_,
+                                           session.tourStats_));
+    ok = ok && writer.append(serializeGraph(*session.graph_));
+    if (session.tours_)
+        ok = ok && writer.append(serializeTours(*session.tours_));
+    if (ok) {
+        for (const auto &entry : session.warm_->entries())
+            ok = ok &&
+                 writer.append(
+                     harness::ReplayWarmCache::serializeEntry(*entry));
+    }
+    ok = ok && writer.commit();
+    if (!ok) {
+        saveFailures_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::counter("service.session_save_failures").add(1);
+        return false;
+    }
+    session.savedStamp_ = stamp;
+    saves_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("service.session_saves").add(1);
+    return true;
+}
+
+bool
+SessionStore::loadLocked(Session &session)
+{
+    if (!enabled())
+        return false;
+    auto miss = [&] {
+        restoreMisses_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::counter("service.session_restore_misses").add(1);
+        return false;
+    };
+    auto failure = [&] {
+        restoreFailures_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::counter("service.session_restore_failures").add(1);
+        return false;
+    };
+    const std::string path = pathFor(session.fingerprint_);
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return miss(); // never saved: the expected cold-start case
+    RecordFileReader reader(path, kStoreMagic, kStoreVersion);
+    if (!reader.ok())
+        return failure(); // foreign magic / stale version / damage
+
+    using RS = RecordFileReader::Status;
+    std::vector<uint8_t> rec;
+
+    if (reader.next(rec) != RS::Record)
+        return failure();
+    if (std::string(rec.begin(), rec.end()) != session.fingerprint_)
+        return miss(); // filename-hash collision: not our store
+
+    bool has_tours = false;
+    murphi::EnumStats enum_stats;
+    graph::TourStats tour_stats;
+    if (reader.next(rec) != RS::Record ||
+        !deserializeMeta(rec, has_tours, enum_stats, tour_stats))
+        return failure();
+
+    graph::StateGraph restored_graph;
+    if (reader.next(rec) != RS::Record ||
+        !deserializeGraph(rec, restored_graph))
+        return failure();
+
+    std::vector<graph::Trace> restored_tours;
+    if (has_tours) {
+        if (reader.next(rec) != RS::Record ||
+            !deserializeTours(rec, restored_graph.numEdges(),
+                              restored_tours))
+            return failure();
+    }
+
+    // Warm entries trail until clean end of file. Decode them all
+    // before committing anything, so a damaged tail cannot leave a
+    // half-restored session.
+    std::vector<std::shared_ptr<harness::ReplayWarmCache::Entry>>
+        warm_entries;
+    RS status;
+    while ((status = reader.next(rec)) == RS::Record) {
+        auto entry = harness::ReplayWarmCache::deserializeEntry(
+            rec.data(), rec.size());
+        if (!entry)
+            return failure();
+        warm_entries.push_back(std::move(entry));
+    }
+    if (status != RS::End)
+        return failure();
+
+    // Commit. The model is rebuilt from the config (it is itself a
+    // pure function of the fingerprint); vectors regenerate on
+    // demand in the usual Vectors stage.
+    session.model_ =
+        std::make_unique<rtl::PpFsmModel>(session.config_);
+    session.graph_ = std::move(restored_graph);
+    session.enumStats_ = enum_stats;
+    if (has_tours) {
+        session.tours_ = std::move(restored_tours);
+        session.tourStats_ = tour_stats;
+    }
+    for (auto &entry : warm_entries)
+        session.warm_->insert(std::move(entry));
+    session.savedStamp_ = stampLocked(session);
+    restoreHits_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::counter("service.session_restore_hits").add(1);
+    return true;
+}
+
+SessionStore::Stats
+SessionStore::stats() const
+{
+    Stats s;
+    s.saves = saves_.load(std::memory_order_relaxed);
+    s.saveFailures = saveFailures_.load(std::memory_order_relaxed);
+    s.restoreHits = restoreHits_.load(std::memory_order_relaxed);
+    s.restoreMisses =
+        restoreMisses_.load(std::memory_order_relaxed);
+    s.restoreFailures =
+        restoreFailures_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace archval::service

@@ -1,6 +1,7 @@
 #include "spill_store.hh"
 
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -206,6 +207,186 @@ SpillStore::truncateAtRecordForTesting(int64_t id)
     if (fd_ < 0 || id < 0 || (size_t)id >= records_.size())
         return false;
     return ::ftruncate(fd_, (off_t)records_[(size_t)id].offset) == 0;
+}
+
+namespace
+{
+
+/** Record-file header: [magic u32][version u32], little-endian. */
+constexpr size_t kRecordHeaderBytes = 8;
+
+void
+putU32(uint8_t *out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+void
+putU64(uint8_t *out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+uint32_t
+getU32(const uint8_t *in)
+{
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= uint32_t(in[i]) << (8 * i);
+    return value;
+}
+
+uint64_t
+getU64(const uint8_t *in)
+{
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= uint64_t(in[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+RecordFileWriter::RecordFileWriter(const std::string &path,
+                                   uint32_t magic, uint32_t version)
+    : path_(path)
+{
+    std::string tmpl = path + ".tmpXXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    int fd = ::mkstemp(buf.data());
+    if (fd < 0)
+        return; // unusable directory: writer stays disabled
+    fd_ = fd;
+    tempPath_.assign(buf.data());
+    uint8_t header[kRecordHeaderBytes];
+    putU32(header, magic);
+    putU32(header + 4, version);
+    if (!pwriteAll(fd_, header, sizeof(header), 0)) {
+        discard();
+        return;
+    }
+    offset_ = sizeof(header);
+}
+
+RecordFileWriter::~RecordFileWriter()
+{
+    if (!committed_)
+        discard();
+}
+
+void
+RecordFileWriter::discard()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        ::unlink(tempPath_.c_str());
+        fd_ = -1;
+    }
+}
+
+bool
+RecordFileWriter::append(const uint8_t *data, size_t size)
+{
+    if (fd_ < 0)
+        return false;
+    uint8_t prefix[12];
+    putU64(prefix, size);
+    putU32(prefix + 8, crc32(data, size));
+    if (!pwriteAll(fd_, prefix, sizeof(prefix), offset_) ||
+        !pwriteAll(fd_, data, size, offset_ + sizeof(prefix))) {
+        discard(); // a failing disk will not improve mid-save
+        return false;
+    }
+    offset_ += sizeof(prefix) + size;
+    return true;
+}
+
+bool
+RecordFileWriter::append(const std::vector<uint8_t> &record)
+{
+    return append(record.data(), record.size());
+}
+
+bool
+RecordFileWriter::commit()
+{
+    if (fd_ < 0)
+        return false;
+    if (::fsync(fd_) != 0 ||
+        ::rename(tempPath_.c_str(), path_.c_str()) != 0) {
+        discard();
+        return false;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    committed_ = true;
+    return true;
+}
+
+RecordFileReader::RecordFileReader(const std::string &path,
+                                   uint32_t magic, uint32_t version)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    uint8_t header[kRecordHeaderBytes];
+    if (size < (off_t)sizeof(header) ||
+        !preadAll(fd, header, sizeof(header), 0) ||
+        getU32(header) != magic || getU32(header + 4) != version) {
+        ::close(fd);
+        return; // missing/foreign/stale: "no usable store"
+    }
+    fd_ = fd;
+    fileSize_ = (uint64_t)size;
+    offset_ = sizeof(header);
+}
+
+RecordFileReader::~RecordFileReader()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+RecordFileReader::Status
+RecordFileReader::next(std::vector<uint8_t> &out)
+{
+    out.clear();
+    if (fd_ < 0 || damaged_)
+        return Status::Damaged;
+    if (offset_ == fileSize_)
+        return Status::End;
+    uint8_t prefix[12];
+    // Check the claimed length against what the file can actually
+    // hold before allocating: a flipped bit in the size field must
+    // read as damage, not as a gigabyte resize.
+    if (fileSize_ - offset_ < sizeof(prefix)) {
+        damaged_ = true;
+        return Status::Damaged;
+    }
+    if (!preadAll(fd_, prefix, sizeof(prefix), offset_)) {
+        damaged_ = true;
+        return Status::Damaged;
+    }
+    const uint64_t size = getU64(prefix);
+    const uint32_t crc = getU32(prefix + 8);
+    if (size > kMaxRecordBytes ||
+        size > fileSize_ - offset_ - sizeof(prefix)) {
+        damaged_ = true;
+        return Status::Damaged;
+    }
+    out.resize(size);
+    if (!preadAll(fd_, out.data(), size, offset_ + sizeof(prefix)) ||
+        crc32(out.data(), out.size()) != crc) {
+        out.clear();
+        damaged_ = true;
+        return Status::Damaged;
+    }
+    offset_ += sizeof(prefix) + size;
+    return Status::Record;
 }
 
 } // namespace archval

@@ -122,6 +122,107 @@ class SpillStore
     std::vector<Record> records_;
 };
 
+/**
+ * @name Persistent CRC-guarded record files
+ *
+ * The durable sibling of SpillStore's in-file format, for stores
+ * that must outlive the process (the service's session store). A
+ * record file is a fixed header — magic and format version, so a
+ * foreign or stale file is rejected before any payload is trusted —
+ * followed by a sequence of records, each `[size u64][crc u32]
+ * [payload]`. The CRC is the same reflected CRC-32 the spill tier
+ * uses, and the correctness posture is the same: a reader reports
+ * *any* damage (short file, bad magic, wrong version, lying length,
+ * CRC mismatch) instead of returning bytes it cannot vouch for.
+ *
+ * Writers never touch the target path until commit(): records are
+ * appended to a temp file in the same directory, then fsync'd and
+ * atomically renamed over the target, so a crash mid-save leaves
+ * the previous file intact and a concurrent reader never observes a
+ * half-written store.
+ * @{
+ */
+
+class RecordFileWriter
+{
+  public:
+    /** Open a temp file next to @p path and write the header. A
+     *  failure leaves the writer disabled (ok() false); every later
+     *  call is then a harmless no-op returning false. */
+    RecordFileWriter(const std::string &path, uint32_t magic,
+                     uint32_t version);
+
+    /** Discards the temp file unless commit() succeeded. */
+    ~RecordFileWriter();
+
+    RecordFileWriter(const RecordFileWriter &) = delete;
+    RecordFileWriter &operator=(const RecordFileWriter &) = delete;
+
+    /** @return true while the file is open and every write so far
+     *  succeeded. */
+    bool ok() const { return fd_ >= 0; }
+
+    /** Append @p size bytes at @p data as one record (size 0 is a
+     *  legal, empty record). @return false on any write failure,
+     *  which also disables the writer. */
+    bool append(const uint8_t *data, size_t size);
+    bool append(const std::vector<uint8_t> &record);
+
+    /** fsync and atomically rename the temp file over the target.
+     *  @return false (target untouched) on any failure. */
+    bool commit();
+
+  private:
+    void discard();
+
+    int fd_ = -1;
+    std::string path_;     ///< final target
+    std::string tempPath_; ///< staging file (same directory)
+    uint64_t offset_ = 0;
+    bool committed_ = false;
+};
+
+class RecordFileReader
+{
+  public:
+    /** Largest record a reader will believe; a corrupt length field
+     *  must not translate into an absurd allocation. */
+    static constexpr uint64_t kMaxRecordBytes = 1ull << 30;
+
+    /** Open @p path and validate the header. ok() is false when the
+     *  file is missing, unreadable, or carries a foreign magic or
+     *  version — the caller treats all of those as "no usable
+     *  store". */
+    RecordFileReader(const std::string &path, uint32_t magic,
+                     uint32_t version);
+    ~RecordFileReader();
+
+    RecordFileReader(const RecordFileReader &) = delete;
+    RecordFileReader &operator=(const RecordFileReader &) = delete;
+
+    bool ok() const { return fd_ >= 0; }
+
+    enum class Status
+    {
+        Record,  ///< one record extracted into the out-param
+        End,     ///< clean end of file, no record
+        Damaged, ///< truncation, lying length, or CRC mismatch
+    };
+
+    /** Extract the next record's payload into @p out (cleared on
+     *  End/Damaged). Damage is sticky: once seen, every later call
+     *  reports Damaged too. */
+    Status next(std::vector<uint8_t> &out);
+
+  private:
+    int fd_ = -1;
+    uint64_t offset_ = 0;
+    uint64_t fileSize_ = 0;
+    bool damaged_ = false;
+};
+
+/** @} */
+
 } // namespace archval
 
 #endif // ARCHVAL_SUPPORT_SPILL_STORE_HH

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstring>
 #include <future>
 #include <mutex>
@@ -18,7 +20,11 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <pthread.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -123,6 +129,187 @@ TEST(Framing, EncodeRejectsUnsendablePayloads)
 }
 
 // ---------------------------------------------------------------
+// EINTR safety of the shared socket helpers
+// ---------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<int> g_signal_count{0};
+
+void
+countSignal(int)
+{
+    g_signal_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Install a SIGUSR1 handler *without* SA_RESTART for the test's
+ *  scope, so blocking send()/recv() calls genuinely return EINTR
+ *  instead of the kernel restarting them — the exact environment
+ *  that used to drop event frames mid-transfer. */
+struct SignalGuard
+{
+    struct sigaction old {};
+
+    SignalGuard()
+    {
+        struct sigaction sa {};
+        sa.sa_handler = countSignal;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // deliberately no SA_RESTART
+        EXPECT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+        g_signal_count.store(0, std::memory_order_relaxed);
+    }
+
+    ~SignalGuard() { ::sigaction(SIGUSR1, &old, nullptr); }
+};
+
+} // namespace
+
+TEST(EintrSafety, SendAllDeliversEveryFrameUnderSignalFire)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // Shrink the send buffer so the sender spends most of its time
+    // blocked inside send(), where the signals land.
+    int sndbuf = 4096;
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                 sizeof(sndbuf));
+    SignalGuard guard;
+
+    json::Value msg = json::Value::object();
+    msg.set("type", "progress");
+    msg.set("pad", std::string(16 * 1024, 'x'));
+    const std::string wire = encodeFrame(msg);
+    constexpr int kFrames = 48;
+
+    std::atomic<bool> send_ok{true};
+    std::atomic<bool> sending{true};
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::thread sender([&] {
+        for (int i = 0; i < kFrames && send_ok.load(); ++i) {
+            if (!sendAll(fds[0], wire.data(), wire.size()))
+                send_ok.store(false);
+        }
+        ::shutdown(fds[0], SHUT_WR);
+        sending.store(false);
+        released.wait(); // stay alive while the signaler may fire
+    });
+    pthread_t target = sender.native_handle();
+    std::thread signaler([&] {
+        while (sending.load()) {
+            ::pthread_kill(target, SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+        }
+    });
+
+    // Drain in small chunks; every byte of every frame must arrive
+    // in order, however many signals interrupted the transfer.
+    FrameReader reader;
+    std::string payload;
+    size_t frames = 0;
+    char buf[2048];
+    while (true) {
+        ssize_t n = recvRetry(fds[1], buf, sizeof(buf));
+        ASSERT_GE(n, 0);
+        if (n == 0)
+            break;
+        reader.feed(buf, static_cast<size_t>(n));
+        while (reader.next(payload) == FrameReader::Status::Ready)
+            ++frames;
+        ASSERT_FALSE(reader.failed()) << reader.error();
+    }
+    signaler.join();
+    release.set_value();
+    sender.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+
+    EXPECT_TRUE(send_ok.load());
+    EXPECT_EQ(frames, static_cast<size_t>(kFrames));
+    EXPECT_GT(g_signal_count.load(), 0);
+}
+
+TEST(EintrSafety, RecvRetryDeliversEveryFrameUnderSignalFire)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    SignalGuard guard;
+
+    json::Value msg = json::Value::object();
+    msg.set("type", "metrics");
+    msg.set("pad", std::string(4 * 1024, 'y'));
+    const std::string wire = encodeFrame(msg);
+    constexpr int kFrames = 16;
+
+    std::atomic<bool> recv_ok{true};
+    std::atomic<bool> receiving{true};
+    std::atomic<size_t> frames{0};
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::thread receiver([&] {
+        FrameReader reader;
+        std::string payload;
+        char buf[1024];
+        while (true) {
+            ssize_t n = recvRetry(fds[1], buf, sizeof(buf));
+            if (n < 0) {
+                recv_ok.store(false);
+                break;
+            }
+            if (n == 0)
+                break;
+            reader.feed(buf, static_cast<size_t>(n));
+            while (reader.next(payload) ==
+                   FrameReader::Status::Ready)
+                frames.fetch_add(1);
+            if (reader.failed()) {
+                recv_ok.store(false);
+                break;
+            }
+        }
+        receiving.store(false);
+        released.wait();
+    });
+    pthread_t target = receiver.native_handle();
+    std::thread signaler([&] {
+        while (receiving.load()) {
+            ::pthread_kill(target, SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+        }
+    });
+
+    // Trickle the bytes so the receiver keeps re-entering a blocking
+    // recv() between chunks.
+    for (int i = 0; i < kFrames; ++i) {
+        size_t off = 0;
+        while (off < wire.size()) {
+            const size_t chunk = std::min<size_t>(512,
+                                                  wire.size() - off);
+            ASSERT_EQ(::send(fds[0], wire.data() + off, chunk,
+                             MSG_NOSIGNAL),
+                      static_cast<ssize_t>(chunk));
+            off += chunk;
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+    }
+    ::shutdown(fds[0], SHUT_WR);
+    signaler.join();
+    release.set_value();
+    receiver.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+
+    EXPECT_TRUE(recv_ok.load());
+    EXPECT_EQ(frames.load(), static_cast<size_t>(kFrames));
+    EXPECT_GT(g_signal_count.load(), 0);
+}
+
+// ---------------------------------------------------------------
 // Request parsing
 // ---------------------------------------------------------------
 
@@ -163,6 +350,69 @@ TEST(DesignSpecParse, FingerprintSeparatesGenerationKnobs)
     DesignSpec bogus;
     bogus.preset = "gigantic";
     EXPECT_THROW(bogus.toConfig(), FatalError);
+}
+
+TEST(DesignSpecParse, WrongTypedFieldsAreBadRequests)
+{
+    auto parse = [](const char *text) {
+        Result<json::Value> value = json::parse(text);
+        EXPECT_TRUE(value.ok()) << text;
+        return DesignSpec::fromJson(value.value());
+    };
+
+    // The historical bug: `500000.0` is a JSON double, so the old
+    // asInt()-with-fallback parse silently ran with the *default*
+    // maxStates — a different fingerprint, different results, and no
+    // indication to the client. It must be a bad request instead.
+    Result<DesignSpec> dbl = parse("{\"maxStates\": 500000.0}");
+    ASSERT_FALSE(dbl.ok());
+    EXPECT_NE(dbl.errorMessage().find("bad request"),
+              std::string::npos);
+    EXPECT_NE(dbl.errorMessage().find("maxStates"),
+              std::string::npos);
+
+    EXPECT_FALSE(parse("{\"maxStates\": \"lots\"}").ok());
+    EXPECT_FALSE(parse("{\"lineWords\": -2}").ok());
+    EXPECT_FALSE(parse("{\"modelBranches\": 1}").ok()); // bool field
+    EXPECT_FALSE(parse("{\"nestedPrefixSplits\": \"yes\"}").ok());
+    EXPECT_FALSE(parse("{\"preset\": 3}").ok());
+    EXPECT_FALSE(parse("[1, 2]").ok()); // design must be an object
+
+    // Correctly typed fields still parse, absent ones keep defaults.
+    Result<DesignSpec> good =
+        parse("{\"maxStates\": 250000, \"dualIssue\": true}");
+    ASSERT_TRUE(good.ok()) << good.errorMessage();
+    EXPECT_EQ(good.value().maxStates, 250'000u);
+    EXPECT_EQ(good.value().dualIssue, 1);
+    EXPECT_EQ(good.value().preset, "small");
+}
+
+TEST(JobRequestParse, WrongTypedJobFieldsAreBadRequests)
+{
+    auto parse = [](const char *text) {
+        Result<json::Value> value = json::parse(text);
+        EXPECT_TRUE(value.ok()) << text;
+        return JobRequest::fromJson(value.value());
+    };
+
+    EXPECT_FALSE(
+        parse("{\"verb\": \"replay\", \"threads\": 2.5}").ok());
+    EXPECT_FALSE(
+        parse("{\"verb\": \"replay\", \"seed\": \"one\"}").ok());
+    EXPECT_FALSE(
+        parse("{\"verb\": \"fuzz\", \"rounds\": true}").ok());
+
+    // A wrong-typed *design* field surfaces through the same path.
+    Result<JobRequest> nested = parse(
+        "{\"verb\": \"replay\", \"design\": {\"maxStates\": 1.5}}");
+    ASSERT_FALSE(nested.ok());
+    EXPECT_NE(nested.errorMessage().find("maxStates"),
+              std::string::npos);
+
+    Result<JobRequest> good =
+        parse("{\"verb\": \"replay\", \"threads\": 4}");
+    ASSERT_TRUE(good.ok()) << good.errorMessage();
+    EXPECT_EQ(good.value().threads, 4u);
 }
 
 // ---------------------------------------------------------------
@@ -447,6 +697,119 @@ TEST(JobManager, CancelQueuedAndMidJob)
 }
 
 // ---------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------
+
+TEST(JobManager, QueueBoundRejectsWithExplicitBusyFrame)
+{
+    SessionCache sessions;
+    JobManager manager(sessions, 1, /*queue_bound=*/1);
+
+    // Park the single worker inside job A so the queue state below
+    // is deterministic.
+    std::promise<void> a_started;
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    Collector a_events;
+    EventSink a_sink = [inner = a_events.sink(), &a_started,
+                        released](const json::Value &event) {
+        inner(event);
+        if (event.get("type").asString() == "started") {
+            a_started.set_value();
+            released.wait();
+        }
+    };
+    manager.submit(makeRequest("enumerate", 301), a_sink);
+    a_started.get_future().wait(); // A runs; the queue is empty
+
+    Collector b_events;
+    manager.submit(makeRequest("enumerate", 301), b_events.sink());
+
+    // B fills the bound: C must be rejected immediately with an
+    // explicit busy error frame, not silently queued or dropped.
+    Collector c_events;
+    uint64_t c = manager.submit(makeRequest("enumerate", 301),
+                                c_events.sink());
+    json::Value rejected = c_events.waitTerminal();
+    EXPECT_EQ(rejected.get("type").asString(), "error");
+    EXPECT_TRUE(rejected.get("busy").asBool());
+    EXPECT_NE(rejected.get("message").asString().find("busy"),
+              std::string::npos);
+    auto info = manager.status(c);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, "rejected");
+    EXPECT_FALSE(manager.cancel(c)); // already terminal
+
+    release.set_value();
+    EXPECT_EQ(b_events.waitTerminal().get("type").asString(),
+              "result");
+    EXPECT_EQ(a_events.waitTerminal().get("type").asString(),
+              "result");
+
+    // The rejection was not sticky: with the queue drained the next
+    // submit is admitted normally.
+    Collector d_events;
+    manager.submit(makeRequest("enumerate", 301), d_events.sink());
+    EXPECT_EQ(d_events.waitTerminal().get("type").asString(),
+              "result");
+}
+
+TEST(JobManager, DequeueIsRoundRobinAcrossClients)
+{
+    SessionCache sessions;
+    JobManager manager(sessions, 1, 16);
+
+    std::mutex order_mutex;
+    std::vector<int> order;
+    auto tagging = [&](Collector &collector, int tag) {
+        return EventSink([inner = collector.sink(), &order_mutex,
+                          &order, tag](const json::Value &event) {
+            if (event.get("type").asString() == "started") {
+                std::lock_guard<std::mutex> lock(order_mutex);
+                order.push_back(tag);
+            }
+            inner(event);
+        });
+    };
+
+    // Park the worker inside A (client 1) while the backlog forms.
+    std::promise<void> a_started;
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    Collector a_events;
+    EventSink a_sink = [inner = a_events.sink(), &a_started,
+                        released](const json::Value &event) {
+        inner(event);
+        if (event.get("type").asString() == "started") {
+            a_started.set_value();
+            released.wait();
+        }
+    };
+    manager.submit(makeRequest("enumerate", 311), a_sink,
+                   /*client=*/1);
+    a_started.get_future().wait();
+
+    Collector b_events;
+    Collector e_events;
+    Collector c_events;
+    manager.submit(makeRequest("enumerate", 311),
+                   tagging(b_events, 1), /*client=*/1);
+    manager.submit(makeRequest("enumerate", 311),
+                   tagging(e_events, 2), /*client=*/1);
+    manager.submit(makeRequest("enumerate", 311),
+                   tagging(c_events, 3), /*client=*/2);
+    release.set_value();
+    b_events.waitTerminal();
+    e_events.waitTerminal();
+    c_events.waitTerminal();
+    a_events.waitTerminal();
+
+    // Global FIFO would drain client 1's backlog (B, then E) before
+    // client 2 ever started; round-robin interleaves: B, C, E.
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+// ---------------------------------------------------------------
 // Daemon over a real unix socket
 // ---------------------------------------------------------------
 
@@ -644,4 +1007,222 @@ TEST(Daemon, ControlVerbsAndProtocolDamage)
     EXPECT_EQ(event.get("type").asString(), "shutting_down");
     ::close(again);
     daemon.wait();
+}
+
+TEST(Daemon, WrongTypedDesignFieldIsBadRequestFrame)
+{
+    const std::string path = socketPath() + "3";
+    Daemon::Options options;
+    options.unixPath = path;
+    options.workers = 1;
+    Daemon daemon(options);
+    ASSERT_EQ(daemon.start(), "");
+
+    int fd = connectUnix(path);
+    ASSERT_GE(fd, 0);
+    // Sent as raw text: re-serializing a parsed Value would print
+    // the integral double back as `500000` and lose the very typing
+    // mistake under test.
+    const std::string wire = encodeFrame(std::string(
+        "{\"verb\": \"replay\", \"design\": {\"maxStates\": "
+        "500000.0}}"));
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+
+    // The double-typed field answers with a `bad request` error
+    // frame naming the field — not a silently defaulted job.
+    FrameReader reader;
+    json::Value event;
+    ASSERT_TRUE(readEvent(fd, reader, event));
+    EXPECT_EQ(event.get("type").asString(), "error");
+    EXPECT_NE(event.get("message").asString().find("maxStates"),
+              std::string::npos);
+
+    // The connection and the daemon both survive the bad request.
+    json::Value ping = json::Value::object();
+    ping.set("verb", "ping");
+    ASSERT_TRUE(sendFrame(fd, ping));
+    ASSERT_TRUE(readEvent(fd, reader, event));
+    EXPECT_EQ(event.get("type").asString(), "pong");
+    ::close(fd);
+
+    daemon.stop();
+    daemon.wait();
+}
+
+// ---------------------------------------------------------------
+// Session persistence across daemon restarts
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Remove every file in @p dir, then the directory itself. */
+void
+removeTree(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d) {
+        while (dirent *entry = ::readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name != "." && name != "..")
+                ::unlink((dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+}
+
+std::string
+makeStoreDir(const char *tag)
+{
+    std::string tmpl = ::testing::TempDir() + "/archval-store-" +
+                       tag + "-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    EXPECT_NE(::mkdtemp(buf.data()), nullptr);
+    return std::string(buf.data());
+}
+
+} // namespace
+
+TEST(SessionPersistence, DaemonRestartReplaysWarmByteIdentical)
+{
+    const std::string store = makeStoreDir("restart");
+    const std::string path = socketPath() + "p";
+
+    struct Run
+    {
+        std::string plays;
+        int64_t cycles = 0;
+        int64_t warmHits = 0;
+        int64_t traces = 0;
+    };
+
+    // One full daemon lifetime: serve one replay job over a real
+    // socket, then stop — the moral equivalent of a restart.
+    auto runReplay = [&](bool expect_restore) {
+        Run run;
+        Daemon::Options options;
+        options.unixPath = path;
+        options.workers = 2;
+        options.sessionDir = store;
+        Daemon daemon(options);
+        EXPECT_EQ(daemon.start(), "");
+        int fd = connectUnix(path);
+        EXPECT_GE(fd, 0);
+        json::Value request = json::Value::object();
+        request.set("verb", "replay");
+        request.set("threads", static_cast<int64_t>(2));
+        EXPECT_TRUE(sendFrame(fd, request));
+        FrameReader reader;
+        json::Value event;
+        while (readEvent(fd, reader, event)) {
+            const std::string &type = event.get("type").asString();
+            EXPECT_NE(type, "error")
+                << event.get("message").asString();
+            if (type == "result") {
+                run.plays = event.get("plays").serialize();
+                run.cycles = event.get("simulatedCycles").asInt();
+                run.warmHits = event.get("warm").get("hits").asInt();
+                run.traces = event.get("traces").asInt();
+                break;
+            }
+        }
+        ::close(fd);
+        daemon.stop();
+        daemon.wait(); // workers joined: the post-job save is done
+        const SessionCache::Stats stats = daemon.sessions().stats();
+        if (expect_restore)
+            EXPECT_GE(stats.restoreHits, 1u);
+        else
+            EXPECT_GE(stats.saves, 1u);
+        return run;
+    };
+
+    const Run cold = runReplay(false);
+    ASSERT_FALSE(cold.plays.empty());
+    EXPECT_EQ(cold.warmHits, 0);
+    EXPECT_GT(cold.cycles, 0);
+
+    const Run warm = runReplay(true);
+    // The headline guarantee: after a restart on the same store the
+    // results are byte-identical and >= 90% of the cold run's
+    // simulated cycles are avoided (every trace hits the restored
+    // warm cache).
+    EXPECT_EQ(warm.plays, cold.plays);
+    EXPECT_GT(warm.traces, 0);
+    EXPECT_EQ(warm.warmHits, warm.traces);
+    EXPECT_LE(warm.cycles * 10, cold.cycles)
+        << "warm=" << warm.cycles << " cold=" << cold.cycles;
+
+    removeTree(store);
+}
+
+TEST(SessionPersistence, DamagedStoreDegradesToColdRebuild)
+{
+    const std::string store = makeStoreDir("damage");
+    std::string store_file;
+    std::string cold_plays;
+
+    {
+        SessionCache sessions(4, store);
+        JobManager manager(sessions, 2);
+        Collector events;
+        manager.submit(makeRequest("replay"), events.sink());
+        json::Value result = events.waitTerminal();
+        ASSERT_EQ(result.get("type").asString(), "result")
+            << result.get("message").asString();
+        cold_plays = result.get("plays").serialize();
+        manager.shutdown(); // workers joined: the save is on disk
+        EXPECT_GE(sessions.stats().saves, 1u);
+        store_file =
+            sessions.store().pathFor(DesignSpec{}.fingerprint());
+    }
+    struct stat st;
+    ASSERT_EQ(::stat(store_file.c_str(), &st), 0);
+    ASSERT_GT(st.st_size, 0);
+
+    // Flip one bit in the middle of the store: the restore must be
+    // counted as a failure and the session rebuilt cold — with
+    // byte-identical results and no crash.
+    {
+        int fd = ::open(store_file.c_str(), O_RDWR);
+        ASSERT_GE(fd, 0);
+        uint8_t byte = 0;
+        ASSERT_EQ(::pread(fd, &byte, 1, st.st_size / 2), 1);
+        byte ^= 0x40;
+        ASSERT_EQ(::pwrite(fd, &byte, 1, st.st_size / 2), 1);
+        ::close(fd);
+
+        SessionCache sessions(4, store);
+        JobManager manager(sessions, 2);
+        Collector events;
+        manager.submit(makeRequest("replay"), events.sink());
+        json::Value result = events.waitTerminal();
+        ASSERT_EQ(result.get("type").asString(), "result")
+            << result.get("message").asString();
+        EXPECT_EQ(result.get("plays").serialize(), cold_plays);
+        EXPECT_EQ(result.get("warm").get("hits").asInt(), 0);
+        EXPECT_GE(sessions.stats().restoreFailures, 1u);
+        manager.shutdown(); // rewrites a clean store on its way out
+    }
+
+    // Truncation mid-record: same degradation posture.
+    ASSERT_EQ(::stat(store_file.c_str(), &st), 0);
+    ASSERT_EQ(::truncate(store_file.c_str(), st.st_size / 3), 0);
+    {
+        SessionCache sessions(4, store);
+        JobManager manager(sessions, 2);
+        Collector events;
+        manager.submit(makeRequest("replay"), events.sink());
+        json::Value result = events.waitTerminal();
+        ASSERT_EQ(result.get("type").asString(), "result")
+            << result.get("message").asString();
+        EXPECT_EQ(result.get("plays").serialize(), cold_plays);
+        EXPECT_GE(sessions.stats().restoreFailures, 1u);
+        manager.shutdown();
+    }
+
+    removeTree(store);
 }

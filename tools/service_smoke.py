@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""CI driver for the `service_smoke` ctest.
+"""CI driver for the `service_smoke` and `service_persist` ctests.
 
-Boots a real archvald daemon on a unix socket with ARCHVAL_TRACE
-armed, then drives it end-to-end through archval_client:
+Default mode boots a real archvald daemon on a unix socket with
+ARCHVAL_TRACE armed, then drives it end-to-end through
+archval_client:
 
   1. `enumerate` — builds the session's state graph.
   2. `replay` (cold) — plays the generated vectors, populating the
@@ -13,7 +14,14 @@ armed, then drives it end-to-end through archval_client:
   4. `shutdown` — stops the daemon cleanly; its telemetry trace must
      then pass trace_summary.py --check.
 
-Usage: tools/service_smoke.py <archvald> <archval_client>
+`--persist` mode runs the restart-and-rewarm differential instead:
+one daemon lifetime does the cold work on a --session-dir store and
+shuts down; a *second* daemon process on the same store must then
+restore the session from disk (session_restore_hits >= 1) and replay
+warm — byte-identical per-trace results, every trace a warm-cache
+hit, at most 10% of the cold run's simulated cycles.
+
+Usage: tools/service_smoke.py [--persist] <archvald> <archval_client>
 """
 
 import json
@@ -46,31 +54,73 @@ def terminal(events):
     return None
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    archvald, client = sys.argv[1], sys.argv[2]
-    summary = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                           "trace_summary.py")
+def boot_daemon(archvald, socket, env, extra_args=()):
+    """Start archvald and wait for its listening banner and socket.
+    Returns (daemon, error); exactly one is None."""
+    daemon = subprocess.Popen(
+        [archvald, "--socket", socket, "--workers", "2",
+         *extra_args],
+        env=env, stdout=subprocess.PIPE, text=True)
+    line = daemon.stdout.readline()
+    if "listening" not in line:
+        daemon.kill()
+        daemon.wait()
+        return None, f"unexpected daemon banner: {line!r}"
+    for _ in range(50):
+        if os.path.exists(socket):
+            break
+        time.sleep(0.1)
+    return daemon, None
 
+
+def shutdown_daemon(client, socket, daemon):
+    code, events = client_events(client, socket, "shutdown")
+    if code != 0 or not events or \
+            events[0].get("type") != "shutting_down":
+        return f"shutdown failed: exit {code}"
+    daemon.wait(timeout=30)
+    return None
+
+
+def replay(client, socket, what):
+    """One replay job; returns (result, error)."""
+    code, events = client_events(client, socket, "replay")
+    result = terminal(events)
+    if code != 0 or not result or result["type"] != "result":
+        return None, f"{what} replay failed: exit {code}, " \
+                     f"terminal {result}"
+    return result, None
+
+
+def check_warm_vs_cold(warm, cold, what):
+    """The replay differential shared by both modes."""
+    if warm["warm"]["hits"] != warm["traces"]:
+        return f"{what} replay hit {warm['warm']['hits']}" \
+               f"/{warm['traces']} traces"
+    if warm["simulatedCycles"] * 10 > cold["simulatedCycles"]:
+        return f"{what} replay simulated " \
+               f"{warm['simulatedCycles']} cycles; cold did " \
+               f"{cold['simulatedCycles']} (> 10% bar)"
+    if warm["plays"] != cold["plays"]:
+        return f"{what} results differ from cold results"
+    return None
+
+
+def trace_metrics(trace):
+    with open(trace) as f:
+        doc = json.load(f)
+    return doc.get("otherData", {}).get("metrics", {})
+
+
+def run_smoke(archvald, client, summary):
     with tempfile.TemporaryDirectory() as tmp:
         socket = os.path.join(tmp, "archval.sock")
         trace = os.path.join(tmp, "service_trace.json")
         env = dict(os.environ, ARCHVAL_TRACE=trace)
-        daemon = subprocess.Popen(
-            [archvald, "--socket", socket, "--workers", "2"],
-            env=env, stdout=subprocess.PIPE, text=True)
+        daemon, error = boot_daemon(archvald, socket, env)
+        if error:
+            return fail(error)
         try:
-            # The daemon prints its listening line once ready.
-            line = daemon.stdout.readline()
-            if "listening" not in line:
-                return fail(f"unexpected daemon banner: {line!r}")
-            for _ in range(50):
-                if os.path.exists(socket):
-                    break
-                time.sleep(0.1)
-
             code, events = client_events(client, socket, "enumerate")
             result = terminal(events)
             if code != 0 or not result or result["type"] != "result":
@@ -79,35 +129,24 @@ def main():
             if result.get("states", 0) <= 0:
                 return fail("enumerate reported no states")
 
-            code, events = client_events(client, socket, "replay")
-            cold = terminal(events)
-            if code != 0 or not cold or cold["type"] != "result":
-                return fail(f"cold replay failed: exit {code}")
+            cold, error = replay(client, socket, "cold")
+            if error:
+                return fail(error)
             if cold["warm"]["hits"] != 0:
                 return fail("cold replay claims warm hits")
             if cold["simulatedCycles"] <= 0:
                 return fail("cold replay simulated nothing")
 
-            code, events = client_events(client, socket, "replay")
-            warm = terminal(events)
-            if code != 0 or not warm or warm["type"] != "result":
-                return fail(f"warm replay failed: exit {code}")
-            if warm["warm"]["hits"] != warm["traces"]:
-                return fail(f"warm replay hit {warm['warm']['hits']}"
-                            f"/{warm['traces']} traces")
-            if warm["simulatedCycles"] * 10 > cold["simulatedCycles"]:
-                return fail(
-                    f"warm replay simulated "
-                    f"{warm['simulatedCycles']} cycles; cold did "
-                    f"{cold['simulatedCycles']} (> 10% bar)")
-            if warm["plays"] != cold["plays"]:
-                return fail("warm results differ from cold results")
+            warm, error = replay(client, socket, "warm")
+            if error:
+                return fail(error)
+            error = check_warm_vs_cold(warm, cold, "warm")
+            if error:
+                return fail(error)
 
-            code, events = client_events(client, socket, "shutdown")
-            if code != 0 or not events or \
-                    events[0].get("type") != "shutting_down":
-                return fail(f"shutdown failed: exit {code}")
-            daemon.wait(timeout=30)
+            error = shutdown_daemon(client, socket, daemon)
+            if error:
+                return fail(error)
         finally:
             if daemon.poll() is None:
                 daemon.kill()
@@ -120,9 +159,7 @@ def main():
         if check.returncode != 0:
             return fail("trace_summary --check failed")
 
-        with open(trace) as f:
-            doc = json.load(f)
-        metrics = doc.get("otherData", {}).get("metrics", {})
+        metrics = trace_metrics(trace)
         expected = ("service.jobs_done", "replay.warm_hits",
                     "service.session_hits")
         missing = [k for k in expected if k not in metrics]
@@ -131,6 +168,92 @@ def main():
 
     print("service smoke ok")
     return 0
+
+
+def run_persist(archvald, client, summary):
+    with tempfile.TemporaryDirectory() as tmp:
+        socket = os.path.join(tmp, "archval.sock")
+        store = os.path.join(tmp, "sessions")
+        cold_trace = os.path.join(tmp, "trace_cold.json")
+        warm_trace = os.path.join(tmp, "trace_warm.json")
+        persist_args = ("--session-dir", store)
+
+        # Daemon lifetime 1: build the session cold; the completed
+        # job persists it into the store.
+        env = dict(os.environ, ARCHVAL_TRACE=cold_trace)
+        daemon, error = boot_daemon(archvald, socket, env,
+                                    persist_args)
+        if error:
+            return fail(error)
+        try:
+            cold, error = replay(client, socket, "cold")
+            if error:
+                return fail(error)
+            if cold["simulatedCycles"] <= 0:
+                return fail("cold replay simulated nothing")
+            error = shutdown_daemon(client, socket, daemon)
+            if error:
+                return fail(error)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        if not os.listdir(store):
+            return fail("cold daemon left no session store file")
+        metrics = trace_metrics(cold_trace)
+        if int(metrics.get("service.session_saves", 0)) < 1:
+            return fail("cold daemon reported no session save")
+
+        # Daemon lifetime 2: a fresh process on the same store must
+        # restore the session from disk and replay warm.
+        env = dict(os.environ, ARCHVAL_TRACE=warm_trace)
+        daemon, error = boot_daemon(archvald, socket, env,
+                                    persist_args)
+        if error:
+            return fail(error)
+        try:
+            warm, error = replay(client, socket, "restarted")
+            if error:
+                return fail(error)
+            error = check_warm_vs_cold(warm, cold, "restarted")
+            if error:
+                return fail(error)
+            error = shutdown_daemon(client, socket, daemon)
+            if error:
+                return fail(error)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        metrics = trace_metrics(warm_trace)
+        if int(metrics.get("service.session_restore_hits", 0)) < 1:
+            return fail("restarted daemon did not restore the "
+                        "session from disk")
+        check = subprocess.run(
+            [sys.executable, summary, warm_trace, "--check"])
+        if check.returncode != 0:
+            return fail("trace_summary --check failed")
+
+    print("service persist ok")
+    return 0
+
+
+def main():
+    args = sys.argv[1:]
+    persist = "--persist" in args
+    if persist:
+        args.remove("--persist")
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    archvald, client = args
+    summary = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "trace_summary.py")
+    if persist:
+        return run_persist(archvald, client, summary)
+    return run_smoke(archvald, client, summary)
 
 
 if __name__ == "__main__":
