@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "graph/tour.hh"
 #include "murphi/enumerator.hh"
 #include "rtl/pp_fsm_model.hh"
@@ -94,6 +95,75 @@ BM_TourGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_TourGeneration)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console reporter that also records every run into a JsonWriter
+ * row, so `--json PATH` emits the same machine-readable shape as
+ * the other benches (bench_diff.py compatible) while the console
+ * table stays untouched.
+ */
+class JsonCollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonCollectingReporter(archval::bench::JsonWriter &writer)
+        : writer_(writer)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            writer_.beginRow();
+            writer_.add("benchmark", run.benchmark_name());
+            writer_.add("time_unit",
+                        benchmark::GetTimeUnitString(run.time_unit));
+            writer_.add("real_time", run.GetAdjustedRealTime());
+            writer_.add("cpu_time", run.GetAdjustedCPUTime());
+            writer_.add("iterations",
+                        static_cast<uint64_t>(run.iterations));
+            for (const auto &[name, counter] : run.counters)
+                writer_.add(name, counter.value);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    archval::bench::JsonWriter &writer_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark rejects flags it does not know, so strip the
+    // repo-convention `--json PATH` before Initialize sees it.
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[i + 1];
+            ++i;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               args.data()))
+        return 1;
+
+    archval::bench::JsonWriter writer("perf_micro");
+    JsonCollectingReporter reporter(writer);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!writer.write(json_path)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

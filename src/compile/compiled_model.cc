@@ -1,0 +1,66 @@
+#include "compiled_model.hh"
+
+#include "support/status.hh"
+
+namespace archval::compile
+{
+
+CompiledModel::CompiledModel(std::shared_ptr<const FsmSpec> spec)
+    : spec_(std::move(spec))
+{
+    if (!spec_)
+        fatal("CompiledModel requires a spec");
+    program_ = lower(*spec_);
+}
+
+std::string
+CompiledModel::name() const
+{
+    return spec_->name;
+}
+
+const std::vector<fsm::StateVarInfo> &
+CompiledModel::stateVars() const
+{
+    return spec_->stateVars;
+}
+
+const std::vector<fsm::ChoiceVarInfo> &
+CompiledModel::choiceVars() const
+{
+    return spec_->choiceVars;
+}
+
+BitVec
+CompiledModel::resetState() const
+{
+    const fsm::StateLayout &layout = program_->layout;
+    BitVec state(layout.totalBits());
+    for (size_t i = 0; i < spec_->stateVars.size(); ++i)
+        layout.set(state, i, spec_->stateVars[i].resetValue);
+    return state;
+}
+
+std::optional<fsm::Transition>
+CompiledModel::next(const BitVec &state, const fsm::Choice &choice) const
+{
+    ScalarKernel kernel(program_);
+    return kernel.next(state, choice);
+}
+
+void
+CompiledModel::forEachTransition(
+    const BitVec &state,
+    const std::function<void(uint64_t, fsm::Transition &&)> &fn) const
+{
+    ScalarKernel kernel(program_);
+    kernel.forEachTransition(state, fn);
+}
+
+std::shared_ptr<const FsmSpec>
+CompiledModel::compileSpec() const
+{
+    return spec_;
+}
+
+} // namespace archval::compile

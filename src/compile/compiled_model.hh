@@ -1,0 +1,51 @@
+/**
+ * @file
+ * fsm::Model implementation backed by compiled bytecode.
+ *
+ * CompiledModel lowers an FsmSpec once at construction and serves the
+ * Model interface through scalar bytecode kernels. Its transitions are
+ * bit-identical to the spec producer's interpreted step — the
+ * differential suites in tests/test_compile.cc enforce this over every
+ * HDL design. next()/forEachTransition() are thread-safe (each call
+ * uses a private register file), so the parallel enumerator can drive
+ * one instance from many workers.
+ */
+
+#ifndef ARCHVAL_COMPILE_COMPILED_MODEL_HH
+#define ARCHVAL_COMPILE_COMPILED_MODEL_HH
+
+#include "compile/kernel.hh"
+
+namespace archval::compile
+{
+
+/** Bytecode-backed synchronous FSM model. */
+class CompiledModel : public fsm::Model
+{
+  public:
+    /** Lower @p spec and wrap it; fatal on a malformed spec. */
+    explicit CompiledModel(std::shared_ptr<const FsmSpec> spec);
+
+    std::string name() const override;
+    const std::vector<fsm::StateVarInfo> &stateVars() const override;
+    const std::vector<fsm::ChoiceVarInfo> &choiceVars() const override;
+    BitVec resetState() const override;
+    std::optional<fsm::Transition>
+    next(const BitVec &state, const fsm::Choice &choice) const override;
+    void forEachTransition(
+        const BitVec &state,
+        const std::function<void(uint64_t, fsm::Transition &&)> &fn)
+        const override;
+    std::shared_ptr<const FsmSpec> compileSpec() const override;
+
+    /** @return the lowered program (shared with kernels). */
+    std::shared_ptr<const Program> program() const { return program_; }
+
+  private:
+    std::shared_ptr<const FsmSpec> spec_;
+    std::shared_ptr<const Program> program_;
+};
+
+} // namespace archval::compile
+
+#endif // ARCHVAL_COMPILE_COMPILED_MODEL_HH

@@ -1,0 +1,102 @@
+#include "fsm_spec.hh"
+
+namespace archval::compile
+{
+
+size_t
+SpecBuilder::NodeHash::operator()(const SpecNode &n) const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<uint64_t>(n.op));
+    mix(n.width);
+    mix(n.a);
+    mix(n.b);
+    mix(n.c);
+    mix(n.imm);
+    return static_cast<size_t>(h);
+}
+
+uint32_t
+SpecBuilder::intern(SpecNode node)
+{
+    auto it = cache_.find(node);
+    if (it != cache_.end())
+        return it->second;
+    uint32_t index = static_cast<uint32_t>(spec_.nodes.size());
+    spec_.nodes.push_back(node);
+    cache_.emplace(node, index);
+    return index;
+}
+
+uint32_t
+SpecBuilder::constant(uint64_t value)
+{
+    SpecNode node;
+    node.op = SpecOp::Const;
+    node.imm = value;
+    return intern(node);
+}
+
+uint32_t
+SpecBuilder::stateRef(uint32_t var)
+{
+    SpecNode node;
+    node.op = SpecOp::StateRef;
+    node.a = var;
+    return intern(node);
+}
+
+uint32_t
+SpecBuilder::choiceRef(uint32_t var)
+{
+    SpecNode node;
+    node.op = SpecOp::ChoiceRef;
+    node.a = var;
+    return intern(node);
+}
+
+uint32_t
+SpecBuilder::mask(uint32_t a, unsigned width)
+{
+    if (width >= 64)
+        return a;
+    return unary(SpecOp::Mask, a, width);
+}
+
+uint32_t
+SpecBuilder::unary(SpecOp op, uint32_t a, unsigned width)
+{
+    SpecNode node;
+    node.op = op;
+    node.width = static_cast<uint8_t>(width > 64 ? 64 : width);
+    node.a = a;
+    return intern(node);
+}
+
+uint32_t
+SpecBuilder::binary(SpecOp op, uint32_t a, uint32_t b, unsigned width)
+{
+    SpecNode node;
+    node.op = op;
+    node.width = static_cast<uint8_t>(width > 64 ? 64 : width);
+    node.a = a;
+    node.b = b;
+    return intern(node);
+}
+
+uint32_t
+SpecBuilder::mux(uint32_t cond, uint32_t thenN, uint32_t elseN)
+{
+    SpecNode node;
+    node.op = SpecOp::Mux;
+    node.a = cond;
+    node.b = thenN;
+    node.c = elseN;
+    return intern(node);
+}
+
+} // namespace archval::compile

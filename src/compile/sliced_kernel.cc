@@ -1,0 +1,359 @@
+#include "kernel.hh"
+
+#include <algorithm>
+
+#include "support/status.hh"
+#include "support/telemetry.hh"
+
+namespace archval::compile
+{
+
+/*
+ * Plane representation: register r owns regBits[r] consecutive words
+ * in the arena; word p holds bit p of all 64 lanes (bit l of word p =
+ * bit p of lane l's value). Bits above a register's value bound are
+ * provably zero, so they have no plane at all — reading a missing
+ * plane yields the zero word. Only side-effect-free boolean/arith ops
+ * are evaluated in sliced form; shifts by a non-constant amount fall
+ * back to a per-lane scalar evaluation of that one instruction (see
+ * scalarFallback below), preserving bit-exactness.
+ */
+
+namespace
+{
+
+inline uint64_t
+broadcast(uint64_t value, unsigned bit)
+{
+    return (value >> bit) & 1 ? ~uint64_t(0) : 0;
+}
+
+const std::vector<double> &
+laneOccupancyBounds()
+{
+    static const std::vector<double> bounds = {1,  2,  4,  8,
+                                               16, 32, 48, 63};
+    return bounds;
+}
+
+} // namespace
+
+SlicedKernel::SlicedKernel(std::shared_ptr<const Program> program)
+    : prog_(std::move(program))
+{
+    const Program &p = *prog_;
+    planeOff_.resize(p.numRegs, 0);
+    uint32_t total = 0;
+    for (size_t r = 0; r < p.numRegs; ++r) {
+        planeOff_[r] = total;
+        total += p.regBits[r];
+    }
+    planes_.assign(total, 0);
+    // Constant registers broadcast the same value to every lane and
+    // never change: preload their planes once.
+    for (const auto &[reg, value] : p.constInit) {
+        for (unsigned b = 0; b < p.regBits[reg]; ++b)
+            planes_[planeOff_[reg] + b] = broadcast(value, b);
+    }
+    buffers_.resize(64);
+}
+
+uint64_t
+SlicedKernel::gather(uint16_t reg, unsigned lane) const
+{
+    const uint64_t *pl = planes_.data() + planeOff_[reg];
+    uint64_t value = 0;
+    for (unsigned b = 0; b < prog_->regBits[reg]; ++b)
+        value |= ((pl[b] >> lane) & 1) << b;
+    return value;
+}
+
+void
+SlicedKernel::scalarFallback(const Insn &insn, uint64_t active)
+{
+    const Program &p = *prog_;
+    const uint64_t mask = insn.width >= 64
+                              ? ~uint64_t(0)
+                              : (uint64_t(1) << insn.width) - 1;
+    uint64_t *dst = planes_.data() + planeOff_[insn.dst];
+    const unsigned wd = p.regBits[insn.dst];
+    std::fill(dst, dst + wd, 0);
+    for (uint64_t rest = active; rest;) {
+        const unsigned lane =
+            static_cast<unsigned>(__builtin_ctzll(rest));
+        rest &= rest - 1;
+        const uint64_t a = gather(insn.a, lane);
+        const uint64_t b = gather(insn.b, lane);
+        uint64_t v = 0;
+        switch (insn.op) {
+          case BOp::Shl:
+            v = b >= 64 ? 0 : (a << b) & mask;
+            break;
+          case BOp::Shr:
+            v = b >= 64 ? 0 : a >> b;
+            break;
+          default:
+            panic("SlicedKernel: unexpected scalar-fallback op");
+        }
+        for (unsigned bit = 0; bit < wd; ++bit)
+            dst[bit] |= ((v >> bit) & 1) << lane;
+        ++fallbackLanes_;
+    }
+}
+
+/**
+ * Run the program over the plane arena for @p active lanes.
+ * @return the legality plane (bit l set = lane l's transition legal).
+ */
+uint64_t
+SlicedKernel::execPlanes(uint64_t active)
+{
+    const Program &p = *prog_;
+    const uint8_t *bits = p.regBits.data();
+    uint64_t *arena = planes_.data();
+    const uint32_t *off = planeOff_.data();
+
+    auto plane = [&](uint16_t reg, unsigned b) -> uint64_t {
+        return b < bits[reg] ? arena[off[reg] + b] : 0;
+    };
+    auto orPlanes = [&](uint16_t reg) -> uint64_t {
+        uint64_t v = 0;
+        for (unsigned b = 0; b < bits[reg]; ++b)
+            v |= arena[off[reg] + b];
+        return v;
+    };
+    // Borrow-out of (x - y): set for lanes where x < y (unsigned).
+    auto borrowOut = [&](uint16_t x, uint16_t y) -> uint64_t {
+        uint64_t borrow = 0;
+        const unsigned w = std::max(bits[x], bits[y]);
+        for (unsigned b = 0; b < w; ++b) {
+            const uint64_t xb = plane(x, b);
+            const uint64_t yb = plane(y, b);
+            borrow = (~xb & yb) | (borrow & ~(xb ^ yb));
+        }
+        return borrow;
+    };
+    auto eqPlane = [&](uint16_t x, uint16_t y) -> uint64_t {
+        uint64_t acc = ~uint64_t(0);
+        const unsigned w = std::max(bits[x], bits[y]);
+        for (unsigned b = 0; b < w; ++b)
+            acc &= ~(plane(x, b) ^ plane(y, b));
+        return acc;
+    };
+
+    for (const Insn &insn : p.insns) {
+        if (insn.op == BOp::Halt)
+            break;
+        uint64_t *dst = arena + off[insn.dst];
+        const unsigned wd = bits[insn.dst];
+        switch (insn.op) {
+          case BOp::Mask:
+            // The destination bound is min(operand bound, width):
+            // truncation is plane copying.
+            for (unsigned b = 0; b < wd; ++b)
+                dst[b] = plane(insn.a, b);
+            break;
+          case BOp::Not:
+            dst[0] = ~orPlanes(insn.a);
+            break;
+          case BOp::BitNot:
+            for (unsigned b = 0; b < wd; ++b)
+                dst[b] = ~plane(insn.a, b);
+            break;
+          case BOp::Neg: {
+            // (~a + 1) over wd planes: increment of ~a.
+            uint64_t carry = ~uint64_t(0);
+            for (unsigned b = 0; b < wd; ++b) {
+                const uint64_t x = ~plane(insn.a, b);
+                dst[b] = x ^ carry;
+                carry &= x;
+            }
+            break;
+          }
+          case BOp::RedXor: {
+            uint64_t parity = 0;
+            for (unsigned b = 0; b < bits[insn.a]; ++b)
+                parity ^= plane(insn.a, b);
+            dst[0] = parity;
+            break;
+          }
+          case BOp::Add: {
+            uint64_t carry = 0;
+            for (unsigned b = 0; b < wd; ++b) {
+                const uint64_t ab = plane(insn.a, b);
+                const uint64_t bb = plane(insn.b, b);
+                const uint64_t x = ab ^ bb;
+                dst[b] = x ^ carry;
+                carry = (ab & bb) | (carry & x);
+            }
+            break;
+          }
+          case BOp::Sub: {
+            uint64_t borrow = 0;
+            for (unsigned b = 0; b < wd; ++b) {
+                const uint64_t ab = plane(insn.a, b);
+                const uint64_t bb = plane(insn.b, b);
+                const uint64_t x = ab ^ bb;
+                dst[b] = x ^ borrow;
+                borrow = (~ab & bb) | (borrow & ~x);
+            }
+            break;
+          }
+          case BOp::Shl:
+            if (p.regIsConst[insn.b]) {
+                const uint64_t sh = p.regConstValue[insn.b];
+                for (unsigned b = 0; b < wd; ++b)
+                    dst[b] = b >= sh
+                                 ? plane(insn.a,
+                                         static_cast<unsigned>(b - sh))
+                                 : 0;
+            } else {
+                scalarFallback(insn, active);
+            }
+            break;
+          case BOp::Shr:
+            if (p.regIsConst[insn.b]) {
+                const uint64_t sh = p.regConstValue[insn.b];
+                for (unsigned b = 0; b < wd; ++b)
+                    dst[b] = sh + b < 64
+                                 ? plane(insn.a,
+                                         static_cast<unsigned>(sh + b))
+                                 : 0;
+            } else {
+                scalarFallback(insn, active);
+            }
+            break;
+          case BOp::And:
+            for (unsigned b = 0; b < wd; ++b)
+                dst[b] = plane(insn.a, b) & plane(insn.b, b);
+            break;
+          case BOp::Or:
+            for (unsigned b = 0; b < wd; ++b)
+                dst[b] = plane(insn.a, b) | plane(insn.b, b);
+            break;
+          case BOp::Xor:
+            for (unsigned b = 0; b < wd; ++b)
+                dst[b] = plane(insn.a, b) ^ plane(insn.b, b);
+            break;
+          case BOp::Eq:
+            dst[0] = eqPlane(insn.a, insn.b);
+            break;
+          case BOp::Ne:
+            dst[0] = ~eqPlane(insn.a, insn.b);
+            break;
+          case BOp::Lt:
+            dst[0] = borrowOut(insn.a, insn.b);
+            break;
+          case BOp::Le:
+            dst[0] = ~borrowOut(insn.b, insn.a);
+            break;
+          case BOp::Gt:
+            dst[0] = borrowOut(insn.b, insn.a);
+            break;
+          case BOp::Ge:
+            dst[0] = ~borrowOut(insn.a, insn.b);
+            break;
+          case BOp::LAnd:
+            dst[0] = orPlanes(insn.a) & orPlanes(insn.b);
+            break;
+          case BOp::LOr:
+            dst[0] = orPlanes(insn.a) | orPlanes(insn.b);
+            break;
+          case BOp::Mux: {
+            const uint64_t sel = orPlanes(insn.a);
+            for (unsigned b = 0; b < wd; ++b)
+                dst[b] = (sel & plane(insn.b, b)) |
+                         (~sel & plane(insn.c, b));
+            break;
+          }
+          case BOp::Halt:
+          case BOp::Count:
+            break;
+        }
+    }
+    return p.legalReg == kNoReg ? active
+                                : orPlanes(p.legalReg) & active;
+}
+
+void
+SlicedKernel::expandBatch(
+    const BitVec *const *sources, size_t count,
+    const std::function<void(size_t, uint64_t, fsm::Transition &&)>
+        &sink)
+{
+    const Program &p = *prog_;
+    if (count == 0)
+        return;
+    if (count > 64)
+        panic("SlicedKernel::expandBatch: more than 64 lanes");
+    const uint64_t active =
+        count == 64 ? ~uint64_t(0) : (uint64_t(1) << count) - 1;
+
+    telemetry::counter("compile.sliced_batches").add(1);
+    telemetry::histogram("compile.lane_occupancy",
+                         laneOccupancyBounds())
+        .record(static_cast<double>(count));
+
+    // Transpose the source state fields into planes, lane l = source l.
+    const fsm::StateLayout &layout = p.layout;
+    for (size_t v = 0; v < p.stateVars.size(); ++v) {
+        uint64_t *pl = planes_.data() + planeOff_[v];
+        const unsigned w = p.regBits[v];
+        std::fill(pl, pl + w, 0);
+        for (size_t lane = 0; lane < count; ++lane) {
+            const uint64_t value = layout.get(*sources[lane], v);
+            for (unsigned b = 0; b < w; ++b)
+                pl[b] |= ((value >> b) & 1) << lane;
+        }
+    }
+
+    for (size_t lane = 0; lane < count; ++lane)
+        buffers_[lane].clear();
+
+    const size_t num_choice = p.choiceVars.size();
+    std::vector<uint32_t> tuple(num_choice, 0);
+    const size_t state_bits = layout.totalBits();
+    for (uint64_t code = 0; code < p.numCombos; ++code) {
+        // Every lane shares this choice code: the choice registers
+        // are broadcast constants for the whole evaluation.
+        for (size_t j = 0; j < num_choice; ++j) {
+            const uint16_t reg =
+                static_cast<uint16_t>(p.choiceBase + j);
+            uint64_t *pl = planes_.data() + planeOff_[reg];
+            for (unsigned b = 0; b < p.regBits[reg]; ++b)
+                pl[b] = broadcast(tuple[j], b);
+        }
+
+        uint64_t legal = execPlanes(active);
+        for (uint64_t rest = legal; rest;) {
+            const unsigned lane =
+                static_cast<unsigned>(__builtin_ctzll(rest));
+            rest &= rest - 1;
+            fsm::Transition t;
+            t.next = BitVec(state_bits);
+            for (size_t v = 0; v < p.nextRegs.size(); ++v)
+                layout.set(t.next, v, gather(p.nextRegs[v], lane));
+            if (p.instrReg != kNoReg) {
+                t.instructions = static_cast<unsigned>(
+                    gather(p.instrReg, lane));
+            }
+            buffers_[lane].emplace_back(code, std::move(t));
+        }
+
+        for (size_t j = 0; j < num_choice; ++j) {
+            if (++tuple[j] < p.choiceVars[j].cardinality)
+                break;
+            tuple[j] = 0;
+        }
+    }
+
+    // Emit in canonical order: sources in batch order, codes
+    // ascending within each source.
+    for (size_t lane = 0; lane < count; ++lane) {
+        for (auto &[code, trans] : buffers_[lane])
+            sink(lane, code, std::move(trans));
+        buffers_[lane].clear();
+    }
+}
+
+} // namespace archval::compile

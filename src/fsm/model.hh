@@ -23,11 +23,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "support/bitvec.hh"
+
+namespace archval::compile
+{
+struct FsmSpec; // see compile/fsm_spec.hh
+}
 
 namespace archval::fsm
 {
@@ -156,6 +162,18 @@ class Model
     virtual void forEachTransition(
         const BitVec &state,
         const std::function<void(uint64_t, Transition &&)> &fn) const;
+
+    /**
+     * @return this model's compiled-form spec (see
+     * compile/fsm_spec.hh), or nullptr when it has none. Producers
+     * whose step function is expressible as a pure expression network
+     * (today: the mini-Verilog translator) publish a spec here; the
+     * enumerator lowers it to bytecode when
+     * EnumOptions::compiledStep asks for a compiled kernel, and
+     * falls back to this interpreted interface otherwise. A returned
+     * spec must be bit-exact with next()/forEachTransition().
+     */
+    virtual std::shared_ptr<const compile::FsmSpec> compileSpec() const;
 
     /** @return total packed state width in bits. */
     size_t stateBits() const;

@@ -277,4 +277,30 @@ renderSummary(const GraphSummary &s)
     return out;
 }
 
+uint64_t
+fingerprint(const StateGraph &graph)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    auto mix = [&h](uint64_t value) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (value >> (byte * 8)) & 0xff;
+            h *= 0x100000001b3ull; // FNV prime
+        }
+    };
+    mix(graph.numStates());
+    if (graph.statesRetained()) {
+        for (StateId s = 0; s < graph.numStates(); ++s)
+            mix(graph.packedState(s).hash());
+    }
+    mix(graph.numEdges());
+    for (EdgeId e = 0; e < graph.numEdges(); ++e) {
+        const Edge &edge = graph.edge(e);
+        mix(edge.src);
+        mix(edge.dst);
+        mix(edge.choiceCode);
+        mix(edge.instrCount);
+    }
+    return h;
+}
+
 } // namespace archval::graph

@@ -147,6 +147,15 @@ GraphSummary summarize(const StateGraph &graph);
 /** Render @p summary as a printable block. */
 std::string renderSummary(const GraphSummary &summary);
 
+/**
+ * Order-sensitive structural fingerprint of a graph: an FNV-1a hash
+ * over every edge record (in id order) and every retained packed
+ * state (in id order). Two graphs fingerprint equal iff the same
+ * states and edges were produced in the same order — the equality the
+ * enumerator guarantees across step kernels and worker counts.
+ */
+uint64_t fingerprint(const StateGraph &graph);
+
 } // namespace archval::graph
 
 #endif // ARCHVAL_GRAPH_STATE_GRAPH_HH

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "compile/fsm_spec.hh"
 #include "hdl/parser.hh"
 #include "support/strings.hh"
 
@@ -120,6 +121,7 @@ struct HdlModel::Impl
     std::vector<CombNode> comb; ///< topological order
     std::vector<ExprPtr> nextExprs; ///< per state var
     std::string instrNet;
+    std::shared_ptr<const compile::FsmSpec> spec; ///< compiled form
 
     unsigned
     widthOf(const std::string &name) const
@@ -359,6 +361,12 @@ HdlModel::evalNet(const std::string &net, const BitVec &state,
     return impl_->readNet(net, ctx);
 }
 
+std::shared_ptr<const compile::FsmSpec>
+HdlModel::compileSpec() const
+{
+    return impl_->spec;
+}
+
 namespace
 {
 
@@ -573,6 +581,185 @@ class SymbolicExec
     bool sequential_;
     const ElabDesign &design_;
     std::set<std::string> &held_;
+};
+
+/**
+ * Lower the translated expression network into a compile::FsmSpec.
+ *
+ * Every node replicates the interpreter's semantics exactly —
+ * including its width rules (`Impl::exprWidth`) and where masking
+ * does and does not happen — so compiled kernels are bit-identical to
+ * `HdlModel::next` by construction. Select desugars to shift+mask,
+ * concat to shift/or folds, reductions to compares/parity; `&&`/`||`
+ * evaluate eagerly, which is sound because every operand is
+ * side-effect-free.
+ */
+class SpecLowering
+{
+  public:
+    SpecLowering(const HdlModel::Impl &impl, compile::FsmSpec &spec)
+        : impl_(impl), spec_(spec), builder_(spec)
+    {
+    }
+
+    void
+    run()
+    {
+        spec_.name = impl_.top;
+        spec_.stateVars = impl_.stateVars;
+        spec_.choiceVars = impl_.choiceVars;
+
+        using Sym = HdlModel::Impl::Sym;
+        for (const auto &[name, info] : impl_.nets) {
+            switch (info.sym) {
+              case Sym::State:
+                netNode_[name] = builder_.stateRef(
+                    static_cast<uint32_t>(info.index));
+                break;
+              case Sym::Choice:
+                netNode_[name] = builder_.choiceRef(
+                    static_cast<uint32_t>(info.index));
+                break;
+              case Sym::Constant:
+                netNode_[name] = builder_.constant(info.constant);
+                break;
+              case Sym::Comb:
+                break; // defined below, in dependency order
+            }
+        }
+        // Comb nets are masked to their declared width on
+        // definition, exactly like Impl::evalComb.
+        for (const auto &node : impl_.comb) {
+            netNode_[node.name] =
+                builder_.mask(lower(*node.expr), node.width);
+        }
+        for (size_t i = 0; i < impl_.stateVars.size(); ++i) {
+            spec_.nextRoots.push_back(builder_.mask(
+                lower(*impl_.nextExprs[i]),
+                static_cast<unsigned>(impl_.stateVars[i].numBits)));
+        }
+        if (!impl_.instrNet.empty())
+            spec_.instrRoot = netRef(impl_.instrNet, 0);
+        // No legality root: every HDL choice tuple is a legal
+        // environment action (next() never returns nullopt).
+    }
+
+  private:
+    uint32_t
+    netRef(const std::string &name, size_t line)
+    {
+        auto it = netNode_.find(name);
+        if (it == netNode_.end())
+            xlatFail(line, "compile: unresolved net '" + name + "'");
+        return it->second;
+    }
+
+    uint32_t
+    lower(const Expr &expr)
+    {
+        using compile::SpecOp;
+        switch (expr.kind) {
+          case ExprKind::Literal:
+            return builder_.constant(expr.value);
+          case ExprKind::Identifier:
+            return netRef(expr.name, expr.line);
+          case ExprKind::Select: {
+            unsigned width =
+                static_cast<unsigned>(expr.msb - expr.lsb + 1);
+            uint32_t shifted = builder_.binary(
+                SpecOp::Shr, netRef(expr.name, expr.line),
+                builder_.constant(
+                    static_cast<uint64_t>(expr.lsb)));
+            return builder_.mask(shifted, width);
+          }
+          case ExprKind::Unary: {
+            uint32_t a = lower(*expr.args[0]);
+            unsigned aw = impl_.exprWidth(*expr.args[0]);
+            if (expr.op == "!")
+                return builder_.unary(SpecOp::Not, a);
+            if (expr.op == "~")
+                return builder_.unary(SpecOp::BitNot, a, aw);
+            if (expr.op == "-")
+                return builder_.unary(SpecOp::Neg, a, aw);
+            if (expr.op == "&")
+                return builder_.binary(
+                    SpecOp::Eq, a, builder_.constant(maskFor(aw)));
+            if (expr.op == "|")
+                return builder_.binary(SpecOp::Ne, a,
+                                       builder_.constant(0));
+            if (expr.op == "^")
+                return builder_.unary(SpecOp::RedXor, a);
+            xlatFail(expr.line, "compile: bad unary op " + expr.op);
+          }
+          case ExprKind::Binary: {
+            const std::string &op = expr.op;
+            uint32_t a = lower(*expr.args[0]);
+            uint32_t b = lower(*expr.args[1]);
+            if (op == "&&")
+                return builder_.binary(SpecOp::LAnd, a, b);
+            if (op == "||")
+                return builder_.binary(SpecOp::LOr, a, b);
+            unsigned w = impl_.exprWidth(expr);
+            if (op == "+")
+                return builder_.binary(SpecOp::Add, a, b, w);
+            if (op == "-")
+                return builder_.binary(SpecOp::Sub, a, b, w);
+            if (op == "<<")
+                return builder_.binary(SpecOp::Shl, a, b, w);
+            if (op == ">>")
+                return builder_.binary(SpecOp::Shr, a, b);
+            if (op == "&")
+                return builder_.binary(SpecOp::And, a, b);
+            if (op == "|")
+                return builder_.binary(SpecOp::Or, a, b);
+            if (op == "^")
+                return builder_.binary(SpecOp::Xor, a, b);
+            if (op == "==")
+                return builder_.binary(SpecOp::Eq, a, b);
+            if (op == "!=")
+                return builder_.binary(SpecOp::Ne, a, b);
+            if (op == "<")
+                return builder_.binary(SpecOp::Lt, a, b);
+            if (op == "<=")
+                return builder_.binary(SpecOp::Le, a, b);
+            if (op == ">")
+                return builder_.binary(SpecOp::Gt, a, b);
+            if (op == ">=")
+                return builder_.binary(SpecOp::Ge, a, b);
+            xlatFail(expr.line, "compile: bad binary op " + op);
+          }
+          case ExprKind::Ternary:
+            return builder_.mux(lower(*expr.args[0]),
+                                lower(*expr.args[1]),
+                                lower(*expr.args[2]));
+          case ExprKind::Concat: {
+            // value = (value << aw) | (arg & maskFor(aw)), folded
+            // left to right; the shift of the accumulator is raw
+            // (unmasked), exactly as in Impl::eval.
+            uint32_t acc = compile::kNoNode;
+            for (const auto &arg : expr.args) {
+                unsigned aw = impl_.exprWidth(*arg);
+                uint32_t part = builder_.mask(lower(*arg), aw);
+                if (acc == compile::kNoNode) {
+                    acc = part; // (0 << aw) | part == part
+                    continue;
+                }
+                uint32_t shifted = builder_.binary(
+                    SpecOp::Shl, acc,
+                    builder_.constant(aw));
+                acc = builder_.binary(SpecOp::Or, shifted, part);
+            }
+            return acc == compile::kNoNode ? builder_.constant(0)
+                                           : acc;
+          }
+        }
+        xlatFail(expr.line, "compile: bad expression kind");
+    }
+
+    const HdlModel::Impl &impl_;
+    compile::FsmSpec &spec_;
+    compile::SpecBuilder builder_;
+    std::map<std::string, uint32_t> netNode_;
 };
 
 } // namespace
@@ -848,6 +1035,14 @@ translate(const ElabDesign &design)
         }
 
         impl->layout = fsm::StateLayout(impl->stateVars);
+
+        // Lower the expression network into the compiled-form spec
+        // up front: translation already paid for elaboration, and an
+        // eager build means compileSpec() can never fail later.
+        auto spec = std::make_shared<compile::FsmSpec>();
+        SpecLowering(*impl, *spec).run();
+        impl->spec = std::move(spec);
+
         result.model.reset(new HdlModel(std::move(impl)));
         return result;
     } catch (const XlatError &error) {

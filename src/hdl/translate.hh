@@ -68,15 +68,24 @@ class HdlModel : public fsm::Model
     next(const BitVec &state, const fsm::Choice &choice) const override;
 
     /**
+     * The compiled-form spec of this model, built eagerly at
+     * translation time; bit-exact with next() by construction (the
+     * spec encodes the interpreter's width/masking rules node by
+     * node). See compile/fsm_spec.hh.
+     */
+    std::shared_ptr<const compile::FsmSpec> compileSpec() const override;
+
+    /**
      * Evaluate a named net for (state, choice) — lets tests inspect
      * outputs of the combinational network.
      */
     uint64_t evalNet(const std::string &net, const BitVec &state,
                      const fsm::Choice &choice) const;
 
+    struct Impl; ///< public so translate.cc internals can name it
+
   private:
     friend Result<TranslateResult> translate(const ElabDesign &);
-    struct Impl;
     explicit HdlModel(std::unique_ptr<Impl> impl);
     std::unique_ptr<Impl> impl_;
 };

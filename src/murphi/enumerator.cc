@@ -1,6 +1,7 @@
 #include "enumerator.hh"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -8,6 +9,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "compile/fsm_spec.hh"
+#include "compile/kernel.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table_memory.hh"
@@ -138,6 +141,22 @@ Enumerator::run()
             threads = 1;
     }
     stats_ = EnumStats{};
+
+    // Resolve the step kernel once per run: lower the model's
+    // compiled-form spec when one exists, otherwise fall back to the
+    // interpreted step (recorded, never an error — closure-based
+    // models simply have no compiled form).
+    program_.reset();
+    if (options_.compiledStep != StepKernel::Interpreted) {
+        if (auto spec = model_.compileSpec()) {
+            program_ = compile::lower(*spec);
+            stats_.kernelUsed = options_.compiledStep;
+        } else {
+            stats_.compiledFallback = true;
+            telemetry::counter("compile.enum_fallbacks").add();
+        }
+    }
+
     return threads == 1 ? runSequential() : runParallel(threads);
 }
 
@@ -227,68 +246,120 @@ Enumerator::runSequential()
         }
     };
 
+    // Per-run step kernels (sequential search: one of each at most).
+    std::optional<compile::ScalarKernel> scalar;
+    std::optional<compile::SlicedKernel> sliced;
+    if (program_) {
+        if (stats_.kernelUsed == StepKernel::BitSliced)
+            sliced.emplace(program_);
+        else
+            scalar.emplace(program_);
+    }
+
     std::string error;
+
+    // One discovered transition out of `src`. Identical for every
+    // kernel: the kernels reproduce the interpreter's callback
+    // sequence exactly, so dedup/cap/recording semantics carry over.
+    auto handle = [&](graph::StateId src, uint64_t code,
+                      fsm::Transition &&transition) {
+        ++stats_.transitionsValid;
+        if (!error.empty())
+            return;
+        unsigned instrs = transition.instructions;
+        // Enforce the cap *before* interning: the over-limit
+        // state must not enter the graph or the table.
+        if (options_.maxStates &&
+            graph.numStates() >= options_.maxStates &&
+            known.find(transition.next) == known.end()) {
+            error = stateExplosionMessage(options_.maxStates);
+            return;
+        }
+        auto [dst, is_new] = intern(std::move(transition.next));
+        if (is_new) {
+            frontier.push_back(dst);
+            if (options_.progressInterval &&
+                graph.numStates() % options_.progressInterval == 0) {
+                logInfo(formatString(
+                    "enumerated %zu states, %zu edges",
+                    graph.numStates(), graph.numEdges()));
+            }
+        }
+
+        bool record;
+        if (options_.recording == EdgeRecording::FirstCondition) {
+            // "Only one permutation is recorded" per
+            // (src, dst) pair: the first condition found.
+            record = dst_seen.insert(dst).second;
+        } else {
+            // AllConditions (the Section 4 fix): every
+            // distinct condition becomes its own edge.
+            record = true;
+        }
+        if (record)
+            graph.addEdge(src, dst, code,
+                          static_cast<uint32_t>(instrs));
+    };
+
     while (!frontier.empty() && error.empty()) {
         if (options_.cancelFlag &&
             options_.cancelFlag->load(std::memory_order_relaxed)) {
             error = "enumeration cancelled";
             break;
         }
-        graph::StateId src = frontier.front();
-        frontier.pop_front();
-        if (src == level_end)
+        // Peek-based level close (frontier ids ascend, so the front
+        // crossing the watermark closes the level exactly where the
+        // popped id used to).
+        if (frontier.front() == level_end)
             close_level();
 
+        if (sliced) {
+            // Batch up to 64 same-level sources into one bit-sliced
+            // expansion. Source pointers are read only before the
+            // sink runs, so interning (which may reallocate the
+            // state store) cannot invalidate them mid-batch.
+            std::array<graph::StateId, 64> ids;
+            std::array<const BitVec *, 64> srcs;
+            size_t chunk = 0;
+            while (chunk < 64 && !frontier.empty() &&
+                   frontier.front() < level_end) {
+                ids[chunk] = frontier.front();
+                frontier.pop_front();
+                ++chunk;
+            }
+            for (size_t i = 0; i < chunk; ++i)
+                srcs[i] = &packed_of(ids[i]);
+            stats_.transitionsTried += combos * chunk;
+            size_t cur_lane = SIZE_MAX;
+            sliced->expandBatch(
+                srcs.data(), chunk,
+                [&](size_t lane, uint64_t code,
+                    fsm::Transition &&transition) {
+                    if (lane != cur_lane) {
+                        cur_lane = lane;
+                        dst_seen.clear();
+                    }
+                    handle(ids[lane], code, std::move(transition));
+                });
+            continue;
+        }
+
+        graph::StateId src = frontier.front();
+        frontier.pop_front();
         dst_seen.clear();
         stats_.transitionsTried += combos;
 
         // Copy: interning new states may reallocate the state store
         // while the generator still holds the source state.
         const BitVec src_packed = packed_of(src);
-        model_.forEachTransition(
-            src_packed,
-            [&](uint64_t code, fsm::Transition &&transition) {
-                ++stats_.transitionsValid;
-                if (!error.empty())
-                    return;
-                unsigned instrs = transition.instructions;
-                // Enforce the cap *before* interning: the over-limit
-                // state must not enter the graph or the table.
-                if (options_.maxStates &&
-                    graph.numStates() >= options_.maxStates &&
-                    known.find(transition.next) == known.end()) {
-                    error = stateExplosionMessage(options_.maxStates);
-                    return;
-                }
-                auto [dst, is_new] =
-                    intern(std::move(transition.next));
-                if (is_new) {
-                    frontier.push_back(dst);
-                    if (options_.progressInterval &&
-                        graph.numStates() %
-                                options_.progressInterval == 0) {
-                        logInfo(formatString(
-                            "enumerated %zu states, %zu edges",
-                            graph.numStates(), graph.numEdges()));
-                    }
-                }
-
-                bool record;
-                if (options_.recording ==
-                    EdgeRecording::FirstCondition) {
-                    // "Only one permutation is recorded" per
-                    // (src, dst) pair: the first condition found.
-                    record = dst_seen.insert(dst).second;
-                } else {
-                    // AllConditions (the Section 4 fix): every
-                    // distinct condition becomes its own edge.
-                    record = true;
-                }
-                if (record) {
-                    graph.addEdge(src, dst, code,
-                                  static_cast<uint32_t>(instrs));
-                }
-            });
+        auto on_transition = [&](uint64_t code,
+                                 fsm::Transition &&transition) {
+            handle(src, code, std::move(transition));
+        };
+        if (scalar)
+            scalar->forEachTransition(src_packed, on_transition);
+        else
+            model_.forEachTransition(src_packed, on_transition);
     }
     if (!error.empty())
         return Result<graph::StateGraph>::error(error);
@@ -303,6 +374,8 @@ Enumerator::runSequential()
     stats_.numShards = 1;
     stats_.minShardStates = known.size();
     stats_.maxShardStates = known.size();
+    if (sliced)
+        stats_.slicedFallbackLanes = sliced->scalarFallbackLanes();
     size_t private_bytes = 0;
     for (const BitVec &state : privateStates)
         private_bytes += state.memoryBytes() + sizeof(state);
@@ -389,6 +462,7 @@ Enumerator::runParallel(unsigned num_threads)
         std::vector<TransRec> trans;
         std::vector<uint64_t> perSource;
         uint64_t valid = 0;
+        uint64_t fallbackLanes = 0;
     };
 
     std::vector<graph::StateId> level = {0};
@@ -430,55 +504,106 @@ Enumerator::runParallel(unsigned num_threads)
             WorkerOut &out = outs[w];
             out.perSource.reserve(end - begin);
             std::unordered_set<uint64_t> dst_seen;
-            for (size_t i = begin; i < end; ++i) {
-                const BitVec &src_packed = packed_of(level[i]);
-                const size_t before = out.trans.size();
-                dst_seen.clear();
-                model_.forEachTransition(
-                    src_packed,
-                    [&](uint64_t code, fsm::Transition &&transition) {
-                        ++out.valid;
-                        uint32_t instrs = transition.instructions;
-                        BitVec state = std::move(transition.next);
-                        const size_t hash = BitVecHash{}(state);
-                        Shard &shard = shards[hash & shard_mask];
-                        graph::StateId dst;
-                        {
-                            std::lock_guard<std::mutex> lock(
-                                shard.mutex);
-                            auto [it, inserted] =
-                                shard.map.try_emplace(
-                                    std::move(state), 0);
-                            if (inserted) {
-                                uint32_t slot = static_cast<uint32_t>(
-                                    shard.pendingKeys.size());
-                                if (slot >=
-                                    (kPendingFlag >> shard_bits)) {
-                                    panic("enumerator: provisional "
-                                          "id space exhausted");
-                                }
-                                it->second =
-                                    kPendingFlag |
-                                    (slot << shard_bits) |
-                                    static_cast<uint32_t>(
-                                        hash & shard_mask);
-                                shard.pendingKeys.push_back(
-                                    &it->first);
-                                shard.pendingIds.push_back(
-                                    &it->second);
+
+            // Per-worker step kernels: kernels hold mutable scratch
+            // and are not thread-safe, so each worker owns its own.
+            std::optional<compile::ScalarKernel> scalar;
+            std::optional<compile::SlicedKernel> sliced;
+            if (program_) {
+                if (stats_.kernelUsed == StepKernel::BitSliced)
+                    sliced.emplace(program_);
+                else
+                    scalar.emplace(program_);
+            }
+
+            auto record = [&](uint64_t code,
+                              fsm::Transition &&transition) {
+                ++out.valid;
+                uint32_t instrs = transition.instructions;
+                BitVec state = std::move(transition.next);
+                const size_t hash = BitVecHash{}(state);
+                Shard &shard = shards[hash & shard_mask];
+                graph::StateId dst;
+                {
+                    std::lock_guard<std::mutex> lock(shard.mutex);
+                    auto [it, inserted] =
+                        shard.map.try_emplace(std::move(state), 0);
+                    if (inserted) {
+                        uint32_t slot = static_cast<uint32_t>(
+                            shard.pendingKeys.size());
+                        if (slot >= (kPendingFlag >> shard_bits)) {
+                            panic("enumerator: provisional "
+                                  "id space exhausted");
+                        }
+                        it->second =
+                            kPendingFlag | (slot << shard_bits) |
+                            static_cast<uint32_t>(hash & shard_mask);
+                        shard.pendingKeys.push_back(&it->first);
+                        shard.pendingIds.push_back(&it->second);
+                    }
+                    dst = it->second;
+                }
+                // Provisional ids are stable per state for
+                // the whole level, so FirstCondition dedup
+                // on them equals dedup on canonical ids.
+                if (first_condition &&
+                    !dst_seen.insert(dst).second) {
+                    return;
+                }
+                out.trans.push_back({code, dst, instrs});
+            };
+
+            if (sliced) {
+                // Bit-sliced batches of up to 64 sources from this
+                // worker's slice. The sink arrives source-major in
+                // lane order, so splitting the transition buffer by
+                // per-lane counts preserves the per-source grouping
+                // the barrier walk expects.
+                for (size_t i = begin; i < end;) {
+                    const size_t chunk =
+                        std::min<size_t>(64, end - i);
+                    std::array<const BitVec *, 64> srcs;
+                    for (size_t k = 0; k < chunk; ++k)
+                        srcs[k] = &packed_of(level[i + k]);
+                    std::array<uint64_t, 64> counts{};
+                    size_t cur_lane = SIZE_MAX;
+                    sliced->expandBatch(
+                        srcs.data(), chunk,
+                        [&](size_t lane, uint64_t code,
+                            fsm::Transition &&transition) {
+                            if (lane != cur_lane) {
+                                cur_lane = lane;
+                                dst_seen.clear();
                             }
-                            dst = it->second;
-                        }
-                        // Provisional ids are stable per state for
-                        // the whole level, so FirstCondition dedup
-                        // on them equals dedup on canonical ids.
-                        if (first_condition &&
-                            !dst_seen.insert(dst).second) {
-                            return;
-                        }
-                        out.trans.push_back({code, dst, instrs});
-                    });
-                out.perSource.push_back(out.trans.size() - before);
+                            const size_t before = out.trans.size();
+                            record(code, std::move(transition));
+                            counts[lane] +=
+                                out.trans.size() - before;
+                        });
+                    for (size_t k = 0; k < chunk; ++k)
+                        out.perSource.push_back(counts[k]);
+                    i += chunk;
+                }
+                out.fallbackLanes = sliced->scalarFallbackLanes();
+            } else {
+                for (size_t i = begin; i < end; ++i) {
+                    const BitVec &src_packed = packed_of(level[i]);
+                    const size_t before = out.trans.size();
+                    dst_seen.clear();
+                    auto on_transition =
+                        [&](uint64_t code,
+                            fsm::Transition &&transition) {
+                            record(code, std::move(transition));
+                        };
+                    if (scalar)
+                        scalar->forEachTransition(src_packed,
+                                                  on_transition);
+                    else
+                        model_.forEachTransition(src_packed,
+                                                 on_transition);
+                    out.perSource.push_back(out.trans.size() -
+                                            before);
+                }
             }
             finish_ns[w] = telemetry::nowNs();
         };
@@ -502,8 +627,10 @@ Enumerator::runParallel(unsigned num_threads)
             barrier_wait.record(double(slowest - finish_ns[w]) / 1e9);
 
         stats_.transitionsTried += uint64_t(width) * combos;
-        for (const WorkerOut &out : outs)
+        for (const WorkerOut &out : outs) {
             stats_.transitionsValid += out.valid;
+            stats_.slicedFallbackLanes += out.fallbackLanes;
+        }
 
         // --- Level barrier: canonical id assignment ----------------
         // Walk workers in index order, sources in level order and

@@ -30,12 +30,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fsm/model.hh"
 #include "graph/state_graph.hh"
 #include "support/status.hh"
+
+namespace archval::compile
+{
+struct Program;
+} // namespace archval::compile
 
 namespace archval::murphi
 {
@@ -45,6 +51,25 @@ enum class EdgeRecording
 {
     FirstCondition,
     AllConditions,
+};
+
+/**
+ * Which step kernel expands frontier states.
+ *
+ * Interpreted walks the model's expression tree per transition;
+ * Bytecode runs the model's lowered compile::Program through the
+ * scalar threaded interpreter; BitSliced additionally packs up to 64
+ * frontier states into bit planes and expands them per choice code in
+ * one pass. All three produce bit-identical graphs. Compiled modes
+ * need the model to publish a compileSpec(); models that return none
+ * (e.g. closure-based models) silently fall back to Interpreted and
+ * the fallback is reported in EnumStats.
+ */
+enum class StepKernel
+{
+    Interpreted,
+    Bytecode,
+    BitSliced,
 };
 
 /** Enumeration options. */
@@ -76,6 +101,9 @@ struct EnumOptions
      *  same recoverable path as maxStates, never a process exit.
      *  The flag is only read. */
     const std::atomic<bool> *cancelFlag = nullptr;
+
+    /** Step kernel for frontier expansion (see StepKernel). */
+    StepKernel compiledStep = StepKernel::Interpreted;
 };
 
 /** Per-BFS-level observability (frontier shape and throughput). */
@@ -108,6 +136,12 @@ struct EnumStats
 
     unsigned numThreads = 1;      ///< worker threads actually used
     size_t numShards = 1;         ///< hash table stripes
+
+    /** Kernel that actually ran (Interpreted when the model has no
+     *  compiled form and the requested mode fell back). */
+    StepKernel kernelUsed = StepKernel::Interpreted;
+    bool compiledFallback = false; ///< compiled mode requested, no spec
+    uint64_t slicedFallbackLanes = 0; ///< per-lane scalar-path steps
     size_t minShardStates = 0;    ///< final occupancy, emptiest shard
     size_t maxShardStates = 0;    ///< final occupancy, fullest shard
     std::vector<LevelStats> levels; ///< per-BFS-level breakdown
@@ -161,6 +195,8 @@ class Enumerator
     const fsm::Model &model_;
     EnumOptions options_;
     EnumStats stats_;
+    /** Lowered bytecode when a compiled kernel is active this run. */
+    std::shared_ptr<const compile::Program> program_;
 };
 
 } // namespace archval::murphi

@@ -78,6 +78,8 @@ help(const char *argv0)
         "  --max-states N       enumeration state cap\n"
         "  --enum-threads N     enumeration workers (not part of "
         "the fingerprint)\n"
+        "  --compiled-step      bit-sliced compiled step kernel "
+        "(not part of the fingerprint)\n"
         "  --vector-seed N      vector generation seed\n"
         "\n"
         "job options:\n"
@@ -273,6 +275,8 @@ main(int argc, char **argv)
             if (!intValue(n))
                 return usage(argv[0]);
             design.set("enumThreads", n);
+        } else if (arg == "--compiled-step") {
+            design.set("compiledStep", true);
         } else if (arg == "--vector-seed") {
             if (!intValue(n))
                 return usage(argv[0]);

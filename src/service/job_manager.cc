@@ -458,6 +458,14 @@ JobManager::execute(Job &job)
                        static_cast<int64_t>(stats.bitsPerState));
             result.set("levels",
                        static_cast<int64_t>(stats.levels.size()));
+            // Structural graph hash: lets clients verify byte-equal
+            // graphs across step kernels and worker counts.
+            result.set("graphFingerprint",
+                       formatString("%016llx",
+                                    static_cast<unsigned long long>(
+                                        graph::fingerprint(
+                                            session->graph()))));
+            result.set("compiledFallback", stats.compiledFallback);
         } else if (request.verb == "tour") {
             result.set("tours", static_cast<int64_t>(
                                     session->tours().size()));

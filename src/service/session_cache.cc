@@ -122,6 +122,7 @@ DesignSpec::fromJson(const json::Value &design)
         !readCount(design, "vectorSeed", spec.vectorSeed, error) ||
         !readFlag(design, "nestedPrefixSplits",
                   spec.nestedPrefixSplits, error) ||
+        !readFlag(design, "compiledStep", spec.compiledStep, error) ||
         !readFlag(design, "modelBranches", model_branches, error) ||
         !readFlag(design, "dualIssue", dual_issue, error)) {
         return Result<DesignSpec>::error(error);
@@ -170,6 +171,9 @@ Session::ensure(Stage stage, const std::atomic<bool> *cancel)
             options.numThreads = std::max(1u, spec_.enumThreads);
             options.retainStates = true; // vecgen condition mapping
             options.cancelFlag = cancel;
+            options.compiledStep =
+                spec_.compiledStep ? murphi::StepKernel::BitSliced
+                                   : murphi::StepKernel::Interpreted;
             murphi::Enumerator enumerator(*model_, options);
             Result<graph::StateGraph> result = enumerator.run();
             if (!result.ok())

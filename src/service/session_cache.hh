@@ -69,6 +69,13 @@ struct DesignSpec
     uint64_t maxStates = 500'000;
     unsigned enumThreads = 1;
 
+    /** Expand frontiers with the compiled bit-sliced step kernel
+     *  (murphi::StepKernel::BitSliced); models without a compiled
+     *  form fall back to the interpreter. Excluded from the
+     *  fingerprint like enumThreads: the graph is bit-identical
+     *  either way, so it cannot invalidate a cached product. */
+    bool compiledStep = false;
+
     /** Tour generation (graph::TourOptions). */
     uint64_t maxInstructionsPerTrace = 0;
     bool nestedPrefixSplits = false;

@@ -32,7 +32,7 @@ namespace
  * every downstream consumer (tours, vectors, fuzzing, coverage).
  */
 std::string
-fingerprint(const graph::StateGraph &graph)
+fingerprintBytes(const graph::StateGraph &graph)
 {
     std::string bytes;
     auto put64 = [&bytes](uint64_t value) {
@@ -74,7 +74,7 @@ expectIdenticalAcrossWorkerCounts(const fsm::Model &model,
     options.numThreads = 1;
     murphi::Enumerator sequential(model, options);
     auto baseline = sequential.runOrThrow();
-    const std::string expected = fingerprint(baseline);
+    const std::string expected = fingerprintBytes(baseline);
     ASSERT_GT(baseline.numStates(), 0u);
 
     for (unsigned threads : {1u, 2u, 8u}) {
@@ -83,7 +83,7 @@ expectIdenticalAcrossWorkerCounts(const fsm::Model &model,
         auto graph = parallel.runOrThrow();
 
         // Byte-identical, and state-for-state / edge-for-edge equal.
-        EXPECT_EQ(fingerprint(graph), expected)
+        EXPECT_EQ(fingerprintBytes(graph), expected)
             << model.name() << " diverges at " << threads
             << " threads";
         ASSERT_EQ(graph.numStates(), baseline.numStates());

@@ -36,6 +36,9 @@ ID_KEYS = (
     "section",
     "kind",
     "configuration",
+    "design",
+    "mode",
+    "benchmark",
     "workers",
     "threads",
     "cache",
@@ -83,6 +86,18 @@ HIGHER_IS_BETTER = {
     "hit_rate",
     "stride_savings",
     "coverage_fraction",
+    "speedup_bytecode",
+    "speedup_sliced",
+}
+
+# Absolute floors, independent of the baseline: on rows flagged
+# `"largest": true` (the biggest HDL corpus design) the compiled
+# kernels must clear their headline speedups over the interpreter.
+# A baseline captured on a fast machine must not let a broken kernel
+# hide inside the 20% drift window.
+MIN_FLOORS = {
+    "speedup_bytecode": 2.0,
+    "speedup_sliced": 8.0,
 }
 
 # Observability counters from the embedded telemetry registry
@@ -213,6 +228,24 @@ def main():
                     f"{base_val:g} -> {cur_val:g} "
                     f"({100 * drift:+.1f}%, threshold "
                     f"{100 * args.threshold:.0f}%)"
+                )
+
+    # Absolute floors on the current emission (no baseline needed):
+    # see MIN_FLOORS.
+    for cur_row in current["rows"]:
+        if not cur_row.get("largest"):
+            continue
+        label = " ".join(f"{k}={v}" for k, v in row_id(cur_row)) \
+            or "(row)"
+        for key, floor in MIN_FLOORS.items():
+            value = cur_row.get(key)
+            if not isinstance(value, (int, float)):
+                continue
+            compared += 1
+            if value < floor:
+                failures.append(
+                    f"{label}: {key} = {value:g} below the "
+                    f"absolute floor {floor:g}"
                 )
 
     # Observability gating: the registry snapshot embedded by

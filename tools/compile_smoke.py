@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI driver for the `compile_smoke` ctest.
+
+Exercises the service end of the compiled step kernel: two archvald
+lifetimes enumerate the same design, one interpreted and one with
+`--compiled-step`, and the reported `graphFingerprint` must be
+byte-identical. The service model (the PP FSM) publishes no compiled
+form, so the compiled-step run must also report its fall back to the
+interpreter — both in the result frame (`compiledFallback`) and in
+the telemetry trace (`compile.enum_fallbacks`), which must pass
+trace_summary.py --check.
+
+Usage: tools/compile_smoke.py <archvald> <archval_client>
+"""
+
+import os
+import sys
+import tempfile
+
+from service_smoke import (boot_daemon, client_events, fail,
+                           shutdown_daemon, terminal, trace_metrics)
+import subprocess
+
+
+def enumerate_once(archvald, client, tmp, tag, extra_client_args):
+    """One daemon lifetime running a single enumerate job.
+    Returns (result_frame, trace_path, error)."""
+    socket = os.path.join(tmp, f"archval_{tag}.sock")
+    trace = os.path.join(tmp, f"trace_{tag}.json")
+    env = dict(os.environ, ARCHVAL_TRACE=trace)
+    daemon, error = boot_daemon(archvald, socket, env)
+    if error:
+        return None, trace, error
+    try:
+        code, events = client_events(
+            client, socket, "enumerate", *extra_client_args)
+        result = terminal(events)
+        if code != 0 or not result or result["type"] != "result":
+            return None, trace, \
+                f"{tag} enumerate failed: exit {code}, " \
+                f"terminal {result}"
+        error = shutdown_daemon(client, socket, daemon)
+        if error:
+            return None, trace, error
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    return result, trace, None
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    archvald, client = sys.argv[1:]
+    summary = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "trace_summary.py")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        interp, _, error = enumerate_once(
+            archvald, client, tmp, "interp", [])
+        if error:
+            return fail(error)
+        compiled, trace, error = enumerate_once(
+            archvald, client, tmp, "compiled", ["--compiled-step"])
+        if error:
+            return fail(error)
+
+        for tag, result in (("interp", interp),
+                            ("compiled", compiled)):
+            if result.get("states", 0) <= 0:
+                return fail(f"{tag} enumerate reported no states")
+            if "graphFingerprint" not in result:
+                return fail(f"{tag} result has no graphFingerprint")
+
+        if interp["graphFingerprint"] != compiled["graphFingerprint"]:
+            return fail(
+                "graph fingerprints diverge: interpreted "
+                f"{interp['graphFingerprint']} vs compiled-step "
+                f"{compiled['graphFingerprint']}")
+        if interp["states"] != compiled["states"] or \
+                interp["edges"] != compiled["edges"]:
+            return fail("state/edge counts diverge between kernels")
+
+        # The PP FSM is closure-based: the compiled-step request must
+        # report a clean fall back, not silently pretend it compiled.
+        if interp.get("compiledFallback") is not False:
+            return fail("interpreted run flagged a compiled fallback")
+        if compiled.get("compiledFallback") is not True:
+            return fail("compiled-step run on the PP FSM did not "
+                        "report its interpreter fallback")
+
+        metrics = trace_metrics(trace)
+        if int(metrics.get("compile.enum_fallbacks", 0)) < 1:
+            return fail("compiled-step trace has no "
+                        "compile.enum_fallbacks counter")
+        check = subprocess.run(
+            [sys.executable, summary, trace, "--check"])
+        if check.returncode != 0:
+            return fail("trace_summary --check failed")
+
+    print("compile smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
