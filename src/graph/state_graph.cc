@@ -72,6 +72,12 @@ StateGraph::reserveStates(size_t expected)
         packedStates_.reserve(expected);
 }
 
+void
+StateGraph::reserveEdges(size_t expected)
+{
+    edges_.reserve(expected);
+}
+
 EdgeId
 StateGraph::addEdge(StateId src, StateId dst, uint64_t choice_code,
                     uint32_t instr_count)

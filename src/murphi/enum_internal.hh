@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Internals shared between the enumerator's in-memory searches
+ * (enumerator.cc) and the out-of-core search (enum_ooc.cc). Not part
+ * of the public murphi interface.
+ */
+
+#ifndef ARCHVAL_MURPHI_ENUM_INTERNAL_HH
+#define ARCHVAL_MURPHI_ENUM_INTERNAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "murphi/enumerator.hh"
+#include "murphi/ooc.hh"
+
+namespace archval::murphi::detail
+{
+
+/** Interned state table (one shard / partition). */
+using StateTable = ooc::StateMap;
+
+/**
+ * High bit marks a provisional (not yet canonically numbered) state
+ * id. A provisional id encodes (shard, pending slot) so the barrier
+ * walk can find the entry to renumber; both the thread-parallel and
+ * the out-of-core searches must agree on this layout, so it lives
+ * here exactly once.
+ */
+constexpr graph::StateId kPendingFlag = 0x8000'0000u;
+
+/** Footprint of one interning table, buckets + nodes + key words. */
+size_t stateTableBytes(const StateTable &table);
+
+/** Error text for a search that exceeded EnumOptions::maxStates. */
+std::string stateExplosionMessage(uint64_t max_states);
+
+/** Error text for a reset state whose width disagrees with the
+ *  declared state layout. */
+std::string resetWidthMessage(size_t reset_bits, size_t state_bits);
+
+/** Publish the run's headline counters/gauges (enum.states etc.). */
+void recordEnumMetrics(const EnumStats &stats);
+
+} // namespace archval::murphi::detail
+
+#endif // ARCHVAL_MURPHI_ENUM_INTERNAL_HH

@@ -1,5 +1,7 @@
 #include "enumerator.hh"
 
+#include "enum_internal.hh"
+
 #include <algorithm>
 #include <array>
 #include <deque>
@@ -53,6 +55,20 @@ EnumStats::render() const
                             withCommas(minShardStates).c_str(),
                             withCommas(maxShardStates).c_str());
     }
+    if (numProcesses > 1 || spillBytesWritten || pageIns || pageOuts ||
+        spillFallbacks) {
+        out += formatString("Worker processes        %u\n",
+                            numProcesses);
+        out += formatString("Spill bytes written     %s\n",
+                            humanBytes(spillBytesWritten).c_str());
+        out += formatString("Shard pages in/out      %s / %s\n",
+                            withCommas(pageIns).c_str(),
+                            withCommas(pageOuts).c_str());
+        out += formatString("Residency high water    %s\n",
+                            humanBytes(residencyHighWaterBytes).c_str());
+        out += formatString("Spill fallbacks         %s\n",
+                            withCommas(spillFallbacks).c_str());
+    }
     return out;
 }
 
@@ -74,16 +90,9 @@ EnumStats::renderLevels() const
     return out;
 }
 
-namespace
+namespace detail
 {
 
-using StateTable =
-    std::unordered_map<BitVec, graph::StateId, BitVecHash>;
-
-/** High bit marks a provisional (not yet canonically numbered) id. */
-constexpr graph::StateId kPendingFlag = 0x8000'0000u;
-
-/** Footprint of one interning table, buckets + nodes + key words. */
 size_t
 stateTableBytes(const StateTable &table)
 {
@@ -124,7 +133,14 @@ recordEnumMetrics(const EnumStats &stats)
         .set(static_cast<int64_t>(stats.maxShardStates));
 }
 
-} // namespace
+} // namespace detail
+
+using detail::kPendingFlag;
+using detail::recordEnumMetrics;
+using detail::resetWidthMessage;
+using detail::StateTable;
+using detail::stateExplosionMessage;
+using detail::stateTableBytes;
 
 Enumerator::Enumerator(const fsm::Model &model, EnumOptions options)
     : model_(model), options_(options)
@@ -156,6 +172,12 @@ Enumerator::run()
             telemetry::counter("compile.enum_fallbacks").add();
         }
     }
+
+    // A table budget or a worker-process count selects the
+    // out-of-core search; both produce bit-identical graphs, so the
+    // dispatch is purely a residency/topology decision.
+    if (options_.memoryBudgetBytes > 0 || options_.numProcesses > 1)
+        return runOutOfCore(threads);
 
     return threads == 1 ? runSequential() : runParallel(threads);
 }

@@ -46,6 +46,11 @@ struct Program;
 namespace archval::murphi
 {
 
+namespace ooc
+{
+struct TestHooks;
+} // namespace ooc
+
 /** Edge recording policy (see file comment). */
 enum class EdgeRecording
 {
@@ -104,6 +109,43 @@ struct EnumOptions
 
     /** Step kernel for frontier expansion (see StepKernel). */
     StepKernel compiledStep = StepKernel::Interpreted;
+
+    /**
+     * Byte budget for the resident interned-state table (0 =
+     * unbounded, everything stays in memory). A non-zero budget
+     * selects the out-of-core search: the table is partitioned, cold
+     * partitions are paged out to CRC-guarded spill files under
+     * spillDir, and the BFS frontier is spilled between levels. The
+     * produced graph is bit-identical to the in-memory search for
+     * every budget. An unusable spill directory degrades the run
+     * back to in-memory (counted in enum.spill_fallbacks) rather
+     * than failing it.
+     */
+    size_t memoryBudgetBytes = 0;
+
+    /** Base directory for spill scratch (empty = $TMPDIR or /tmp).
+     *  A fresh subdirectory is created per run and removed after. */
+    std::string spillDir;
+
+    /**
+     * Expansion worker processes (1 = expand in-process). Values
+     * above 1 also select the out-of-core search: frontier slices
+     * are shipped to forked workers over pipes and the raw
+     * transition streams are replayed through the same interning
+     * path the in-process search uses, so the graph stays
+     * bit-identical. A worker dying mid-level degrades to local
+     * re-expansion of its slice (counted in enum.spill_fallbacks).
+     */
+    unsigned numProcesses = 1;
+
+    /** Out-of-core table partition count (0 = default; rounded up
+     *  to a power of two). 1 is legal — the pathological single
+     *  partition — and mainly useful for tests. */
+    size_t oocPartitions = 0;
+
+    /** Fault-injection hooks for the out-of-core search (testing
+     *  only; see ooc::TestHooks). Not owned. */
+    const ooc::TestHooks *testHooks = nullptr;
 };
 
 /** Per-BFS-level observability (frontier shape and throughput). */
@@ -145,6 +187,18 @@ struct EnumStats
     size_t minShardStates = 0;    ///< final occupancy, emptiest shard
     size_t maxShardStates = 0;    ///< final occupancy, fullest shard
     std::vector<LevelStats> levels; ///< per-BFS-level breakdown
+
+    /** @name Out-of-core search (all zero for in-memory runs) @{ */
+    unsigned numProcesses = 1;    ///< expansion worker processes
+    uint64_t spillBytesWritten = 0; ///< spill file bytes written
+    uint64_t pageIns = 0;         ///< shard page-in operations
+    uint64_t pageOuts = 0;        ///< shard page-out operations
+    uint64_t spillFallbacks = 0;  ///< degraded-path events (see
+                                  ///< enum.spill_fallbacks)
+    /** High-water mark of the post-eviction resident table bytes;
+     *  stays <= memoryBudgetBytes whenever spillFallbacks == 0. */
+    size_t residencyHighWaterBytes = 0;
+    /** @} */
 
     /** Render as an aligned table next to the paper's values. */
     std::string render() const;
@@ -191,6 +245,10 @@ class Enumerator
   private:
     Result<graph::StateGraph> runSequential();
     Result<graph::StateGraph> runParallel(unsigned num_threads);
+    /** Out-of-core search (enum_ooc.cc): disk-backed frontier,
+     *  partitioned table under a residency budget, optional forked
+     *  expansion workers. Bit-identical output to the above. */
+    Result<graph::StateGraph> runOutOfCore(unsigned num_threads);
 
     const fsm::Model &model_;
     EnumOptions options_;

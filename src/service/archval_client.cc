@@ -11,7 +11,8 @@
  *        ping | status | cancel | list | shutdown   (single reply)
  *
  * Job options: --preset small|full, --line-words N, --max-states N,
- * --enum-threads N, --vector-seed N, --bugs bug1,bug4 (names or
+ * --enum-threads N, --memory-budget-mb N, --enum-processes N,
+ * --spill-dir PATH, --vector-seed N, --bugs bug1,bug4 (names or
  * indices), --threads N, --stride N, --budget N, --rounds N,
  * --round-instructions N, --seed N. Control options: --job N.
  * `--request JSON` sends a raw request object instead (the verb
@@ -80,6 +81,13 @@ help(const char *argv0)
         "the fingerprint)\n"
         "  --compiled-step      bit-sliced compiled step kernel "
         "(not part of the fingerprint)\n"
+        "  --memory-budget-mb N out-of-core enumeration residency "
+        "budget in MiB (not part of the fingerprint)\n"
+        "  --memory-budget-kb N same, in KiB\n"
+        "  --enum-processes N   forked enumeration worker processes "
+        "(not part of the fingerprint)\n"
+        "  --spill-dir PATH     enumeration spill root (not part of "
+        "the fingerprint)\n"
         "  --vector-seed N      vector generation seed\n"
         "\n"
         "job options:\n"
@@ -277,6 +285,23 @@ main(int argc, char **argv)
             design.set("enumThreads", n);
         } else if (arg == "--compiled-step") {
             design.set("compiledStep", true);
+        } else if (arg == "--memory-budget-mb") {
+            if (!intValue(n))
+                return usage(argv[0]);
+            design.set("memoryBudgetBytes", n * (int64_t{1} << 20));
+        } else if (arg == "--memory-budget-kb") {
+            if (!intValue(n))
+                return usage(argv[0]);
+            design.set("memoryBudgetBytes", n * (int64_t{1} << 10));
+        } else if (arg == "--enum-processes") {
+            if (!intValue(n))
+                return usage(argv[0]);
+            design.set("enumProcesses", n);
+        } else if (arg == "--spill-dir") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            design.set("spillDir", std::string(v));
         } else if (arg == "--vector-seed") {
             if (!intValue(n))
                 return usage(argv[0]);

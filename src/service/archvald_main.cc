@@ -31,12 +31,16 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--socket PATH] [--tcp PORT] [--workers N] "
-        "[--sessions N] [--session-dir PATH] [--queue-bound N]\n"
+        "[--sessions N] [--session-dir PATH] [--session-cap-mb N] "
+        "[--queue-bound N]\n"
         "  --socket PATH      listen on a unix-domain socket\n"
         "  --tcp PORT         listen on loopback TCP (0 = ephemeral)\n"
         "  --workers N        concurrent job executors (default 2)\n"
         "  --sessions N       session cache capacity (default 4)\n"
         "  --session-dir PATH persist sessions here across restarts\n"
+        "  --session-cap-mb N cap the session dir at N MiB, evicting\n"
+        "                     least-recently-used session files\n"
+        "                     (default unlimited)\n"
         "  --queue-bound N    reject jobs past N queued (default "
         "64)\n",
         argv0);
@@ -83,6 +87,13 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             options.sessionDir = v;
+        } else if (arg == "--session-cap-mb") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.sessionDirCapBytes =
+                static_cast<size_t>(std::max(0, std::atoi(v))) *
+                (size_t{1} << 20);
         } else if (arg == "--queue-bound") {
             const char *v = value();
             if (!v)

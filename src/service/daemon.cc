@@ -122,7 +122,8 @@ listenTcp(int port, int &bound_port, std::string &error)
 
 Daemon::Daemon(const Options &options)
     : options_(options),
-      sessions_(options.maxSessions, options.sessionDir),
+      sessions_(options.maxSessions, options.sessionDir,
+                options.sessionDirCapBytes),
       jobs_(std::make_unique<JobManager>(sessions_, options.workers,
                                          options.queueBound))
 {

@@ -55,6 +55,11 @@ class Daemon
          *  empty keeps sessions memory-only, so a restart rebuilds
          *  everything cold. */
         std::string sessionDir;
+        /** On-disk size cap for sessionDir's record files, in bytes
+         *  (0 = unlimited). Least-recently-used session files are
+         *  evicted after each save; an evicted fingerprint rebuilds
+         *  cold on its next job. */
+        size_t sessionDirCapBytes = 0;
         /** Admission-control bound on jobs queued (not running)
          *  across all clients; a submit past the bound is answered
          *  with a `busy` error frame (JobManager::kDefaultQueueBound

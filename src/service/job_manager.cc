@@ -466,6 +466,20 @@ JobManager::execute(Job &job)
                                         graph::fingerprint(
                                             session->graph()))));
             result.set("compiledFallback", stats.compiledFallback);
+            // Out-of-core telemetry: all zero for a fully in-memory
+            // run, so clients can assert both "it spilled" and "it
+            // never fell back" from the result frame alone.
+            result.set("spillBytes",
+                       static_cast<int64_t>(stats.spillBytesWritten));
+            result.set("pageIns",
+                       static_cast<int64_t>(stats.pageIns));
+            result.set("pageOuts",
+                       static_cast<int64_t>(stats.pageOuts));
+            result.set("residencyHighWater",
+                       static_cast<int64_t>(
+                           stats.residencyHighWaterBytes));
+            result.set("spillFallbacks",
+                       static_cast<int64_t>(stats.spillFallbacks));
         } else if (request.verb == "tour") {
             result.set("tours", static_cast<int64_t>(
                                     session->tours().size()));

@@ -112,11 +112,15 @@ DesignSpec::fromJson(const json::Value &design)
     }
     uint64_t line_words = spec.lineWords;
     uint64_t enum_threads = spec.enumThreads;
+    uint64_t enum_processes = spec.enumProcesses;
     bool model_branches = false;
     bool dual_issue = false;
     if (!readCount(design, "lineWords", line_words, error) ||
         !readCount(design, "maxStates", spec.maxStates, error) ||
         !readCount(design, "enumThreads", enum_threads, error) ||
+        !readCount(design, "memoryBudgetBytes",
+                   spec.memoryBudgetBytes, error) ||
+        !readCount(design, "enumProcesses", enum_processes, error) ||
         !readCount(design, "maxInstructionsPerTrace",
                    spec.maxInstructionsPerTrace, error) ||
         !readCount(design, "vectorSeed", spec.vectorSeed, error) ||
@@ -127,8 +131,16 @@ DesignSpec::fromJson(const json::Value &design)
         !readFlag(design, "dualIssue", dual_issue, error)) {
         return Result<DesignSpec>::error(error);
     }
+    if (design.has("spillDir")) {
+        if (!design.get("spillDir").isString())
+            return Result<DesignSpec>::error(
+                fieldError("spillDir", "a string"));
+        spec.spillDir = design.get("spillDir").asString();
+    }
     spec.lineWords = static_cast<unsigned>(line_words);
     spec.enumThreads = static_cast<unsigned>(enum_threads);
+    spec.enumProcesses =
+        static_cast<unsigned>(std::max<uint64_t>(1, enum_processes));
     if (design.has("modelBranches"))
         spec.modelBranches = model_branches ? 1 : 0;
     if (design.has("dualIssue"))
@@ -174,6 +186,9 @@ Session::ensure(Stage stage, const std::atomic<bool> *cancel)
             options.compiledStep =
                 spec_.compiledStep ? murphi::StepKernel::BitSliced
                                    : murphi::StepKernel::Interpreted;
+            options.memoryBudgetBytes = spec_.memoryBudgetBytes;
+            options.numProcesses = std::max(1u, spec_.enumProcesses);
+            options.spillDir = spec_.spillDir;
             murphi::Enumerator enumerator(*model_, options);
             Result<graph::StateGraph> result = enumerator.run();
             if (!result.ok())
@@ -213,8 +228,10 @@ Session::ensure(Stage stage, const std::atomic<bool> *cancel)
 }
 
 SessionCache::SessionCache(size_t max_sessions,
-                           const std::string &session_dir)
-    : store_(std::make_unique<SessionStore>(session_dir)),
+                           const std::string &session_dir,
+                           size_t session_dir_cap_bytes)
+    : store_(std::make_unique<SessionStore>(session_dir,
+                                            session_dir_cap_bytes)),
       maxSessions_(std::max<size_t>(1, max_sessions))
 {
 }

@@ -76,6 +76,16 @@ struct DesignSpec
      *  either way, so it cannot invalidate a cached product. */
     bool compiledStep = false;
 
+    /** Out-of-core enumeration knobs (murphi::EnumOptions). All
+     *  three are excluded from the fingerprint for the same reason
+     *  as enumThreads/compiledStep: the out-of-core search is held
+     *  to byte-identity with the in-memory one, so neither the
+     *  residency budget, the worker-process count nor the spill
+     *  directory can change any cached product. */
+    uint64_t memoryBudgetBytes = 0; ///< 0 = fully in-memory
+    unsigned enumProcesses = 1;     ///< forked expansion workers
+    std::string spillDir;           ///< spill root ("" = $TMPDIR)
+
     /** Tour generation (graph::TourOptions). */
     uint64_t maxInstructionsPerTrace = 0;
     bool nestedPrefixSplits = false;
@@ -196,9 +206,12 @@ class SessionCache
   public:
     /** @param max_sessions LRU capacity.
      *  @param session_dir Persistence directory (see SessionStore);
-     *  empty keeps sessions memory-only. */
+     *  empty keeps sessions memory-only.
+     *  @param session_dir_cap_bytes On-disk size cap for the store's
+     *  record files (0 = unlimited; see SessionStore). */
     explicit SessionCache(size_t max_sessions = 4,
-                          const std::string &session_dir = {});
+                          const std::string &session_dir = {},
+                          size_t session_dir_cap_bytes = 0);
 
     /** Find-or-create the session for @p spec. @throws FatalError
      *  for an invalid spec (unknown preset). */

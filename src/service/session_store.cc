@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include <dirent.h>
 #include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
 
 #include "service/session_cache.hh"
 #include "support/spill_store.hh"
@@ -340,7 +343,8 @@ deserializeTours(const std::vector<uint8_t> &rec, uint64_t num_edges,
 
 } // namespace
 
-SessionStore::SessionStore(std::string dir) : dir_(std::move(dir))
+SessionStore::SessionStore(std::string dir, size_t cap_bytes)
+    : dir_(std::move(dir)), capBytes_(cap_bytes)
 {
     if (dir_.empty())
         return;
@@ -348,6 +352,60 @@ SessionStore::SessionStore(std::string dir) : dir_(std::move(dir))
     struct stat st;
     if (::stat(dir_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
         dir_.clear(); // unusable directory: persistence off
+}
+
+void
+SessionStore::enforceCap(const std::string &keep)
+{
+    if (capBytes_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(evictMutex_);
+    struct File
+    {
+        std::string path;
+        uint64_t bytes;
+        time_t mtime;
+    };
+    std::vector<File> files;
+    uint64_t total = 0;
+    DIR *scan = ::opendir(dir_.c_str());
+    if (!scan)
+        return;
+    while (struct dirent *entry = ::readdir(scan)) {
+        const std::string name = entry->d_name;
+        if (name.rfind("session-", 0) != 0 ||
+            name.size() < 4 ||
+            name.compare(name.size() - 4, 4, ".avs") != 0) {
+            continue; // not one of ours: never delete foreign files
+        }
+        const std::string path = dir_ + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        files.push_back({path, static_cast<uint64_t>(st.st_size),
+                         st.st_mtime});
+        total += static_cast<uint64_t>(st.st_size);
+    }
+    ::closedir(scan);
+
+    // Oldest mtime first; loads touch their file, so mtime order is
+    // recency-of-use order.
+    std::sort(files.begin(), files.end(),
+              [](const File &a, const File &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const File &file : files) {
+        if (total <= capBytes_)
+            break;
+        if (file.path == keep)
+            continue;
+        if (::unlink(file.path.c_str()) != 0)
+            continue;
+        total -= file.bytes;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::counter("service.session_evictions").add(1);
+    }
 }
 
 std::string
@@ -408,6 +466,7 @@ SessionStore::save(Session &session)
     session.savedStamp_ = stamp;
     saves_.fetch_add(1, std::memory_order_relaxed);
     telemetry::counter("service.session_saves").add(1);
+    enforceCap(pathFor(session.fingerprint_));
     return true;
 }
 
@@ -494,6 +553,9 @@ SessionStore::loadLocked(Session &session)
     session.savedStamp_ = stampLocked(session);
     restoreHits_.fetch_add(1, std::memory_order_relaxed);
     telemetry::counter("service.session_restore_hits").add(1);
+    // Mark the file recently used so the byte cap's LRU eviction
+    // prefers stale fingerprints over live ones.
+    ::utimes(path.c_str(), nullptr);
     return true;
 }
 
@@ -508,6 +570,7 @@ SessionStore::stats() const
         restoreMisses_.load(std::memory_order_relaxed);
     s.restoreFailures =
         restoreFailures_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
     return s;
 }
 

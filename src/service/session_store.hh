@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace archval::service
@@ -50,8 +51,14 @@ class SessionStore
   public:
     /** @param dir Store directory; empty disables persistence (every
      *  call becomes a cheap no-op). The directory is created if
-     *  missing; an uncreatable one disables the store. */
-    explicit SessionStore(std::string dir);
+     *  missing; an uncreatable one disables the store.
+     *  @param cap_bytes Total bytes the store's record files may
+     *  occupy (0 = unlimited). After every save the least-recently
+     *  used files (by mtime; loads touch their file) are evicted
+     *  until the directory fits — the just-written file is never the
+     *  victim, so a single oversize session still persists. An
+     *  evicted fingerprint simply rebuilds cold on its next job. */
+    explicit SessionStore(std::string dir, size_t cap_bytes = 0);
 
     bool enabled() const { return !dir_.empty(); }
     const std::string &dir() const { return dir_; }
@@ -86,6 +93,7 @@ class SessionStore
         uint64_t restoreHits = 0;
         uint64_t restoreMisses = 0;
         uint64_t restoreFailures = 0;
+        uint64_t evictions = 0; ///< record files removed by the cap
     };
     Stats stats() const;
 
@@ -95,13 +103,20 @@ class SessionStore
      *  the last save. Caller holds the session's build mutex. */
     static uint64_t stampLocked(const Session &session);
 
+    /** Evict LRU record files until the directory fits capBytes_;
+     *  @p keep (the file just written) is never evicted. */
+    void enforceCap(const std::string &keep);
+
     std::string dir_; ///< empty when disabled
+    size_t capBytes_ = 0; ///< 0 = unlimited
+    std::mutex evictMutex_; ///< serializes directory scans
 
     std::atomic<uint64_t> saves_{0};
     std::atomic<uint64_t> saveFailures_{0};
     std::atomic<uint64_t> restoreHits_{0};
     std::atomic<uint64_t> restoreMisses_{0};
     std::atomic<uint64_t> restoreFailures_{0};
+    std::atomic<uint64_t> evictions_{0};
 };
 
 } // namespace archval::service

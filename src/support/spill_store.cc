@@ -389,4 +389,27 @@ RecordFileReader::next(std::vector<uint8_t> &out)
     return Status::Record;
 }
 
+bool
+corruptFileByteForTesting(const std::string &path, uint64_t offset)
+{
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0)
+        return false;
+    uint8_t byte = 0;
+    bool ok = preadAll(fd, &byte, 1, offset);
+    if (ok) {
+        byte ^= 0x40;
+        ok = pwriteAll(fd, &byte, 1, offset);
+    }
+    ::close(fd);
+    return ok;
+}
+
+bool
+truncateFileForTesting(const std::string &path, uint64_t keep_bytes)
+{
+    return ::truncate(path.c_str(),
+                      static_cast<off_t>(keep_bytes)) == 0;
+}
+
 } // namespace archval

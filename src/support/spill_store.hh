@@ -172,6 +172,10 @@ class RecordFileWriter
      *  @return false (target untouched) on any failure. */
     bool commit();
 
+    /** @return total file bytes written so far (header + records) —
+     *  what the committed file will occupy on disk. */
+    uint64_t bytesWritten() const { return offset_; }
+
   private:
     void discard();
 
@@ -220,6 +224,22 @@ class RecordFileReader
     uint64_t fileSize_ = 0;
     bool damaged_ = false;
 };
+
+/**
+ * @name Record-file fault injection (testing only)
+ * Damage a committed record file in place the way a real fault
+ * would, so readers' CRC/truncation paths can be proven to degrade
+ * instead of returning wrong bytes. Counterparts of SpillStore's
+ * corrupt/truncate hooks for the durable file format.
+ * @{
+ */
+/** Flip one byte of @p path at @p offset. */
+bool corruptFileByteForTesting(const std::string &path,
+                               uint64_t offset);
+/** Truncate @p path to its first @p keep_bytes bytes. */
+bool truncateFileForTesting(const std::string &path,
+                            uint64_t keep_bytes);
+/** @} */
 
 /** @} */
 

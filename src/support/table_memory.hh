@@ -57,6 +57,37 @@ TableFootprint hashTableFootprint(size_t bucket_count,
                                   size_t entry_bytes,
                                   size_t payload_bytes);
 
+/**
+ * Running residency account against a byte budget, for tables whose
+ * cold partitions can be paged out. The holder recomputes partition
+ * footprints (hashTableFootprint) and reports the resident total
+ * here; the budget answers "must something be paged out now?" and
+ * tracks the high-water mark actually reached.
+ */
+struct ResidencyBudget
+{
+    size_t budgetBytes = 0;    ///< 0 = unbounded
+    size_t residentBytes = 0;  ///< current resident footprint
+    size_t highWaterBytes = 0; ///< max residentBytes ever reported
+
+    bool unbounded() const { return budgetBytes == 0; }
+
+    bool
+    overBudget() const
+    {
+        return !unbounded() && residentBytes > budgetBytes;
+    }
+
+    /** Report the current resident footprint. */
+    void
+    update(size_t bytes)
+    {
+        residentBytes = bytes;
+        if (bytes > highWaterBytes)
+            highWaterBytes = bytes;
+    }
+};
+
 } // namespace archval
 
 #endif // ARCHVAL_SUPPORT_TABLE_MEMORY_HH

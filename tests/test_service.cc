@@ -1226,3 +1226,74 @@ TEST(SessionPersistence, DamagedStoreDegradesToColdRebuild)
 
     removeTree(store);
 }
+
+TEST(SessionPersistence, SizeCapEvictsLruAndEvictedRebuildsCold)
+{
+    const std::string store = makeStoreDir("cap");
+
+    // Uncapped first lifetime: persist session A (vectorSeed 1) and
+    // learn its on-disk size.
+    std::string file_a, plays_a;
+    {
+        SessionCache sessions(4, store);
+        JobManager manager(sessions, 2);
+        Collector events;
+        manager.submit(makeRequest("replay", 1), events.sink());
+        json::Value result = events.waitTerminal();
+        ASSERT_EQ(result.get("type").asString(), "result")
+            << result.get("message").asString();
+        plays_a = result.get("plays").serialize();
+        manager.shutdown(); // workers joined: the save is on disk
+        EXPECT_GE(sessions.stats().saves, 1u);
+        file_a = sessions.store().pathFor(
+            makeRequest("replay", 1).design.fingerprint());
+    }
+    struct stat st;
+    ASSERT_EQ(::stat(file_a.c_str(), &st), 0);
+    ASSERT_GT(st.st_size, 0);
+
+    // Capped second lifetime: saving session B (vectorSeed 2) pushes
+    // the directory past the cap, so A — the least recently used
+    // file — is evicted while B, just written, must survive even
+    // though the directory may still exceed the cap with only B in
+    // it (a single oversize session always persists).
+    const size_t cap = static_cast<size_t>(st.st_size) +
+                       static_cast<size_t>(st.st_size) / 2;
+    std::string file_b;
+    {
+        SessionCache sessions(4, store, cap);
+        JobManager manager(sessions, 2);
+        Collector events;
+        manager.submit(makeRequest("replay", 2), events.sink());
+        json::Value result = events.waitTerminal();
+        ASSERT_EQ(result.get("type").asString(), "result")
+            << result.get("message").asString();
+        manager.shutdown();
+        EXPECT_GE(sessions.store().stats().evictions, 1u);
+        file_b = sessions.store().pathFor(
+            makeRequest("replay", 2).design.fingerprint());
+    }
+    EXPECT_NE(::stat(file_a.c_str(), &st), 0)
+        << "LRU file survived the cap";
+    EXPECT_EQ(::stat(file_b.c_str(), &st), 0)
+        << "just-written file was evicted";
+
+    // Eviction is not an error state: the evicted fingerprint's next
+    // job is a restore miss that rebuilds cold — byte-identical to
+    // the original run, no warm hits, no crash.
+    {
+        SessionCache sessions(4, store, cap);
+        JobManager manager(sessions, 2);
+        Collector events;
+        manager.submit(makeRequest("replay", 1), events.sink());
+        json::Value result = events.waitTerminal();
+        ASSERT_EQ(result.get("type").asString(), "result")
+            << result.get("message").asString();
+        EXPECT_EQ(result.get("plays").serialize(), plays_a);
+        EXPECT_EQ(result.get("warm").get("hits").asInt(), 0);
+        EXPECT_GE(sessions.store().stats().restoreMisses, 1u);
+        manager.shutdown();
+    }
+
+    removeTree(store);
+}

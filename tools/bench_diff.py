@@ -44,6 +44,8 @@ ID_KEYS = (
     "cache",
     "stride",
     "spill_budget_mb",
+    "budget_kb",
+    "processes",
     "bug",
     "mutation",
     "limit",
@@ -69,6 +71,8 @@ EXACT_KEYS = {
     "tour_budget_instructions",
     "mutated_states",
     "mutated_edges",
+    "spill_fallbacks",
+    "residency_under_budget",
 }
 EXACT_SUFFIXES = ("_detected",)
 
@@ -229,6 +233,33 @@ def main():
                     f"({100 * drift:+.1f}%, threshold "
                     f"{100 * args.threshold:.0f}%)"
                 )
+
+    # Out-of-core absolute gate (no baseline needed): every
+    # budget-capped ooc_sweep row must have completed the largest
+    # corpus design bit-identically with residency under budget —
+    # a machine-independent correctness claim, never drift-gated.
+    for cur_row in current["rows"]:
+        if cur_row.get("kind") != "ooc_sweep":
+            continue
+        label = " ".join(f"{k}={v}" for k, v in row_id(cur_row)) \
+            or "(row)"
+        compared += 1
+        if cur_row.get("identical") is not True:
+            failures.append(
+                f"{label}: out-of-core graph diverged from the "
+                f"in-memory enumeration"
+            )
+        if cur_row.get("states", 0) <= 0:
+            failures.append(f"{label}: enumerated no states")
+        if cur_row.get("budget_kb", 0) > 0 and cur_row.get(
+            "residency_under_budget"
+        ) is not True:
+            failures.append(
+                f"{label}: residency exceeded the memory budget "
+                f"(high water "
+                f"{cur_row.get('residency_high_water')!r}, "
+                f"fallbacks {cur_row.get('spill_fallbacks')!r})"
+            )
 
     # Absolute floors on the current emission (no baseline needed):
     # see MIN_FLOORS.

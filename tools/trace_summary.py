@@ -21,10 +21,14 @@ Usage:
                                                # schema errors or an
                                                # empty trace
   tools/trace_summary.py trace.json --min-coverage 95
+  tools/trace_summary.py trace.json --check \\
+      --require-metric 'enum.page_outs>=1' \\
+      --require-metric 'enum.spill_fallbacks==0'
 """
 
 import argparse
 import json
+import re
 import sys
 from collections import defaultdict
 
@@ -154,6 +158,36 @@ def thread_table(spans, thread_names):
     return merged
 
 
+def check_metric(doc, requirement):
+    """Assert one `NAME`, `NAME>=N`, `NAME<=N` or `NAME==N`
+    requirement against otherData.metrics (the registry snapshot the
+    tracing runtime appends to every trace file). A bare NAME only
+    requires the metric to be present."""
+    m = re.fullmatch(r"([\w.]+)\s*(?:(>=|<=|==)\s*(-?\d+(?:\.\d+)?))?",
+                     requirement.strip())
+    if not m:
+        fail(f"bad --require-metric expression {requirement!r}")
+    name, op, want = m.group(1), m.group(2), m.group(3)
+    metrics = doc.get("otherData", {}).get("metrics", {})
+    if not isinstance(metrics, dict):
+        fail("otherData.metrics is not an object")
+    if name not in metrics:
+        fail(f"metric {name!r} absent from trace "
+             f"(have: {', '.join(sorted(metrics)) or 'none'})")
+    value = metrics[name]
+    if not isinstance(value, (int, float)):
+        fail(f"metric {name!r} is not numeric: {value!r}")
+    if op is not None:
+        want = float(want)
+        ok = {">=": value >= want,
+              "<=": value <= want,
+              "==": value == want}[op]
+        if not ok:
+            fail(f"metric {name} = {value}, requirement: {name}{op}{want:g}")
+    print(f"metric ok: {name} = {value}"
+          + (f" ({op} {want:g})" if op else ""))
+
+
 def fmt_ms(us):
     return f"{us / 1000.0:.3f}"
 
@@ -173,10 +207,21 @@ def main():
         metavar="PCT",
         help="fail unless top-level spans cover at least PCT%% of wall-clock",
     )
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        metavar="NAME[>=N|<=N|==N]",
+        help="fail unless otherData.metrics satisfies the expression "
+        "(repeatable; bare NAME requires presence only)",
+    )
     args = parser.parse_args()
 
     doc = load_trace(args.trace)
     spans, thread_names = validate_events(doc["traceEvents"])
+
+    for requirement in args.require_metric:
+        check_metric(doc, requirement)
 
     if args.check and not spans:
         fail("trace contains no spans")
