@@ -109,10 +109,12 @@ CampaignRunner::run(const rtl::BugSet &bugs,
         // cannot leak into any reported value.
         std::vector<std::thread> threads;
         threads.reserve(workers);
+        const uint64_t job_id = telemetry::currentJobId();
         for (unsigned w = 0; w < workers; ++w) {
             instr_at_start[w] = engines[w]->stats().instructions;
             cycles_at_start[w] = engines[w]->stats().cycles;
-            threads.emplace_back([&, w] {
+            threads.emplace_back([&, w, job_id] {
+                telemetry::JobScope job_scope(job_id);
                 if (telemetry::tracingEnabled()) {
                     telemetry::setThreadName(
                         formatString("fuzz.worker.%u", w));

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <thread>
 
+#include "support/flight_recorder.hh"
 #include "support/spill_store.hh"
 #include "support/status.hh"
 #include "support/strings.hh"
@@ -1283,8 +1284,13 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
+        // Worker spans must stay attributable to the service job
+        // that spawned them, so the caller's correlation id travels
+        // into each pool thread.
+        const uint64_t job_id = telemetry::currentJobId();
         for (unsigned w = 0; w < workers; ++w) {
-            pool.emplace_back([&, w] {
+            pool.emplace_back([&, w, job_id] {
+                telemetry::JobScope job_scope(job_id);
                 if (telemetry::tracingEnabled()) {
                     telemetry::setThreadName(
                         formatString("replay.worker.%u", w));
@@ -1362,6 +1368,10 @@ ReplayEngine::playAll(const std::vector<vecgen::TestTrace> &traces,
     telemetry::counter("replay.spill_reads").add(stats_.spillReads);
     telemetry::counter("replay.spill_fallbacks")
         .add(stats_.spillFallbacks);
+    if (stats_.spillFallbacks)
+        flight::recordEvent(flight::EventKind::SpillFallback,
+                            telemetry::currentJobId(),
+                            stats_.spillFallbacks, "replay");
     telemetry::counter("replay.cycles_avoided")
         .add(stats_.cyclesAvoided);
     telemetry::counter("replay.cycles_simulated")

@@ -50,6 +50,7 @@
 #include <unordered_set>
 
 #include "compile/kernel.hh"
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table_memory.hh"
@@ -87,6 +88,8 @@ Enumerator::runOutOfCore(unsigned num_threads)
     auto spill_fallback = [&](const char *why) {
         ++stats_.spillFallbacks;
         fallback_ctr.add();
+        flight::recordEvent(flight::EventKind::SpillFallback,
+                            telemetry::currentJobId(), 0, why);
         logWarn(formatString("enumerator (out-of-core): %s", why));
     };
 
@@ -545,6 +548,11 @@ Enumerator::runOutOfCore(unsigned num_threads)
                     }
                     continue;
                 }
+                // Fold the child's spans into this trace as one
+                // synthetic thread per worker process.
+                if (!exp.spans.empty())
+                    telemetry::recordForeignSpans(
+                        formatString("ooc.child.%u", w), exp.spans);
                 // Replay the child's raw transition stream through
                 // the same interning/dedup path the in-process
                 // expansion uses.
@@ -575,7 +583,9 @@ Enumerator::runOutOfCore(unsigned num_threads)
             }
         } else {
             std::vector<uint64_t> finish_ns(workers, 0);
-            auto expand = [&](unsigned w) {
+            const uint64_t job_id = telemetry::currentJobId();
+            auto expand = [&, job_id](unsigned w) {
+                telemetry::JobScope job_scope(job_id);
                 const size_t begin = width * w / workers;
                 const size_t end = width * (w + 1) / workers;
                 if (telemetry::tracingEnabled()) {

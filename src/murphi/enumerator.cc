@@ -514,7 +514,9 @@ Enumerator::runParallel(unsigned num_threads)
         // are visited in level order and transitions buffered in
         // generation order, so the concatenation of all worker
         // buffers is exactly the sequential expansion order.
-        auto expand = [&](unsigned w) {
+        const uint64_t job_id = telemetry::currentJobId();
+        auto expand = [&, job_id](unsigned w) {
+            telemetry::JobScope job_scope(job_id);
             const size_t begin = width * w / workers;
             const size_t end = width * (w + 1) / workers;
             if (telemetry::tracingEnabled()) {

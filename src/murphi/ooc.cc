@@ -19,6 +19,7 @@
 #include "support/spill_store.hh"
 #include "support/status.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 
 namespace archval::murphi::ooc
 {
@@ -136,7 +137,32 @@ struct Reader
         }
         return out;
     }
+
+    std::string
+    str(size_t len)
+    {
+        if (!ok || remaining() < len) {
+            ok = false;
+            return {};
+        }
+        std::string out(reinterpret_cast<const char *>(data + pos),
+                        len);
+        pos += len;
+        return out;
+    }
 };
+
+/** Span record inside a kRespOk frame:
+ *  `[nameLen u64][name][startNs u64][durNs u64][jobId u64]`. */
+void
+packSpan(std::vector<uint8_t> &out, const telemetry::ForeignSpan &s)
+{
+    packU64(out, s.name.size());
+    out.insert(out.end(), s.name.begin(), s.name.end());
+    packU64(out, s.startNs);
+    packU64(out, s.durNs);
+    packU64(out, s.jobId);
+}
 
 bool
 writeAllFd(int fd, const uint8_t *data, size_t size)
@@ -419,6 +445,11 @@ ProcessPool::ProcessPool(
     : model_(model), program_(std::move(program)),
       bitSliced_(bit_sliced), stateBits_(state_bits)
 {
+    // Pin the span-clock epoch before forking: children inherit the
+    // initialized static, so their span timestamps land on the same
+    // timeline as the parent's when shipped back.
+    telemetry::nowNs();
+
     // Writes to a dead worker's pipe must come back as EPIPE, not a
     // process-killing SIGPIPE. Only replace the default disposition;
     // a host (the daemon) that already handles SIGPIPE keeps its
@@ -522,8 +553,9 @@ ProcessPool::sendBatch(unsigned w, const BitVec *const *states,
     if (!workers_[w].alive)
         return false;
     std::vector<uint8_t> payload;
-    payload.reserve(1 + 8 + count * wordsFor(stateBits_) * 8);
+    payload.reserve(1 + 16 + count * wordsFor(stateBits_) * 8);
     payload.push_back(kCmdExpand);
+    packU64(payload, telemetry::currentJobId());
     packU64(payload, count);
     for (size_t i = 0; i < count; ++i)
         packState(payload, *states[i], stateBits_);
@@ -566,8 +598,11 @@ ProcessPool::recvBatch(unsigned w, Expansion &out)
         out.perSource[i] = in.u64();
         total += out.perSource[i];
     }
+    // The span section (its count word at minimum) follows the
+    // transitions, so "remaining" must cover both.
     const size_t trans_bytes = 8 + 4 + wordsFor(stateBits_) * 8;
-    if (!in.ok || total * trans_bytes != in.remaining()) {
+    if (!in.ok || in.remaining() < 8 ||
+        (in.remaining() - 8) / trans_bytes < total) {
         markDead(w);
         return false;
     }
@@ -578,6 +613,26 @@ ProcessPool::recvBatch(unsigned w, Expansion &out)
         out.codes.push_back(in.u64());
         out.instrs.push_back(in.u32());
         out.states.push_back(in.state(stateBits_));
+    }
+    const uint64_t nspans = in.u64();
+    // 32 bytes is the smallest possible span record (empty name);
+    // divide instead of multiply so a hostile count cannot wrap.
+    if (!in.ok || nspans > in.remaining() / 32) {
+        markDead(w);
+        return false;
+    }
+    out.spans.reserve(nspans);
+    for (uint64_t s = 0; s < nspans; ++s) {
+        telemetry::ForeignSpan span;
+        span.name = in.str(in.u64());
+        span.startNs = in.u64();
+        span.durNs = in.u64();
+        span.jobId = in.u64();
+        if (!in.ok) {
+            markDead(w);
+            return false;
+        }
+        out.spans.push_back(std::move(span));
     }
     if (!in.ok || in.pos != in.size) {
         markDead(w);
@@ -601,6 +656,11 @@ ProcessPool::childLoop(int in_fd, int out_fd)
     }
     uint64_t reported_fallback = 0;
 
+    // Spans recorded by the parent's threads before the fork live in
+    // this thread's inherited ring; drop them so only spans from this
+    // child's own work ever ship back.
+    telemetry::drainThreadSpans();
+
     std::vector<uint8_t> payload;
     std::vector<BitVec> sources;
     std::vector<uint64_t> per_source;
@@ -612,6 +672,7 @@ ProcessPool::childLoop(int in_fd, int out_fd)
         const uint8_t cmd = in.u8();
         if (!in.ok || cmd != kCmdExpand)
             ::_exit(0);
+        const uint64_t job_id = in.u64();
         const uint64_t count = in.u64();
         const size_t state_bytes = wordsFor(stateBits_) * 8;
         if (!in.ok || count * state_bytes != in.remaining())
@@ -627,6 +688,13 @@ ProcessPool::childLoop(int in_fd, int out_fd)
         // workers use, so semantics cannot diverge).
         per_source.assign(count, 0);
         trans.clear();
+        // Expansion work runs under the requesting job's correlation
+        // id inside one span per batch; the span (and anything the
+        // kernels record) ships back in the response.
+        telemetry::JobScope job_scope(job_id);
+        std::optional<telemetry::ScopedSpan> batch_span;
+        if (telemetry::tracingEnabled())
+            batch_span.emplace("ooc.child.expand", "sources", count);
         auto emit = [&](size_t source, uint64_t code,
                         fsm::Transition &&transition) {
             ++per_source[source];
@@ -673,9 +741,19 @@ ProcessPool::childLoop(int in_fd, int out_fd)
             reported_fallback = now;
         }
 
+        // Close the batch span so it lands in the thread ring, then
+        // drain everything this batch recorded for the response.
+        batch_span.reset();
+        const std::vector<telemetry::ForeignSpan> spans =
+            telemetry::drainThreadSpans();
+        uint64_t span_bytes = 8;
+        for (const telemetry::ForeignSpan &s : spans)
+            span_bytes += 32 + s.name.size();
+
         std::vector<uint8_t> resp;
-        const uint64_t resp_size =
-            1 + 8 + 8 + per_source.size() * 8 + trans.size();
+        const uint64_t resp_size = 1 + 8 + 8 +
+                                   per_source.size() * 8 +
+                                   trans.size() + span_bytes;
         if (resp_size > kMaxOocFrameBytes) {
             resp.push_back(kRespOverflow);
         } else {
@@ -686,6 +764,9 @@ ProcessPool::childLoop(int in_fd, int out_fd)
             for (uint64_t n : per_source)
                 packU64(resp, n);
             resp.insert(resp.end(), trans.begin(), trans.end());
+            packU64(resp, spans.size());
+            for (const telemetry::ForeignSpan &s : spans)
+                packSpan(resp, s);
         }
         if (!sendFrame(out_fd, resp))
             ::_exit(0);

@@ -26,6 +26,13 @@
  * Children only expand states; the parent does all interning and
  * canonical id assignment, which is what keeps the produced graph
  * bit-identical to the in-process search.
+ *
+ * Tracing crosses the fork boundary: each expand request carries the
+ * parent's job correlation id, the child records its expansion spans
+ * under that id, and every response ships the spans back so the
+ * parent can fold them into its own trace (one synthetic trace
+ * thread per child). A trace of a service job therefore accounts for
+ * work done in forked workers too.
  */
 
 #ifndef ARCHVAL_MURPHI_OOC_HH
@@ -40,6 +47,7 @@
 
 #include "graph/state_graph.hh"
 #include "support/bitvec.hh"
+#include "support/telemetry.hh"
 
 namespace archval::fsm
 {
@@ -197,9 +205,13 @@ class ProcessPool
         std::vector<uint64_t> codes;
         std::vector<uint32_t> instrs;
         std::vector<BitVec> states;
+        /** Spans the child recorded while expanding this batch
+         *  (empty unless tracing is enabled). */
+        std::vector<telemetry::ForeignSpan> spans;
     };
 
-    /** Send a frontier batch to worker @p w. @return false (worker
+    /** Send a frontier batch to worker @p w, stamped with the
+     *  calling thread's job correlation id. @return false (worker
      *  marked dead) on any write failure. */
     bool sendBatch(unsigned w, const BitVec *const *states,
                    size_t count);

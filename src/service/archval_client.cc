@@ -8,7 +8,8 @@
  *   archval_client --tcp PORT    <verb> [options]
  *
  * Verbs: enumerate | tour | replay | fuzz | bughunt (streamed jobs)
- *        ping | status | cancel | list | shutdown   (single reply)
+ *        ping | status | cancel | list | stats | shutdown (single
+ *        reply; `stats --watch` refreshes a live dashboard instead)
  *
  * Job options: --preset small|full, --line-words N, --max-states N,
  * --enum-threads N, --memory-budget-mb N, --enum-processes N,
@@ -26,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -63,7 +65,8 @@ help(const char *argv0)
         "job verbs (stream events until the terminal one):\n"
         "  enumerate | tour | replay | fuzz | bughunt\n"
         "control verbs (one reply frame):\n"
-        "  ping | status --job N | cancel --job N | list | shutdown\n"
+        "  ping | status --job N | cancel --job N | list | stats | "
+        "shutdown\n"
         "\n"
         "transport:\n"
         "  --socket PATH        unix socket of a running archvald\n"
@@ -72,6 +75,10 @@ help(const char *argv0)
         "line\n"
         "  --request JSON       send a raw request object (ignores "
         "VERB options)\n"
+        "  --watch              with the stats verb: redraw a live\n"
+        "                       dashboard until interrupted\n"
+        "  --interval-ms N      stats --watch refresh period "
+        "(default 1000)\n"
         "\n"
         "design fingerprint (selects/creates the daemon session):\n"
         "  --preset NAME        model preset (default small)\n"
@@ -222,6 +229,106 @@ printEvent(const Value &event, bool raw)
     std::fflush(stdout);
 }
 
+/** Match a label-suffixed histogram sample key exported by the stats
+ *  frame, e.g. `service.job_run_seconds{verb=replay}.count`.
+ *  @return true and fill @p verb / @p field on a match. */
+bool
+parseVerbMetric(const std::string &key, const char *base,
+                std::string &verb, std::string &field)
+{
+    const std::string prefix = std::string(base) + "{verb=";
+    if (key.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    size_t close = key.find('}', prefix.size());
+    if (close == std::string::npos || close + 1 >= key.size() ||
+        key[close + 1] != '.')
+        return false;
+    verb = key.substr(prefix.size(), close - prefix.size());
+    field = key.substr(close + 2);
+    return true;
+}
+
+/** One dashboard row per job class (verb). */
+struct JobClassRow {
+    uint64_t done = 0;
+    double waitSum = 0.0;
+    uint64_t waitCount = 0;
+    double runSum = 0.0;
+    double runP90 = 0.0;
+};
+
+void
+printStatsDashboard(const Value &frame, bool clear)
+{
+    if (clear)
+        std::printf("\x1b[H\x1b[2J");
+    const Value &queue = frame.get("queue");
+    const Value &sessions = frame.get("sessions");
+    const Value &process = frame.get("process");
+    std::printf("archvald up %.1fs  queue %lld/%lld (%lld clients)  "
+                "sessions %lld hit %lld miss %lld  "
+                "rss %.1f MiB peak %.1f MiB\n",
+                frame.get("uptimeSeconds").asDouble(),
+                (long long)queue.get("queued").asInt(),
+                (long long)queue.get("bound").asInt(),
+                (long long)queue.get("clients").asInt(),
+                (long long)sessions.get("sessions").asInt(),
+                (long long)sessions.get("hits").asInt(),
+                (long long)sessions.get("misses").asInt(),
+                process.get("rssBytes").asDouble() /
+                    (1024.0 * 1024.0),
+                process.get("peakRssBytes").asDouble() /
+                    (1024.0 * 1024.0));
+    const Value &states = queue.get("states");
+    if (!states.members().empty()) {
+        std::printf("jobs:");
+        for (const auto &kv : states.members())
+            std::printf(" %s=%lld", kv.first.c_str(),
+                        (long long)kv.second.asInt());
+        std::printf("\n");
+    }
+
+    std::map<std::string, JobClassRow> rows;
+    for (const auto &kv : frame.get("metrics").members()) {
+        std::string verb, field;
+        if (parseVerbMetric(kv.first, "service.job_run_seconds",
+                            verb, field)) {
+            JobClassRow &row = rows[verb];
+            if (field == "count")
+                row.done = (uint64_t)kv.second.asInt();
+            else if (field == "sum")
+                row.runSum = kv.second.asDouble();
+            else if (field == "p90")
+                row.runP90 = kv.second.asDouble();
+        } else if (parseVerbMetric(kv.first,
+                                   "service.job_queue_wait_seconds",
+                                   verb, field)) {
+            JobClassRow &row = rows[verb];
+            if (field == "count")
+                row.waitCount = (uint64_t)kv.second.asInt();
+            else if (field == "sum")
+                row.waitSum = kv.second.asDouble();
+        }
+    }
+    std::printf("%-10s %8s %12s %12s %12s\n", "VERB", "DONE",
+                "WAIT-MS", "RUN-MS", "RUN-P90-MS");
+    for (const auto &kv : rows) {
+        const JobClassRow &row = kv.second;
+        double wait_ms = row.waitCount
+                             ? row.waitSum / (double)row.waitCount * 1e3
+                             : 0.0;
+        double run_ms =
+            row.done ? row.runSum / (double)row.done * 1e3 : 0.0;
+        std::printf("%-10s %8llu %12.2f %12.2f %12.2f\n",
+                    kv.first.c_str(),
+                    (unsigned long long)row.done, wait_ms, run_ms,
+                    row.runP90 * 1e3);
+    }
+    if (rows.empty())
+        std::printf("(no jobs completed yet)\n");
+    std::fflush(stdout);
+}
+
 } // namespace
 
 int
@@ -231,6 +338,8 @@ main(int argc, char **argv)
     int tcp_port = -1;
     std::string verb;
     bool raw = false;
+    bool watch = false;
+    int64_t interval_ms = 1000;
     std::string raw_request;
 
     Value request = Value::object();
@@ -261,6 +370,12 @@ main(int argc, char **argv)
             tcp_port = static_cast<int>(n);
         } else if (arg == "--json") {
             raw = true;
+        } else if (arg == "--watch") {
+            watch = true;
+        } else if (arg == "--interval-ms") {
+            if (!intValue(n))
+                return usage(argv[0]);
+            interval_ms = std::max(int64_t{50}, n);
         } else if (arg == "--request") {
             const char *v = value();
             if (!v)
@@ -401,7 +516,33 @@ main(int argc, char **argv)
     FrameReader reader;
     Value event;
     int exit_code = 1;
-    if (!is_job) {
+    if (verb == "stats") {
+        // One snapshot, or a live dashboard: keep the connection and
+        // re-request a fresh frame every interval until interrupted
+        // or the daemon goes away.
+        while (nextEvent(fd, reader, event)) {
+            if (event.get("type").asString() == "error") {
+                printEvent(event, raw);
+                exit_code = 3;
+                break;
+            }
+            if (raw)
+                printEvent(event, true);
+            else
+                printStatsDashboard(event, watch);
+            exit_code = 0;
+            if (!watch)
+                break;
+            ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+            if (!archval::service::sendAll(fd, wire.data(),
+                                           wire.size())) {
+                std::fprintf(stderr,
+                             "archval_client: daemon went away\n");
+                exit_code = 1;
+                break;
+            }
+        }
+    } else if (!is_job) {
         // Control verbs: one reply frame.
         if (nextEvent(fd, reader, event)) {
             printEvent(event, raw);

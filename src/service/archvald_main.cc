@@ -32,7 +32,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--socket PATH] [--tcp PORT] [--workers N] "
         "[--sessions N] [--session-dir PATH] [--session-cap-mb N] "
-        "[--queue-bound N]\n"
+        "[--queue-bound N] [--metrics-port PORT] [--crash-dir PATH]\n"
         "  --socket PATH      listen on a unix-domain socket\n"
         "  --tcp PORT         listen on loopback TCP (0 = ephemeral)\n"
         "  --workers N        concurrent job executors (default 2)\n"
@@ -42,7 +42,12 @@ usage(const char *argv0)
         "                     least-recently-used session files\n"
         "                     (default unlimited)\n"
         "  --queue-bound N    reject jobs past N queued (default "
-        "64)\n",
+        "64)\n"
+        "  --metrics-port P   serve Prometheus GET /metrics on\n"
+        "                     loopback port P (0 = ephemeral)\n"
+        "  --crash-dir PATH   write flight-recorder crash reports\n"
+        "                     here on std::terminate or SIGUSR1\n"
+        "                     (default: current directory)\n",
         argv0);
     return 1;
 }
@@ -100,12 +105,24 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             options.queueBound =
                 static_cast<size_t>(std::max(1, std::atoi(v)));
+        } else if (arg == "--metrics-port") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.metricsPort = std::atoi(v);
+        } else if (arg == "--crash-dir") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            options.crashDir = v;
         } else {
             return usage(argv[0]);
         }
     }
     if (options.unixPath.empty() && options.tcpPort < 0)
         return usage(argv[0]);
+    if (options.crashDir.empty())
+        options.crashDir = "."; // a dead daemon always leaves evidence
 
     std::signal(SIGPIPE, SIG_IGN);
     telemetry::initTelemetryFromEnv();
@@ -121,6 +138,8 @@ main(int argc, char **argv)
         std::printf(" socket=%s", options.unixPath.c_str());
     if (options.tcpPort >= 0)
         std::printf(" tcp=%d", daemon.tcpPort());
+    if (daemon.metricsPort() >= 0)
+        std::printf(" metrics=%d", daemon.metricsPort());
     std::printf("\n");
     std::fflush(stdout);
 

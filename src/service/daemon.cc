@@ -8,8 +8,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "service/metrics_http.hh"
 #include "service/protocol.hh"
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
+#include "support/memusage.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
 
@@ -140,6 +143,7 @@ Daemon::start()
 {
     if (options_.unixPath.empty() && options_.tcpPort < 0)
         return "no listener configured (need a socket path or port)";
+    startNs_ = telemetry::nowNs();
     std::string error;
     if (!options_.unixPath.empty()) {
         unixFd_ = listenUnix(options_.unixPath, error);
@@ -156,6 +160,34 @@ Daemon::start()
             return error;
         }
     }
+    if (options_.metricsPort >= 0) {
+        metricsServer_ = std::make_unique<MetricsHttpServer>();
+        error = metricsServer_->start(options_.metricsPort, [this] {
+            refreshObservabilityGauges();
+            return telemetry::renderPrometheus(
+                telemetry::snapshotMetrics());
+        });
+        if (!error.empty()) {
+            metricsServer_.reset();
+            if (unixFd_ >= 0) {
+                ::close(unixFd_);
+                unixFd_ = -1;
+            }
+            if (tcpFd_ >= 0) {
+                ::close(tcpFd_);
+                tcpFd_ = -1;
+            }
+            return error;
+        }
+    }
+    // Arm the black box: ring events from every subsystem, dumped
+    // with the active-job table on terminate/SIGUSR1.
+    flight::FlightRecorderOptions flight_options;
+    flight_options.crashDir = options_.crashDir;
+    flight_options.activeJobsJson = [this] {
+        return jobs_->activeJobsJson();
+    };
+    flight::initFlightRecorder(flight_options);
     if (unixFd_ >= 0)
         acceptThreads_.emplace_back(
             [this, fd = unixFd_] { acceptLoop(fd); });
@@ -200,6 +232,11 @@ Daemon::wait()
         ::close(tcpFd_);
         tcpFd_ = -1;
     }
+    // Disarm the observability surfaces before tearing down what
+    // their callbacks reach (the flight recorder's active-job
+    // callback captures jobs_).
+    metricsServer_.reset();
+    flight::shutdownFlightRecorder();
     // Cancel running jobs and join the workers; terminal events
     // still reach clients whose connections are alive.
     jobs_->shutdown();
@@ -246,6 +283,8 @@ Daemon::acceptLoop(int listen_fd)
                 [this, conn] { serveConnection(conn); });
         }
         telemetry::counter("service.connections").add(1);
+        flight::recordEvent(flight::EventKind::ConnectionOpen,
+                            conn->id);
     }
 }
 
@@ -268,6 +307,9 @@ Daemon::serveConnection(std::shared_ptr<Connection> conn)
             if (!parsed.ok()) {
                 conn->send(errorReply("bad request: " +
                                       parsed.errorMessage()));
+                flight::recordEvent(flight::EventKind::FrameError,
+                                    conn->id, 0,
+                                    parsed.errorMessage());
                 protocol_ok = false;
                 break;
             }
@@ -276,10 +318,14 @@ Daemon::serveConnection(std::shared_ptr<Connection> conn)
         if (status == FrameReader::Status::Error) {
             conn->send(errorReply("protocol error: " +
                                   reader.error()));
+            flight::recordEvent(flight::EventKind::FrameError,
+                                conn->id, 0, reader.error());
             protocol_ok = false;
         }
     }
     conn->dead.store(true, std::memory_order_relaxed);
+    flight::recordEvent(flight::EventKind::ConnectionClosed,
+                        conn->id);
     // The client is gone: nothing will read its streamed events, so
     // stop paying for its jobs.
     std::vector<uint64_t> owned;
@@ -293,6 +339,83 @@ Daemon::serveConnection(std::shared_ptr<Connection> conn)
         ::close(conn->fd); // else wait() owns the fd
 }
 
+int
+Daemon::metricsPort() const
+{
+    return metricsServer_ ? metricsServer_->port() : -1;
+}
+
+void
+Daemon::refreshObservabilityGauges() const
+{
+    telemetry::sampleProcessMemory();
+    telemetry::gauge("service.uptime_seconds")
+        .set(static_cast<int64_t>(
+            (telemetry::nowNs() - startNs_) / 1000000000ull));
+    const SessionCache::Stats cache = sessions_.stats();
+    telemetry::gauge("service.sessions")
+        .set(static_cast<int64_t>(cache.sessions));
+}
+
+json::Value
+Daemon::statsFrame() const
+{
+    refreshObservabilityGauges();
+    json::Value reply = json::Value::object();
+    reply.set("type", "stats");
+    reply.set("uptimeSeconds",
+              double(telemetry::nowNs() - startNs_) / 1e9);
+    json::Value build = json::Value::object();
+#if defined(__clang__)
+    build.set("compiler", formatString("clang %d.%d", __clang_major__,
+                                       __clang_minor__));
+#elif defined(__GNUC__)
+    build.set("compiler", formatString("gcc %d.%d", __GNUC__,
+                                       __GNUC_MINOR__));
+#else
+    build.set("compiler", "unknown");
+#endif
+#ifdef NDEBUG
+    build.set("assertions", false);
+#else
+    build.set("assertions", true);
+#endif
+    reply.set("build", std::move(build));
+    reply.set("queue", jobs_->overviewJson());
+    const SessionCache::Stats cache = sessions_.stats();
+    json::Value sessions = json::Value::object();
+    sessions.set("sessions", static_cast<int64_t>(cache.sessions));
+    sessions.set("hits", static_cast<int64_t>(cache.hits));
+    sessions.set("misses", static_cast<int64_t>(cache.misses));
+    sessions.set("evictions",
+                 static_cast<int64_t>(cache.evictions));
+    sessions.set("restoreHits",
+                 static_cast<int64_t>(cache.restoreHits));
+    sessions.set("restoreMisses",
+                 static_cast<int64_t>(cache.restoreMisses));
+    sessions.set("restoreFailures",
+                 static_cast<int64_t>(cache.restoreFailures));
+    sessions.set("saves", static_cast<int64_t>(cache.saves));
+    reply.set("sessions", std::move(sessions));
+    json::Value process = json::Value::object();
+    process.set("rssBytes", static_cast<int64_t>(currentRssBytes()));
+    process.set("peakRssBytes",
+                static_cast<int64_t>(peakRssBytes()));
+    reply.set("process", std::move(process));
+    json::Value flight_info = json::Value::object();
+    flight_info.set("enabled", flight::flightRecorderEnabled());
+    flight_info.set("droppedEvents", static_cast<int64_t>(
+                                         flight::droppedFlightEvents()));
+    reply.set("flight", std::move(flight_info));
+    // The full registry, canonical JSON (same flattening the bench
+    // emissions embed).
+    Result<json::Value> metrics = json::parse(
+        telemetry::metricsJson(telemetry::snapshotMetrics()));
+    reply.set("metrics",
+              metrics.ok() ? metrics.take() : json::Value::object());
+    return reply;
+}
+
 void
 Daemon::handleMessage(const std::shared_ptr<Connection> &conn,
                       const json::Value &message)
@@ -302,6 +425,10 @@ Daemon::handleMessage(const std::shared_ptr<Connection> &conn,
         json::Value reply = json::Value::object();
         reply.set("type", "pong");
         conn->send(reply);
+        return;
+    }
+    if (verb == "stats") {
+        conn->send(statsFrame());
         return;
     }
     if (verb == "status") {

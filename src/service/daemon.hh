@@ -65,6 +65,13 @@ class Daemon
          *  with a `busy` error frame (JobManager::kDefaultQueueBound
          *  when 0). */
         size_t queueBound = 0;
+        /** Prometheus scrape port (`GET /metrics` on loopback);
+         *  -1 disables, 0 picks an ephemeral port (read it back
+         *  with metricsPort()). */
+        int metricsPort = -1;
+        /** Flight-recorder crash-report directory; empty disables
+         *  crash dumps (the event ring still records). */
+        std::string crashDir;
     };
 
     explicit Daemon(const Options &options);
@@ -87,8 +94,16 @@ class Daemon
     /** Actual TCP port after start() (for Options::tcpPort == 0). */
     int tcpPort() const { return boundTcpPort_; }
 
+    /** Actual Prometheus port after start() (-1 when disabled). */
+    int metricsPort() const;
+
     SessionCache &sessions() { return sessions_; }
     JobManager &jobs() { return *jobs_; }
+
+    /** The `stats` verb's reply frame (also used by tests): queue
+     *  overview, session-cache health, process memory, uptime and
+     *  the full metrics registry as canonical JSON. */
+    json::Value statsFrame() const;
 
   private:
     struct Connection;
@@ -97,10 +112,15 @@ class Daemon
     void serveConnection(std::shared_ptr<Connection> conn);
     void handleMessage(const std::shared_ptr<Connection> &conn,
                        const json::Value &message);
+    /** Refresh snapshot-derived gauges (memory, sessions, uptime)
+     *  so stats frames and scrapes are never stale. */
+    void refreshObservabilityGauges() const;
 
     Options options_;
     SessionCache sessions_;
     std::unique_ptr<JobManager> jobs_;
+    std::unique_ptr<class MetricsHttpServer> metricsServer_;
+    uint64_t startNs_ = 0;
 
     int unixFd_ = -1;
     int tcpFd_ = -1;

@@ -5,6 +5,7 @@
 #include "fuzz/campaign.hh"
 #include "harness/bug_hunt.hh"
 #include "harness/replay_engine.hh"
+#include "support/flight_recorder.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
 
@@ -21,6 +22,18 @@ makeEvent(const char *type, uint64_t job)
     event.set("type", type);
     event.set("job", static_cast<int64_t>(job));
     return event;
+}
+
+/** Per-verb latency instrument, e.g.
+ *  `service.job_run_seconds{verb=replay}`. The `{verb=...}` suffix
+ *  is the registry's label convention: the Prometheus endpoint
+ *  splits it into proper labels, everything else treats it as part
+ *  of the name. */
+telemetry::Histogram &
+verbHistogram(const char *base, const std::string &verb)
+{
+    return telemetry::histogram(
+        formatString("%s{verb=%s}", base, verb.c_str()));
 }
 
 /** Current registry snapshot as a JSON value (metrics events). */
@@ -177,6 +190,12 @@ JobManager::JobManager(SessionCache &sessions, unsigned workers,
     : sessions_(sessions),
       queueBound_(queue_bound > 0 ? queue_bound : kDefaultQueueBound)
 {
+    {
+        // Register the queue gauges at zero so an idle daemon's
+        // first scrape already carries every family.
+        std::lock_guard<std::mutex> lock(mutex_);
+        updateQueueGaugesLocked();
+    }
     workers_.reserve(std::max(1u, workers));
     for (unsigned w = 0; w < std::max(1u, workers); ++w)
         workers_.emplace_back([this] { workerLoop(); });
@@ -195,6 +214,7 @@ JobManager::submit(JobRequest request, EventSink sink,
     job->client = client;
     job->request = std::move(request);
     job->sink = std::move(sink);
+    job->submitNs = telemetry::nowNs();
     bool shutting_down = false;
     bool busy = false;
     {
@@ -220,6 +240,7 @@ JobManager::submit(JobRequest request, EventSink sink,
                 rotation_.push_back(client);
             q.push_back(job);
             ++queued_;
+            updateQueueGaugesLocked();
         }
     }
     if (shutting_down) {
@@ -232,7 +253,11 @@ JobManager::submit(JobRequest request, EventSink sink,
         event.set("message", job->detail);
         emit(*job, event);
         telemetry::counter("service.jobs_rejected_busy").add(1);
+        flight::recordEvent(flight::EventKind::JobRejected, job->id,
+                            client, job->request.verb);
     } else {
+        flight::recordEvent(flight::EventKind::JobAccepted, job->id,
+                            client, job->request.verb);
         cv_.notify_one();
     }
     return job->id;
@@ -255,7 +280,22 @@ JobManager::unqueueLocked(const std::shared_ptr<Job> &job)
         rotation_.erase(std::find(rotation_.begin(), rotation_.end(),
                                   job->client));
     }
+    updateQueueGaugesLocked();
     return true;
+}
+
+void
+JobManager::updateQueueGaugesLocked()
+{
+    telemetry::gauge("service.queue_depth")
+        .set(static_cast<int64_t>(queued_));
+    telemetry::gauge("service.queue_clients")
+        .set(static_cast<int64_t>(queues_.size()));
+    size_t deepest = 0;
+    for (const auto &[client, q] : queues_)
+        deepest = std::max(deepest, q.size());
+    telemetry::gauge("service.client_queue_depth")
+        .set(static_cast<int64_t>(deepest));
 }
 
 bool
@@ -279,8 +319,11 @@ JobManager::cancel(uint64_t id)
             unqueueLocked(job);
         }
     }
-    if (was_queued)
+    if (was_queued) {
         emit(*job, makeEvent("cancelled", id));
+        flight::recordEvent(flight::EventKind::JobCancelled, id, 0,
+                            "cancelled before start");
+    }
     telemetry::counter("service.jobs_cancel_requests").add(1);
     return true;
 }
@@ -309,6 +352,52 @@ JobManager::list() const
     return out;
 }
 
+json::Value
+JobManager::overviewJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out = json::Value::object();
+    out.set("queued", static_cast<int64_t>(queued_));
+    out.set("bound", static_cast<int64_t>(queueBound_));
+    out.set("clients", static_cast<int64_t>(queues_.size()));
+    json::Value per_client = json::Value::array();
+    for (const auto &[client, q] : queues_) {
+        json::Value rec = json::Value::object();
+        rec.set("client", static_cast<int64_t>(client));
+        rec.set("depth", static_cast<int64_t>(q.size()));
+        per_client.push(std::move(rec));
+    }
+    out.set("perClient", std::move(per_client));
+    std::map<std::string, int64_t> by_state;
+    for (const auto &[id, job] : jobs_)
+        ++by_state[job->state];
+    json::Value states = json::Value::object();
+    for (const auto &[state, count] : by_state)
+        states.set(state, count);
+    out.set("states", std::move(states));
+    return out;
+}
+
+std::string
+JobManager::activeJobsJson() const
+{
+    json::Value out = json::Value::array();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[id, job] : jobs_) {
+            if (job->state != "queued" && job->state != "running")
+                continue;
+            json::Value rec = json::Value::object();
+            rec.set("job", static_cast<int64_t>(job->id));
+            rec.set("client", static_cast<int64_t>(job->client));
+            rec.set("verb", job->request.verb);
+            rec.set("state", job->state);
+            out.push(std::move(rec));
+        }
+    }
+    return out.serialize();
+}
+
 void
 JobManager::shutdown()
 {
@@ -328,6 +417,7 @@ JobManager::shutdown()
         queues_.clear();
         rotation_.clear();
         queued_ = 0;
+        updateQueueGaugesLocked();
         // Running jobs: flip their flags so they wind down promptly.
         for (auto &[id, job] : jobs_) {
             if (job->state == "running")
@@ -371,8 +461,18 @@ JobManager::workerLoop()
             else
                 rotation_.push_back(client);
             job->state = "running";
+            job->runStartNs = telemetry::nowNs();
+            updateQueueGaugesLocked();
         }
+        // Split latency accounting: time spent waiting for a worker
+        // vs. time actually executing, per verb.
+        verbHistogram("service.job_queue_wait_seconds",
+                      job->request.verb)
+            .record(double(job->runStartNs - job->submitNs) / 1e9);
         execute(*job);
+        verbHistogram("service.job_run_seconds", job->request.verb)
+            .record(double(telemetry::nowNs() - job->runStartNs) /
+                    1e9);
     }
 }
 
@@ -401,8 +501,14 @@ void
 JobManager::execute(Job &job)
 {
     const JobRequest &request = job.request;
+    // Every span this worker thread (and any engine worker threads
+    // re-installing the scope) records while the job runs carries
+    // the job id, so traces filter per job.
+    telemetry::JobScope job_scope(job.id);
     telemetry::ScopedSpan job_span("service.job", "id", job.id);
     telemetry::counter("service.jobs_started").add(1);
+    flight::recordEvent(flight::EventKind::JobStarted, job.id,
+                        job.client, request.verb);
 
     json::Value started = makeEvent("started", job.id);
     started.set("verb", request.verb);
@@ -415,6 +521,8 @@ JobManager::execute(Job &job)
         setState(job, "cancelled", "cancelled while running");
         emit(job, makeEvent("cancelled", job.id));
         telemetry::counter("service.jobs_cancelled").add(1);
+        flight::recordEvent(flight::EventKind::JobCancelled, job.id,
+                            0, "cancelled while running");
     };
     auto finish_error = [&](const std::string &message) {
         setState(job, "failed", message);
@@ -422,12 +530,16 @@ JobManager::execute(Job &job)
         event.set("message", message);
         emit(job, event);
         telemetry::counter("service.jobs_failed").add(1);
+        flight::recordEvent(flight::EventKind::JobFailed, job.id, 0,
+                            message);
     };
     auto progress = [&](const char *phase, json::Value detail) {
         json::Value event = makeEvent("progress", job.id);
         event.set("phase", phase);
         event.set("detail", std::move(detail));
         emit(job, event);
+        flight::recordEvent(flight::EventKind::JobProgress, job.id,
+                            0, phase);
     };
 
     try {
@@ -623,8 +735,12 @@ JobManager::execute(Job &job)
             verdict = "detected";
         result.set("verdict", verdict);
         setState(job, "done", verdict);
-        emit(job, result);
+        // Count before emitting: a client that has seen the result
+        // frame must find the job in every observability surface.
         telemetry::counter("service.jobs_done").add(1);
+        flight::recordEvent(flight::EventKind::JobDone, job.id, 0,
+                            verdict);
+        emit(job, result);
         // Park the session's products (graph, tours, warm entries)
         // on disk so a daemon restart replays warm. No-op when
         // persistence is off or nothing changed since the last save.

@@ -126,6 +126,18 @@ class JobManager
     /** @return descriptors of every job, id order. */
     std::vector<JobInfo> list() const;
 
+    /** Admission bound currently in force. */
+    size_t queueBound() const { return queueBound_; }
+
+    /** Queue + job-state overview for the `stats` verb: live depth,
+     *  bound, per-client depths, and job counts by state. */
+    json::Value overviewJson() const;
+
+    /** JSON array of non-terminal (queued/running) jobs, for the
+     *  flight recorder's active-job table. Callable from any
+     *  thread, including a crash-dump path. */
+    std::string activeJobsJson() const;
+
     /** Stop accepting, cancel queued jobs, join the workers. Safe to
      *  call repeatedly. */
     void shutdown();
@@ -140,6 +152,8 @@ class JobManager
         std::atomic<bool> cancel{false};
         std::string state = "queued";
         std::string detail;
+        uint64_t submitNs = 0;   ///< queue-wait measurement start
+        uint64_t runStartNs = 0; ///< run-time measurement start
     };
 
     void workerLoop();
@@ -150,6 +164,8 @@ class JobManager
     /** Remove @p job from its client's queue (mutex_ held).
      *  @return true when it was queued. */
     bool unqueueLocked(const std::shared_ptr<Job> &job);
+    /** Refresh the queue gauges (mutex_ held). */
+    void updateQueueGaugesLocked();
 
     SessionCache &sessions_;
     mutable std::mutex mutex_;

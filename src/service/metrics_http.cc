@@ -1,0 +1,174 @@
+#include "metrics_http.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/protocol.hh"
+#include "support/strings.hh"
+#include "support/telemetry.hh"
+
+namespace archval::service
+{
+
+namespace
+{
+
+/** Hard cap on one scrape request's header bytes. */
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+std::string
+httpResponse(int code, const char *status, const std::string &body,
+             const char *content_type)
+{
+    std::string out = formatString(
+        "HTTP/1.1 %d %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n"
+        "\r\n",
+        code, status, content_type, body.size());
+    out += body;
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsHttpServer::start(int port, Renderer renderer)
+{
+    renderer_ = std::move(renderer);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "metrics: socket(AF_INET) failed";
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        std::string error = formatString(
+            "metrics: cannot listen on port %d: %s", port,
+            std::strerror(errno));
+        ::close(fd);
+        return error;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    listenFd_ = fd;
+    thread_ = std::thread([this] { serveLoop(); });
+    return {};
+}
+
+void
+MetricsHttpServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+MetricsHttpServer::serveLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return; // listener shut down
+        }
+        // Bound a slow or stuck scraper: a peer that never finishes
+        // its request header is dropped after the timeout instead of
+        // wedging the (single) serve thread.
+        timeval timeout{};
+        timeout.tv_sec = 2;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+MetricsHttpServer::handleConnection(int fd)
+{
+    telemetry::counter("service.metrics_scrapes").add(1);
+    std::string request;
+    char buf[4096];
+    bool complete = false;
+    while (request.size() < kMaxRequestBytes) {
+        ssize_t n = recvRetry(fd, buf, sizeof(buf));
+        if (n <= 0)
+            break; // disconnect, error or timeout
+        request.append(buf, static_cast<size_t>(n));
+        if (request.find("\r\n\r\n") != std::string::npos ||
+            request.find("\n\n") != std::string::npos) {
+            complete = true;
+            break;
+        }
+    }
+
+    auto answer = [&](int code, const char *status,
+                      const std::string &body,
+                      const char *content_type = "text/plain") {
+        std::string response =
+            httpResponse(code, status, body, content_type);
+        sendAll(fd, response.data(), response.size());
+    };
+
+    if (!complete) {
+        telemetry::counter("service.metrics_bad_requests").add(1);
+        answer(400, "Bad Request", "incomplete request\n");
+        return;
+    }
+
+    // Parse the request line: METHOD SP TARGET SP VERSION.
+    size_t eol = request.find_first_of("\r\n");
+    std::string line = request.substr(0, eol);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = sp1 == std::string::npos
+                     ? std::string::npos
+                     : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+        telemetry::counter("service.metrics_bad_requests").add(1);
+        answer(400, "Bad Request", "malformed request line\n");
+        return;
+    }
+    std::string method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+        answer(405, "Method Not Allowed", "only GET is supported\n");
+        return;
+    }
+    if (target != "/metrics" && target != "/metrics/") {
+        answer(404, "Not Found", "try /metrics\n");
+        return;
+    }
+
+    std::string body;
+    try {
+        body = renderer_ ? renderer_() : std::string();
+    } catch (...) {
+        answer(500, "Internal Server Error", "render failed\n");
+        return;
+    }
+    answer(200, "OK", body,
+           "text/plain; version=0.0.4; charset=utf-8");
+}
+
+} // namespace archval::service

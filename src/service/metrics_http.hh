@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal Prometheus scrape endpoint for archvald.
+ *
+ * One loopback TCP listener serving `GET /metrics` with the text
+ * exposition rendered by a caller-supplied callback. Deliberately
+ * not a web server: requests are handled serially on one thread,
+ * the request parser accepts exactly the scrape shape Prometheus
+ * sends (a GET line plus headers, read until the blank line with a
+ * receive timeout and an 8 KiB cap), and everything else answers an
+ * HTTP error without touching daemon state — a garbage request can
+ * cost at most one 400 response, never a crash and never a stall
+ * (the socket timeout bounds a slow-lorising peer).
+ */
+
+#ifndef ARCHVAL_SERVICE_METRICS_HTTP_HH
+#define ARCHVAL_SERVICE_METRICS_HTTP_HH
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace archval::service
+{
+
+class MetricsHttpServer
+{
+  public:
+    /** Produces the `/metrics` response body (the Prometheus text
+     *  exposition). Called once per scrape from the server thread. */
+    using Renderer = std::function<std::string()>;
+
+    MetricsHttpServer() = default;
+    ~MetricsHttpServer() { stop(); }
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &operator=(const MetricsHttpServer &) = delete;
+
+    /** Bind 127.0.0.1:@p port (0 = ephemeral; read it back with
+     *  port()) and start the serve thread. @return an error message,
+     *  or empty on success. */
+    std::string start(int port, Renderer renderer);
+
+    /** Close the listener and join the serve thread. Idempotent. */
+    void stop();
+
+    /** Actual bound port after start(). */
+    int port() const { return port_; }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    Renderer renderer_;
+    int listenFd_ = -1;
+    int port_ = -1;
+    std::thread thread_;
+};
+
+} // namespace archval::service
+
+#endif // ARCHVAL_SERVICE_METRICS_HTTP_HH

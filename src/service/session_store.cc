@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "service/session_cache.hh"
+#include "support/flight_recorder.hh"
 #include "support/spill_store.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
@@ -405,6 +406,8 @@ SessionStore::enforceCap(const std::string &keep)
         total -= file.bytes;
         evictions_.fetch_add(1, std::memory_order_relaxed);
         telemetry::counter("service.session_evictions").add(1);
+        flight::recordEvent(flight::EventKind::SessionEvicted, 0, 0,
+                            file.path);
     }
 }
 
@@ -483,6 +486,8 @@ SessionStore::loadLocked(Session &session)
     auto failure = [&] {
         restoreFailures_.fetch_add(1, std::memory_order_relaxed);
         telemetry::counter("service.session_restore_failures").add(1);
+        flight::recordEvent(flight::EventKind::SessionRestoreFailure,
+                            0, 0, session.fingerprint_);
         return false;
     };
     const std::string path = pathFor(session.fingerprint_);

@@ -3,12 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "flight_recorder.hh"
+
 namespace archval
 {
 
 void
 panic(const std::string &msg)
 {
+    flight::recordEvent(flight::EventKind::Fatal, 0, 0, msg);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     std::abort();
 }
@@ -16,6 +19,11 @@ panic(const std::string &msg)
 void
 fatal(const std::string &msg)
 {
+    // Leave a ring event at throw time: a FatalError that escapes to
+    // std::terminate then crashes with the cause already recorded.
+    // Handled FatalErrors (one job failing on bad input) stay cheap —
+    // one relaxed load when the recorder is off.
+    flight::recordEvent(flight::EventKind::Fatal, 0, 0, msg);
     throw FatalError(msg);
 }
 

@@ -6,12 +6,14 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "logging.hh"
+#include "memusage.hh"
 #include "strings.hh"
 
 namespace archval::telemetry
@@ -94,6 +96,7 @@ struct SpanEvent
     const char *name = nullptr;
     uint64_t startNs = 0;
     uint64_t durNs = 0;
+    uint64_t jobId = 0; ///< correlation id (0 = none), see JobScope
     const char *keys[2] = {nullptr, nullptr};
     uint64_t values[2] = {0, 0};
     int numArgs = 0;
@@ -107,6 +110,12 @@ struct ThreadBuffer
     std::vector<SpanEvent> events; ///< ring once size hits capacity
     size_t head = 0;               ///< oldest element when full
     size_t capacity = 0;
+
+    /** Foreign-span name storage: SpanEvent keeps `const char *`
+     *  names, so spans received from another process intern their
+     *  names here (deque => pointer-stable). */
+    std::deque<std::string> namePool;
+    std::unordered_map<std::string, const char *> interned;
 };
 
 struct Global
@@ -115,6 +124,10 @@ struct Global
     std::mutex mutex; ///< options + buffer registry
     TelemetryOptions options;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    /** Synthetic buffers for spans shipped across a process
+     *  boundary, keyed by trace thread name (also in `buffers`). */
+    std::unordered_map<std::string, std::shared_ptr<ThreadBuffer>>
+        foreignBuffers;
     std::atomic<uint32_t> nextTid{1};
     std::atomic<uint64_t> dropped{0};
 
@@ -203,14 +216,24 @@ startHeartbeatLocked(Global &g, double seconds, std::string tag,
         uint64_t prev_ns = nowNs();
         if (deltas)
             prev = snapshotMetrics();
+        bool beat_fired = false;
         std::unique_lock<std::mutex> lock(g.hbMutex);
-        while (!g.hbStop) {
+        for (;;) {
             g.hbCv.wait_for(
                 lock, std::chrono::duration<double>(seconds),
                 [&g] { return g.hbStop; });
-            if (g.hbStop)
-                break;
+            const bool stopping = g.hbStop;
+            if (stopping && !beat_fired)
+                break; // stopped before the first tick: stay silent
             lock.unlock();
+            // The tick itself runs with hbMutex released so a beat
+            // never delays init/shutdown. The final beat (stopping
+            // == true) still happens-before the join in
+            // stopHeartbeatLocked, and therefore before the trace
+            // export's embedded registry snapshot — shutdown always
+            // serializes one last deterministic snapshot instead of
+            // racing a half-finished tick.
+            sampleProcessMemory();
             RegistrySnapshot snap = snapshotMetrics();
             uint64_t now = nowNs();
             logTagged(LogLevel::Info, tag.c_str(),
@@ -221,7 +244,10 @@ startHeartbeatLocked(Global &g, double seconds, std::string tag,
                 prev = std::move(snap);
                 prev_ns = now;
             }
+            beat_fired = true;
             lock.lock();
+            if (stopping || g.hbStop)
+                break;
         }
     });
     g.hbRunning = true;
@@ -393,6 +419,10 @@ snapshotMetrics()
         s.sum = h.sum();
         s.p50 = h.quantile(0.50);
         s.p90 = h.quantile(0.90);
+        s.bounds = h.bounds();
+        s.buckets.resize(s.bounds.size() + 1);
+        for (size_t i = 0; i < s.buckets.size(); ++i)
+            s.buckets[i] = h.bucketCount(i);
         snap.samples.push_back(std::move(s));
     });
     std::sort(snap.samples.begin(), snap.samples.end(),
@@ -550,6 +580,198 @@ metricsJson(const RegistrySnapshot &snap)
     return out;
 }
 
+namespace
+{
+
+/** Sanitize one metric-name component into the Prometheus name
+ *  charset `[a-zA-Z0-9_:]` (dots become underscores). */
+std::string
+promSanitize(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+promEscapeLabelValue(std::string_view text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '\\' || c == '"') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** A registry name split into its exposition family and labels:
+ *  `service.job_run_seconds{verb=replay}` becomes family
+ *  `archval_service_job_run_seconds` with labels
+ *  `verb="replay"`. */
+struct PromName
+{
+    std::string family;
+    std::string labels; ///< rendered `k="v",...` without braces
+    std::string help;   ///< registry base name, for the HELP line
+};
+
+PromName
+promName(const std::string &name)
+{
+    std::string base = name;
+    std::string label_part;
+    size_t brace = name.find('{');
+    if (brace != std::string::npos && name.back() == '}') {
+        base = name.substr(0, brace);
+        label_part = name.substr(brace + 1, name.size() - brace - 2);
+    }
+    PromName pn;
+    pn.help = base;
+    pn.family = "archval_" + promSanitize(base);
+    size_t pos = 0;
+    while (pos < label_part.size()) {
+        size_t comma = label_part.find(',', pos);
+        if (comma == std::string::npos)
+            comma = label_part.size();
+        std::string_view pair =
+            std::string_view(label_part).substr(pos, comma - pos);
+        size_t eq = pair.find('=');
+        if (eq != std::string_view::npos) {
+            if (!pn.labels.empty())
+                pn.labels += ',';
+            pn.labels += promSanitize(pair.substr(0, eq));
+            pn.labels += "=\"";
+            pn.labels += promEscapeLabelValue(pair.substr(eq + 1));
+            pn.labels += '"';
+        }
+        pos = comma + 1;
+    }
+    return pn;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const RegistrySnapshot &snap)
+{
+    // Group samples into exposition families so labelled variants of
+    // one metric share a single HELP/TYPE header and stay
+    // consecutive (the format requires family grouping).
+    struct Family
+    {
+        std::string type;
+        std::string help;
+        std::vector<std::string> lines;
+    };
+    std::vector<std::string> order;
+    std::unordered_map<std::string, Family> families;
+    auto family = [&](const std::string &name, const char *type,
+                      const std::string &help) -> Family & {
+        auto [it, inserted] = families.try_emplace(name);
+        if (inserted) {
+            order.push_back(name);
+            it->second.type = type;
+            it->second.help = help;
+        }
+        return it->second;
+    };
+    auto braced = [](const std::string &labels) {
+        return labels.empty() ? std::string() : "{" + labels + "}";
+    };
+
+    for (const MetricSample &s : snap.samples) {
+        PromName pn = promName(s.name);
+        switch (s.kind) {
+          case MetricSample::Kind::Counter: {
+            Family &f = family(pn.family + "_total", "counter",
+                               pn.help);
+            f.lines.push_back(formatString(
+                "%s_total%s %llu", pn.family.c_str(),
+                braced(pn.labels).c_str(),
+                (unsigned long long)s.count));
+            break;
+          }
+          case MetricSample::Kind::Gauge: {
+            Family &f = family(pn.family, "gauge", pn.help);
+            f.lines.push_back(formatString(
+                "%s%s %lld", pn.family.c_str(),
+                braced(pn.labels).c_str(), (long long)s.gauge));
+            Family &fm = family(pn.family + "_max", "gauge",
+                                pn.help + " (running maximum)");
+            fm.lines.push_back(formatString(
+                "%s_max%s %lld", pn.family.c_str(),
+                braced(pn.labels).c_str(), (long long)s.gaugeMax));
+            break;
+          }
+          case MetricSample::Kind::Histogram: {
+            Family &f = family(pn.family, "histogram", pn.help);
+            uint64_t cumulative = 0;
+            for (size_t i = 0; i < s.bounds.size(); ++i) {
+                cumulative += i < s.buckets.size() ? s.buckets[i] : 0;
+                std::string labels = pn.labels;
+                if (!labels.empty())
+                    labels += ',';
+                labels += formatString("le=\"%.10g\"", s.bounds[i]);
+                f.lines.push_back(formatString(
+                    "%s_bucket{%s} %llu", pn.family.c_str(),
+                    labels.c_str(), (unsigned long long)cumulative));
+            }
+            std::string inf_labels = pn.labels;
+            if (!inf_labels.empty())
+                inf_labels += ',';
+            inf_labels += "le=\"+Inf\"";
+            f.lines.push_back(formatString(
+                "%s_bucket{%s} %llu", pn.family.c_str(),
+                inf_labels.c_str(), (unsigned long long)s.count));
+            f.lines.push_back(formatString(
+                "%s_sum%s %.10g", pn.family.c_str(),
+                braced(pn.labels).c_str(), s.sum));
+            f.lines.push_back(formatString(
+                "%s_count%s %llu", pn.family.c_str(),
+                braced(pn.labels).c_str(),
+                (unsigned long long)s.count));
+            break;
+          }
+        }
+    }
+
+    std::string out;
+    for (const std::string &name : order) {
+        const Family &f = families[name];
+        out += formatString("# HELP %s archval metric %s\n",
+                            name.c_str(), f.help.c_str());
+        out += formatString("# TYPE %s %s\n", name.c_str(),
+                            f.type.c_str());
+        for (const std::string &line : f.lines) {
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+void
+sampleProcessMemory()
+{
+    gauge("process.rss_bytes")
+        .set(static_cast<int64_t>(currentRssBytes()));
+    gauge("process.peak_rss_bytes")
+        .set(static_cast<int64_t>(peakRssBytes()));
+}
+
 void
 resetMetricsForTesting()
 {
@@ -600,6 +822,94 @@ setThreadName(const std::string &name)
     b.threadName = name;
 }
 
+namespace
+{
+thread_local uint64_t tCurrentJobId = 0;
+} // namespace
+
+uint64_t
+currentJobId()
+{
+    return tCurrentJobId;
+}
+
+JobScope::JobScope(uint64_t jobId) : prev_(tCurrentJobId)
+{
+    tCurrentJobId = jobId;
+}
+
+JobScope::~JobScope()
+{
+    tCurrentJobId = prev_;
+}
+
+std::vector<ForeignSpan>
+drainThreadSpans()
+{
+    ThreadBuffer &b = threadBuffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    std::vector<ForeignSpan> out;
+    out.reserve(b.events.size());
+    for (size_t i = 0; i < b.events.size(); ++i) {
+        const SpanEvent &e = b.events[(b.head + i) % b.events.size()];
+        ForeignSpan f;
+        f.name = e.name ? e.name : "";
+        f.startNs = e.startNs;
+        f.durNs = e.durNs;
+        f.jobId = e.jobId;
+        out.push_back(std::move(f));
+    }
+    b.events.clear();
+    b.head = 0;
+    return out;
+}
+
+void
+recordForeignSpans(const std::string &threadName,
+                   const std::vector<ForeignSpan> &spans)
+{
+    if (!tracingEnabled() || spans.empty())
+        return;
+    Global &g = global();
+    std::shared_ptr<ThreadBuffer> buffer;
+    {
+        std::lock_guard<std::mutex> lock(g.mutex);
+        auto it = g.foreignBuffers.find(threadName);
+        if (it == g.foreignBuffers.end()) {
+            auto b = std::make_shared<ThreadBuffer>();
+            b->tid = g.nextTid.fetch_add(1, std::memory_order_relaxed);
+            b->threadName = threadName;
+            b->capacity = g.options.spanRingCapacity
+                              ? g.options.spanRingCapacity
+                              : TelemetryOptions{}.spanRingCapacity;
+            g.buffers.push_back(b);
+            it = g.foreignBuffers.emplace(threadName, std::move(b))
+                     .first;
+        }
+        buffer = it->second;
+    }
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    for (const ForeignSpan &f : spans) {
+        auto [it, inserted] = buffer->interned.try_emplace(f.name);
+        if (inserted) {
+            buffer->namePool.push_back(f.name);
+            it->second = buffer->namePool.back().c_str();
+        }
+        SpanEvent e;
+        e.name = it->second;
+        e.startNs = f.startNs;
+        e.durNs = f.durNs;
+        e.jobId = f.jobId;
+        if (buffer->events.size() < buffer->capacity) {
+            buffer->events.push_back(e);
+        } else if (buffer->capacity) {
+            buffer->events[buffer->head] = e;
+            buffer->head = (buffer->head + 1) % buffer->capacity;
+            g.dropped.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
 ScopedSpan::ScopedSpan(const char *name, int num_args)
     : name_(nullptr), numArgs_(num_args)
 {
@@ -617,6 +927,7 @@ ScopedSpan::~ScopedSpan()
     event.name = name_;
     event.startNs = startNs_;
     event.durNs = nowNs() - startNs_;
+    event.jobId = tCurrentJobId;
     event.numArgs = numArgs_;
     for (int i = 0; i < numArgs_; ++i) {
         event.keys[i] = keys_[i];
@@ -707,12 +1018,19 @@ writeTrace(const std::string &path)
                      "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
                      jsonQuote(e.name).c_str(), f.tid,
                      double(e.startNs) / 1e3, double(e.durNs) / 1e3);
-        if (e.numArgs) {
+        if (e.numArgs || e.jobId) {
             std::fprintf(file, ", \"args\": {");
+            bool first = true;
+            if (e.jobId) {
+                std::fprintf(file, "\"job\": %llu",
+                             (unsigned long long)e.jobId);
+                first = false;
+            }
             for (int i = 0; i < e.numArgs; ++i) {
-                std::fprintf(file, "%s%s: %llu", i ? ", " : "",
+                std::fprintf(file, "%s%s: %llu", first ? "" : ", ",
                              jsonQuote(e.keys[i]).c_str(),
                              (unsigned long long)e.values[i]);
+                first = false;
             }
             std::fprintf(file, "}");
         }

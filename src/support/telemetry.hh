@@ -237,6 +237,9 @@ struct MetricSample
     double sum = 0.0;    ///< histogram sample sum
     double p50 = 0.0;    ///< histogram interpolated median
     double p90 = 0.0;
+    std::vector<double> bounds;     ///< histogram bucket upper bounds
+    std::vector<uint64_t> buckets;  ///< per-bucket counts
+                                    ///< (bounds.size() + 1, overflow last)
 };
 
 /** Whole-registry snapshot, sorted by metric name. */
@@ -273,6 +276,27 @@ RegistrySnapshot snapshotMetrics();
  */
 std::string metricsJson(const RegistrySnapshot &snap);
 
+/**
+ * Render @p snap in the Prometheus text exposition format (0.0.4).
+ *
+ * Naming rules: every series gets the `archval_` prefix, dots map to
+ * underscores, counters gain `_total`, gauges additionally export a
+ * `<name>_max` series (the running maximum), histograms export
+ * cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+ * A registry name may embed labels with a `{key=value,...}` suffix
+ * (e.g. `service.job_run_seconds{verb=replay}`); the suffix becomes
+ * proper Prometheus labels and the labelled variants share one
+ * HELP/TYPE family header.
+ */
+std::string renderPrometheus(const RegistrySnapshot &snap);
+
+/** Sample this process's resident-set size via support/memusage into
+ *  the max-tracking gauges `process.rss_bytes` and
+ *  `process.peak_rss_bytes`. Called on every heartbeat tick; callers
+ *  that snapshot the registry out-of-band (stats frames, Prometheus
+ *  scrapes) should call it first so memory is never stale. */
+void sampleProcessMemory();
+
 // ---------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------
@@ -280,6 +304,61 @@ std::string metricsJson(const RegistrySnapshot &snap);
 /** Name the calling thread in the exported trace ("enum.worker.3").
  *  No-op while tracing is disabled. */
 void setThreadName(const std::string &name);
+
+/** @return the calling thread's job correlation id (0 = none). */
+uint64_t currentJobId();
+
+/**
+ * RAII job-correlation scope: while alive, every span the calling
+ * thread records carries @p jobId (exported as `args.job` in the
+ * trace), letting `trace_summary.py --job` attribute work across
+ * worker threads. Engines capture `currentJobId()` before spawning
+ * workers and re-install it inside each worker with this scope;
+ * nesting restores the previous id on destruction.
+ */
+class JobScope
+{
+  public:
+    explicit JobScope(uint64_t jobId);
+    ~JobScope();
+
+    JobScope(const JobScope &) = delete;
+    JobScope &operator=(const JobScope &) = delete;
+
+  private:
+    uint64_t prev_;
+};
+
+/**
+ * A span that crossed a process boundary: same shape as a recorded
+ * span but with owned storage, so forked OOC children can ship their
+ * spans back over the pipe protocol and the parent can re-record
+ * them into the trace.
+ */
+struct ForeignSpan
+{
+    std::string name;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    uint64_t jobId = 0;
+};
+
+/**
+ * Move the calling thread's recorded spans out of its ring buffer
+ * (clearing it) as ForeignSpans. Forked children call this once at
+ * startup to discard spans inherited from the parent, then once per
+ * batch to ship what the batch recorded.
+ */
+std::vector<ForeignSpan> drainThreadSpans();
+
+/**
+ * Record spans received from another process under a synthetic
+ * trace thread named @p threadName (one per distinct name; repeated
+ * calls append). Span names are interned into buffer-owned storage.
+ * No-op while tracing is disabled.
+ */
+void recordForeignSpans(const std::string &threadName,
+                        const std::vector<ForeignSpan> &spans);
 
 /**
  * RAII tracing span: construction starts the interval, destruction

@@ -690,5 +690,355 @@ TEST(Lifecycle, ResetMetricsForTesting)
     EXPECT_EQ(histogram("test.reset_hist").count(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Every exposition line whose metric name starts with @p prefix, in
+ *  emission order — the registry is shared across tests, so golden
+ *  comparisons filter to the families a test itself registered. */
+std::string
+promLinesWithPrefix(const std::string &text, const std::string &prefix)
+{
+    std::istringstream in(text);
+    std::string line, out;
+    while (std::getline(in, line)) {
+        bool match = line.compare(0, prefix.size(), prefix) == 0;
+        if (!match && line.compare(0, 2, "# ") == 0) {
+            // "# HELP name ..." / "# TYPE name ..."
+            size_t name_at = line.find(' ', 2);
+            match = name_at != std::string::npos &&
+                    line.compare(name_at + 1, prefix.size(),
+                                 prefix) == 0;
+        }
+        if (match)
+            out += line + "\n";
+    }
+    return out;
+}
+
+size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(Prometheus, GoldenExpositionFormat)
+{
+    // Unique names so other tests' registrations cannot collide;
+    // reset first so reruns in one process stay deterministic.
+    resetMetricsForTesting();
+    counter("promgold.requests").add(3);
+    gauge("promgold.depth").set(2);
+    gauge("promgold.depth").set(1);
+    Histogram &h =
+        histogram("promgold.latency_seconds{verb=replay}",
+                  {0.5, 2.0});
+    h.record(0.25);
+    h.record(1.0);
+    h.record(100.0);
+
+    std::string text = renderPrometheus(snapshotMetrics());
+    std::string got = promLinesWithPrefix(text, "archval_promgold_");
+    // The full text-format contract in one golden block: name
+    // mangling, _total counters, gauge + _max pairing, cumulative
+    // buckets with +Inf, _sum/_count, label rendering.
+    const std::string expected =
+        "# HELP archval_promgold_depth archval metric "
+        "promgold.depth\n"
+        "# TYPE archval_promgold_depth gauge\n"
+        "archval_promgold_depth 1\n"
+        "# HELP archval_promgold_depth_max archval metric "
+        "promgold.depth (running maximum)\n"
+        "# TYPE archval_promgold_depth_max gauge\n"
+        "archval_promgold_depth_max 2\n"
+        "# HELP archval_promgold_latency_seconds archval metric "
+        "promgold.latency_seconds\n"
+        "# TYPE archval_promgold_latency_seconds histogram\n"
+        "archval_promgold_latency_seconds_bucket{verb=\"replay\","
+        "le=\"0.5\"} 1\n"
+        "archval_promgold_latency_seconds_bucket{verb=\"replay\","
+        "le=\"2\"} 2\n"
+        "archval_promgold_latency_seconds_bucket{verb=\"replay\","
+        "le=\"+Inf\"} 3\n"
+        "archval_promgold_latency_seconds_sum{verb=\"replay\"} "
+        "101.25\n"
+        "archval_promgold_latency_seconds_count{verb=\"replay\"} "
+        "3\n"
+        "# HELP archval_promgold_requests_total archval metric "
+        "promgold.requests\n"
+        "# TYPE archval_promgold_requests_total counter\n"
+        "archval_promgold_requests_total 3\n";
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Prometheus, LabeledVariantsShareOneFamilyHeader)
+{
+    resetMetricsForTesting();
+    histogram("promfam.run_seconds{verb=a}", {1.0}).record(0.5);
+    histogram("promfam.run_seconds{verb=b}", {1.0}).record(0.5);
+    std::string text = renderPrometheus(snapshotMetrics());
+    // HELP/TYPE once per family even with two label sets, and both
+    // label sets emitted under it.
+    EXPECT_EQ(countOccurrences(
+                  text, "# TYPE archval_promfam_run_seconds "
+                        "histogram"),
+              1u);
+    EXPECT_EQ(countOccurrences(
+                  text, "# HELP archval_promfam_run_seconds "),
+              1u);
+    EXPECT_NE(text.find("archval_promfam_run_seconds_count"
+                        "{verb=\"a\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("archval_promfam_run_seconds_count"
+                        "{verb=\"b\"} 1"),
+              std::string::npos);
+}
+
+TEST(Prometheus, SanitizesNamesAndEscapesLabelValues)
+{
+    resetMetricsForTesting();
+    counter("promesc.odd-name.x").add(1);
+    gauge("promesc.labeled{path=a\"b\\c}").set(4);
+    std::string text = renderPrometheus(snapshotMetrics());
+    EXPECT_NE(text.find("archval_promesc_odd_name_x_total 1"),
+              std::string::npos);
+    // Label values escape backslash and quote per the text format.
+    EXPECT_NE(text.find("archval_promesc_labeled"
+                        "{path=\"a\\\"b\\\\c\"} 4"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Prometheus, SampleProcessMemoryFeedsRssGauges)
+{
+    sampleProcessMemory();
+    std::string text = renderPrometheus(snapshotMetrics());
+    EXPECT_NE(text.find("archval_process_rss_bytes "),
+              std::string::npos);
+    EXPECT_NE(text.find("archval_process_peak_rss_bytes "),
+              std::string::npos);
+    RegistrySnapshot snap = snapshotMetrics();
+    bool found = false;
+    for (const MetricSample &s : snap.samples) {
+        if (s.name == "process.rss_bytes") {
+            found = true;
+            EXPECT_GT(s.gauge, 0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Prometheus, SnapshotCarriesHistogramBuckets)
+{
+    resetMetricsForTesting();
+    Histogram &h = histogram("promsnap.hist", {1.0, 2.0});
+    h.record(0.5);
+    h.record(10.0);
+    RegistrySnapshot snap = snapshotMetrics();
+    for (const MetricSample &s : snap.samples) {
+        if (s.name != "promsnap.hist")
+            continue;
+        ASSERT_EQ(s.bounds.size(), 2u);
+        ASSERT_EQ(s.buckets.size(), 3u);
+        EXPECT_EQ(s.buckets[0], 1u);
+        EXPECT_EQ(s.buckets[1], 0u);
+        EXPECT_EQ(s.buckets[2], 1u); // overflow
+        return;
+    }
+    FAIL() << "promsnap.hist not in snapshot";
+}
+
+// ---------------------------------------------------------------------
+// Job correlation
+// ---------------------------------------------------------------------
+
+TEST(JobCorrelation, ScopeNestsAndRestores)
+{
+    EXPECT_EQ(currentJobId(), 0u);
+    {
+        JobScope outer(7);
+        EXPECT_EQ(currentJobId(), 7u);
+        {
+            JobScope inner(9);
+            EXPECT_EQ(currentJobId(), 9u);
+        }
+        EXPECT_EQ(currentJobId(), 7u);
+    }
+    EXPECT_EQ(currentJobId(), 0u);
+}
+
+TEST(JobCorrelation, SpansCarryJobIdIntoTrace)
+{
+    TraceSession session(tempPath("telemetry_jobid.json"));
+    {
+        JobScope job(42);
+        ScopedSpan span("test.jobspan", "k", 1);
+    }
+    {
+        ScopedSpan span("test.nojob");
+    }
+    JsonValue doc = session.finish();
+    bool with_job = false, without_job = false;
+    for (const JsonValue &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").string != "X")
+            continue;
+        if (ev.at("name").string == "test.jobspan") {
+            with_job = true;
+            EXPECT_DOUBLE_EQ(ev.at("args").at("job").number, 42.0);
+            EXPECT_DOUBLE_EQ(ev.at("args").at("k").number, 1.0);
+        }
+        if (ev.at("name").string == "test.nojob") {
+            without_job = true;
+            EXPECT_FALSE(ev.has("args"));
+        }
+    }
+    EXPECT_TRUE(with_job);
+    EXPECT_TRUE(without_job);
+}
+
+TEST(JobCorrelation, WorkerThreadsInheritInstalledScope)
+{
+    TraceSession session(tempPath("telemetry_jobworkers.json"));
+    {
+        JobScope job(5);
+        const uint64_t id = currentJobId();
+        std::thread worker([id] {
+            JobScope scope(id);
+            ScopedSpan span("test.worker_span");
+        });
+        worker.join();
+    }
+    JsonValue doc = session.finish();
+    bool found = false;
+    for (const JsonValue &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").string == "X" &&
+            ev.at("name").string == "test.worker_span") {
+            found = true;
+            EXPECT_DOUBLE_EQ(ev.at("args").at("job").number, 5.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------
+// Foreign spans (the fork-boundary shipping primitive)
+// ---------------------------------------------------------------------
+
+TEST(ForeignSpans, DrainReturnsRecordedSpansAndClears)
+{
+    TraceSession session(tempPath("telemetry_drain.json"));
+    {
+        JobScope job(3);
+        ScopedSpan a("test.drain_a");
+        ScopedSpan b("test.drain_b");
+    }
+    std::vector<ForeignSpan> spans = drainThreadSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Ring order: b closed before a.
+    EXPECT_EQ(spans[0].name, "test.drain_b");
+    EXPECT_EQ(spans[1].name, "test.drain_a");
+    EXPECT_EQ(spans[0].jobId, 3u);
+    EXPECT_GT(spans[1].durNs, 0u);
+    EXPECT_TRUE(drainThreadSpans().empty());
+}
+
+TEST(ForeignSpans, RecordUnderSyntheticThreadInTrace)
+{
+    TraceSession session(tempPath("telemetry_foreign.json"));
+    std::vector<ForeignSpan> spans;
+    spans.push_back(ForeignSpan{"child.expand", 1000, 500, 11});
+    spans.push_back(ForeignSpan{"child.expand", 2000, 300, 11});
+    recordForeignSpans("ooc.child.0", spans);
+    JsonValue doc = session.finish();
+
+    double foreign_tid = -1;
+    for (const JsonValue &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").string == "M" &&
+            ev.at("name").string == "thread_name" &&
+            ev.at("args").at("name").string == "ooc.child.0")
+            foreign_tid = ev.at("tid").number;
+    }
+    ASSERT_GE(foreign_tid, 0.0) << "synthetic thread not named";
+    size_t found = 0;
+    for (const JsonValue &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").string != "X" ||
+            ev.at("name").string != "child.expand")
+            continue;
+        ++found;
+        EXPECT_DOUBLE_EQ(ev.at("tid").number, foreign_tid);
+        EXPECT_DOUBLE_EQ(ev.at("args").at("job").number, 11.0);
+    }
+    EXPECT_EQ(found, 2u);
+}
+
+TEST(ForeignSpans, RepeatedRecordsReuseOneSyntheticThread)
+{
+    TraceSession session(tempPath("telemetry_foreign2.json"));
+    std::vector<ForeignSpan> spans;
+    spans.push_back(ForeignSpan{"child.batch", 10, 5, 1});
+    recordForeignSpans("ooc.child.1", spans);
+    recordForeignSpans("ooc.child.1", spans);
+    JsonValue doc = session.finish();
+    size_t named = 0;
+    for (const JsonValue &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").string == "M" &&
+            ev.at("name").string == "thread_name" &&
+            ev.at("args").at("name").string == "ooc.child.1")
+            ++named;
+    }
+    EXPECT_EQ(named, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Heartbeat vs shutdown interleaving (TSan-audited)
+// ---------------------------------------------------------------------
+
+TEST(Lifecycle, HeartbeatShutdownVsConcurrentRecorders)
+{
+    // shutdownTelemetry during an in-flight heartbeat tick must not
+    // race the final registry snapshot: recorders hammer the
+    // registry and span rings while init/shutdown cycles with a
+    // sub-millisecond heartbeat. Run under ARCHVAL_SANITIZE=thread
+    // this is the regression test for the heartbeat/trace-export
+    // interleaving.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> recorders;
+    for (int t = 0; t < 4; ++t) {
+        recorders.emplace_back([&stop] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                counter("test.hb_stress").add(1);
+                histogram("test.hb_stress_hist").record(0.5);
+                gauge("test.hb_stress_gauge").set(3);
+                ScopedSpan span("test.hb_stress_span");
+            }
+        });
+    }
+    std::string path = tempPath("telemetry_hb_stress.json");
+    for (int i = 0; i < 20; ++i) {
+        TelemetryOptions options;
+        options.heartbeatSeconds = 0.0005;
+        options.heartbeatTag = "stress";
+        options.tracePath = path;
+        initTelemetry(options);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        shutdownTelemetry();
+    }
+    stop.store(true);
+    for (auto &t : recorders)
+        t.join();
+    std::remove(path.c_str());
+    SUCCEED();
+}
+
 } // namespace
 } // namespace archval::telemetry

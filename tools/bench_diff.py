@@ -113,6 +113,13 @@ METRICS_LOWER_IS_BETTER = {
     "replay.verify_fallbacks",
     "replay.spill_fallbacks",
     "replay.cycles_simulated",
+    # Service health: jobs turned away or failed, protocol damage
+    # and enumeration spill fallbacks are regressions when they grow.
+    "service.jobs_failed",
+    "service.jobs_rejected",
+    "service.frame_errors",
+    "service.session_restore_failures",
+    "enum.spill_fallbacks",
 }
 METRICS_HIGHER_IS_BETTER = {
     "replay.checkpoint_hits",
@@ -121,6 +128,9 @@ METRICS_HIGHER_IS_BETTER = {
     "replay.cycles_avoided",
     "fuzz.arc_novel",
     "fuzz.state_novel",
+    "service.jobs_done",
+    "service.session_hits",
+    "replay.warm_hits",
 }
 METRICS_EXACT = {
     "enum.states",

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Parse and assert on a Prometheus text exposition (archvald
+`GET /metrics`).
+
+Importable by other tools (metrics_smoke.py) and usable standalone:
+
+  tools/metrics_check.py metrics.prom \\
+      --require 'archval_service_jobs_done_total>=1' \\
+      --require 'archval_service_job_run_seconds_count{verb="replay"}'
+
+Requirement expressions use the same grammar as trace_summary.py's
+--require-metric — `NAME`, `NAME>=N`, `NAME<=N`, `NAME==N`, where a
+bare NAME only requires presence — extended with an optional
+`{label="value",...}` selector. A selector matches a sample whose
+label set contains every listed pair (subset match); a name with no
+selector matches all samples of that family summed (so counters
+split across label variants can be gated as one number).
+
+parse() validates the exposition while reading it: every line must
+be a `# HELP`/`# TYPE` directive or a well-formed sample, each
+family's TYPE must precede its samples, and duplicate sample keys
+are an error. Pass `-` to read from stdin.
+"""
+
+import argparse
+import re
+import sys
+
+_SAMPLE_RE = re.compile(
+    r"([A-Za-z_:][A-Za-z0-9_:]*)"  # metric name
+    r"(?:\{(.*)\})?"  # optional label body
+    r"\s+(-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf|NaN))\s*$"
+)
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_REQUIRE_RE = re.compile(
+    r"([A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r"\s*(?:(>=|<=|==)\s*(-?\d+(?:\.\d+)?))?\s*$"
+)
+
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class ExpositionError(Exception):
+    pass
+
+
+def _unescape(value):
+    return (
+        value.replace("\\\\", "\0")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\0", "\\")
+    )
+
+
+def _parse_labels(body):
+    """`verb="replay",le="+Inf"` -> frozenset of (key, value)."""
+    labels = []
+    pos = 0
+    while pos < len(body):
+        m = _LABEL_RE.match(body, pos)
+        if not m:
+            raise ExpositionError(f"bad label body {body!r}")
+        labels.append((m.group(1), _unescape(m.group(2))))
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ExpositionError(f"bad label body {body!r}")
+            pos += 1
+    return frozenset(labels)
+
+
+def parse(text):
+    """Validate and parse an exposition.
+
+    Returns (samples, types): samples maps (name, labels-frozenset)
+    to float value; types maps family name to its declared TYPE.
+    Raises ExpositionError on any malformed line.
+    """
+    samples = {}
+    types = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in _TYPES:
+                    raise ExpositionError(
+                        f"line {lineno}: bad TYPE directive {line!r}"
+                    )
+                if parts[2] in types:
+                    raise ExpositionError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]}"
+                    )
+                types[parts[2]] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                pass
+            else:
+                raise ExpositionError(
+                    f"line {lineno}: unrecognized comment {line!r}"
+                )
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ExpositionError(f"line {lineno}: bad sample {line!r}")
+        name, label_body, value = m.groups()
+        labels = _parse_labels(label_body) if label_body else frozenset()
+        key = (name, labels)
+        if key in samples:
+            raise ExpositionError(
+                f"line {lineno}: duplicate sample {line.split()[0]}"
+            )
+        # A sample's family is its name minus the histogram suffix.
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in types and family not in types:
+            raise ExpositionError(
+                f"line {lineno}: sample {name} precedes its TYPE"
+            )
+        samples[key] = float(value)
+    return samples, types
+
+
+def parse_requirement(requirement):
+    """`NAME{sel}OP N` -> (name, selector-frozenset|None, op, want)."""
+    m = _REQUIRE_RE.match(requirement.strip())
+    if not m:
+        raise ValueError(f"bad requirement expression {requirement!r}")
+    name, sel_body, op, want = m.groups()
+    selector = _parse_labels(sel_body) if sel_body is not None else None
+    return name, selector, op, float(want) if want is not None else None
+
+
+def check_requirement(samples, requirement):
+    """Assert one requirement; returns the matched (summed) value.
+
+    Raises ExpositionError when no sample matches or the comparison
+    fails.
+    """
+    name, selector, op, want = parse_requirement(requirement)
+    matched = [
+        value
+        for (sample_name, labels), value in samples.items()
+        if sample_name == name
+        and (selector is None or selector <= labels)
+    ]
+    if not matched:
+        families = sorted({n for n, _ in samples})
+        raise ExpositionError(
+            f"no sample matches {requirement!r} "
+            f"(have {len(families)} families)"
+        )
+    value = sum(matched)
+    if op is not None:
+        ok = {
+            ">=": value >= want,
+            "<=": value <= want,
+            "==": value == want,
+        }[op]
+        if not ok:
+            raise ExpositionError(
+                f"{name} = {value:g}, requirement: {requirement}"
+            )
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "exposition", help="Prometheus text file, or - for stdin"
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME[{sel}][>=N|<=N|==N]",
+        help="fail unless a matching sample satisfies the expression "
+        "(repeatable; bare NAME requires presence only)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print every parsed sample",
+    )
+    args = parser.parse_args()
+
+    if args.exposition == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.exposition) as f:
+                text = f.read()
+        except OSError as e:
+            print(f"metrics_check: {e}", file=sys.stderr)
+            sys.exit(1)
+
+    try:
+        samples, types = parse(text)
+        if args.list:
+            for (name, labels), value in sorted(samples.items()):
+                label_str = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels)
+                )
+                suffix = f"{{{label_str}}}" if label_str else ""
+                print(f"{name}{suffix} {value:g}")
+        for requirement in args.require:
+            value = check_requirement(samples, requirement)
+            print(f"metric ok: {requirement} (= {value:g})")
+    except (ExpositionError, ValueError) as e:
+        print(f"metrics_check: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"metrics_check: {len(samples)} samples in "
+        f"{len(types)} families ok"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""CI driver for the `metrics_smoke` ctest.
+
+Boots a real archvald daemon with `--metrics-port 0`, reads the
+bound port back from the listening banner, drives an enumerate and
+two replay jobs through archval_client, and then asserts the two
+observability surfaces against each other:
+
+  * `GET /metrics` must serve a well-formed Prometheus exposition
+    (validated by tools/metrics_check.py) containing the queue-wait
+    and run-time histograms for the verbs just run, the queue-depth
+    gauge, the RSS gauges, and the jobs-done counter;
+  * the `stats` protocol verb must answer a frame whose registry
+    snapshot agrees with the scrape (same jobs-done count), with
+    uptime, queue, session and process sections populated.
+
+Usage: tools/metrics_smoke.py <archvald> <archval_client>
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import metrics_check  # noqa: E402
+
+
+def fail(msg):
+    print(f"metrics_smoke: {msg}", file=sys.stderr)
+    return 1
+
+
+def client_events(client, socket, *args, timeout=300):
+    run = subprocess.run(
+        [client, "--socket", socket, "--json", *args],
+        capture_output=True, text=True, timeout=timeout)
+    events = [json.loads(line) for line in run.stdout.splitlines()
+              if line.strip()]
+    return run.returncode, events
+
+
+def terminal(events):
+    for event in events:
+        if event.get("type") in ("result", "error", "cancelled"):
+            return event
+    return None
+
+
+def run_job(client, socket, verb):
+    code, events = client_events(client, socket, verb)
+    result = terminal(events)
+    if code != 0 or not result or result["type"] != "result":
+        return None, f"{verb} failed: exit {code}, terminal {result}"
+    return result, None
+
+
+def scrape(port):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=30) as resp:
+        if resp.status != 200:
+            raise RuntimeError(f"/metrics answered {resp.status}")
+        content_type = resp.headers.get("Content-Type", "")
+        if "text/plain" not in content_type:
+            raise RuntimeError(f"bad Content-Type {content_type!r}")
+        return resp.read().decode()
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    archvald, client = sys.argv[1:]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        socket = os.path.join(tmp, "archval.sock")
+        daemon = subprocess.Popen(
+            [archvald, "--socket", socket, "--workers", "2",
+             "--metrics-port", "0"],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            banner = daemon.stdout.readline()
+            m = re.search(r"metrics=(\d+)", banner)
+            if "listening" not in banner or not m:
+                return fail(f"bad daemon banner: {banner!r}")
+            port = int(m.group(1))
+            for _ in range(50):
+                if os.path.exists(socket):
+                    break
+                time.sleep(0.1)
+
+            # An idle daemon already serves a valid exposition.
+            idle = scrape(port)
+            samples, _ = metrics_check.parse(idle)
+            metrics_check.check_requirement(
+                samples, "archval_service_queue_depth==0")
+
+            for verb in ("enumerate", "replay", "replay"):
+                _, error = run_job(client, socket, verb)
+                if error:
+                    return fail(error)
+
+            requirements = [
+                "archval_service_jobs_done_total>=3",
+                'archval_service_job_run_seconds_count'
+                '{verb="enumerate"}>=1',
+                'archval_service_job_run_seconds_count'
+                '{verb="replay"}>=2',
+                'archval_service_job_run_seconds_bucket'
+                '{verb="replay",le="+Inf"}>=2',
+                'archval_service_job_queue_wait_seconds_count'
+                '{verb="replay"}>=2',
+                'archval_service_job_queue_wait_seconds_bucket'
+                '{verb="enumerate",le="+Inf"}>=1',
+                "archval_service_queue_depth==0",
+                "archval_service_queue_depth_max",
+                "archval_process_rss_bytes>=1",
+                "archval_process_peak_rss_bytes>=1",
+                "archval_service_sessions==1",
+                "archval_replay_warm_hits_total>=1",
+            ]
+            # The run-time histogram records just after the result
+            # frame reaches the client, so give the counters a short
+            # grace window before declaring them missing.
+            deadline = time.monotonic() + 5.0
+            while True:
+                samples, types = metrics_check.parse(scrape(port))
+                try:
+                    for requirement in requirements:
+                        metrics_check.check_requirement(
+                            samples, requirement)
+                    break
+                except metrics_check.ExpositionError as e:
+                    if time.monotonic() >= deadline:
+                        return fail(str(e))
+                    time.sleep(0.05)
+            for requirement in requirements:
+                value = metrics_check.check_requirement(
+                    samples, requirement)
+                print(f"metric ok: {requirement} (= {value:g})")
+            for family, kind in (
+                    ("archval_service_jobs_done_total", "counter"),
+                    ("archval_service_queue_depth", "gauge"),
+                    ("archval_service_job_run_seconds", "histogram")):
+                if types.get(family) != kind:
+                    return fail(f"family {family} has TYPE "
+                                f"{types.get(family)!r}, want {kind!r}")
+
+            # The stats verb must agree with the scrape.
+            code, events = client_events(client, socket, "stats")
+            frame = next((e for e in events
+                          if e.get("type") == "stats"), None)
+            if code != 0 or frame is None:
+                return fail(f"stats verb failed: exit {code}")
+            if frame.get("uptimeSeconds", 0) <= 0:
+                return fail("stats frame has no uptime")
+            for section in ("queue", "sessions", "process", "build",
+                            "metrics"):
+                if section not in frame:
+                    return fail(f"stats frame missing {section!r}")
+            if frame["process"].get("rssBytes", 0) <= 0:
+                return fail("stats frame has no RSS sample")
+            snap = frame["metrics"]
+            done = snap.get("service.jobs_done", 0)
+            scraped = metrics_check.check_requirement(
+                samples, "archval_service_jobs_done_total")
+            if done != scraped:
+                return fail(f"stats says {done} jobs done, "
+                            f"/metrics says {scraped:g}")
+            run_count = snap.get(
+                "service.job_run_seconds{verb=replay}.count", 0)
+            if run_count < 2:
+                return fail("stats frame run-time histogram not "
+                            f"populated (count {run_count})")
+            wait_count = snap.get(
+                "service.job_queue_wait_seconds{verb=replay}.count",
+                0)
+            if wait_count < 2:
+                return fail("stats frame queue-wait histogram not "
+                            f"populated (count {wait_count})")
+
+            code, events = client_events(client, socket, "shutdown")
+            if code != 0:
+                return fail(f"shutdown failed: exit {code}")
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print("metrics smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

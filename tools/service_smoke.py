@@ -21,11 +21,22 @@ restore the session from disk (session_restore_hits >= 1) and replay
 warm — byte-identical per-trace results, every trace a warm-cache
 hit, at most 10% of the cold run's simulated cycles.
 
-Usage: tools/service_smoke.py [--persist] <archvald> <archval_client>
+`--flight` mode exercises the crash flight recorder instead: the
+daemon is booted with --crash-dir, a replay job is started and
+SIGUSR1 is delivered while it is in flight; the daemon must stay up,
+finish the job, and leave a crash-report file that parses as JSON,
+gives "SIGUSR1" as the reason, carries the event ring and the
+metrics digest, and names the in-flight replay job in its
+activeJobs table.
+
+Usage: tools/service_smoke.py [--persist|--flight] \\
+           <archvald> <archval_client>
 """
 
+import glob
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -240,12 +251,81 @@ def run_persist(archvald, client, summary):
     return 0
 
 
+def run_flight(archvald, client):
+    with tempfile.TemporaryDirectory() as tmp:
+        socket = os.path.join(tmp, "archval.sock")
+        crash_dir = os.path.join(tmp, "crash")
+        os.mkdir(crash_dir)
+        daemon, error = boot_daemon(
+            archvald, socket, dict(os.environ),
+            ("--crash-dir", crash_dir))
+        if error:
+            return fail(error)
+        try:
+            # Start a replay job asynchronously and pepper the
+            # daemon with SIGUSR1 while the job is in flight. Each
+            # signal dumps a fresh crash report; at least one must
+            # catch the job in its activeJobs table.
+            job = subprocess.Popen(
+                [client, "--socket", socket, "--json", "replay"],
+                stdout=subprocess.PIPE, text=True)
+            while job.poll() is None:
+                daemon.send_signal(signal.SIGUSR1)
+                time.sleep(0.02)
+            out, _ = job.communicate(timeout=300)
+            events = [json.loads(line) for line in out.splitlines()
+                      if line.strip()]
+            result = terminal(events)
+            if job.returncode != 0 or not result or \
+                    result["type"] != "result":
+                return fail("replay under SIGUSR1 failed: exit "
+                            f"{job.returncode}, terminal {result}")
+
+            error = shutdown_daemon(client, socket, daemon)
+            if error:
+                return fail(error)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+        dumps = sorted(glob.glob(os.path.join(crash_dir, "crash-*.json")))
+        if not dumps:
+            return fail("no crash report written for SIGUSR1")
+        saw_job = False
+        for path in dumps:
+            with open(path) as f:
+                doc = json.load(f)  # must parse — the point of dumps
+            if doc.get("reason") != "SIGUSR1":
+                return fail(f"{path}: reason {doc.get('reason')!r}, "
+                            "expected 'SIGUSR1'")
+            for key in ("events", "activeJobs", "metrics", "pid"):
+                if key not in doc:
+                    return fail(f"{path}: missing {key!r}")
+            if not any(ev.get("kind") == "signal"
+                       for ev in doc["events"]):
+                return fail(f"{path}: no 'signal' event on the ring")
+            for rec in doc["activeJobs"]:
+                if rec.get("verb") == "replay" and "job" in rec:
+                    saw_job = True
+        if not saw_job:
+            return fail(f"none of the {len(dumps)} crash reports "
+                        "caught the in-flight replay job")
+
+    print(f"service flight ok ({len(dumps)} dumps, "
+          "in-flight job named)")
+    return 0
+
+
 def main():
     args = sys.argv[1:]
     persist = "--persist" in args
     if persist:
         args.remove("--persist")
-    if len(args) != 2:
+    flight = "--flight" in args
+    if flight:
+        args.remove("--flight")
+    if len(args) != 2 or (persist and flight):
         print(__doc__, file=sys.stderr)
         return 2
     archvald, client = args
@@ -253,6 +333,8 @@ def main():
                            "trace_summary.py")
     if persist:
         return run_persist(archvald, client, summary)
+    if flight:
+        return run_flight(archvald, client)
     return run_smoke(archvald, client, summary)
 
 

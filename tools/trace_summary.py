@@ -24,6 +24,13 @@ Usage:
   tools/trace_summary.py trace.json --check \\
       --require-metric 'enum.page_outs>=1' \\
       --require-metric 'enum.spill_fallbacks==0'
+  tools/trace_summary.py trace.json --job 3   # only job 3's spans
+
+Service traces stamp each span with the job correlation id that was
+live on its thread (`args.job`), including spans recorded by forked
+out-of-core workers. When job-stamped spans are present a per-job
+self-time table is printed; `--job <id>` restricts every table to
+one job's spans across all threads and processes.
 """
 
 import argparse
@@ -158,6 +165,32 @@ def thread_table(spans, thread_names):
     return merged
 
 
+def span_job(ev):
+    """The job correlation id stamped on a span, or None."""
+    args = ev.get("args")
+    if isinstance(args, dict) and isinstance(args.get("job"), int):
+        return args["job"]
+    return None
+
+
+def job_table(spans):
+    """Per-job count/total/self/threads. Requires compute_self_times
+    to have annotated each span with its child-time accumulator."""
+    jobs = defaultdict(
+        lambda: {"count": 0, "total": 0.0, "self": 0.0, "tids": set()}
+    )
+    for ev in spans:
+        job = span_job(ev)
+        if job is None:
+            continue
+        rec = jobs[job]
+        rec["count"] += 1
+        rec["total"] += ev["dur"]
+        rec["self"] += ev["dur"] - ev["_child_acc"][0]
+        rec["tids"].add(ev["tid"])
+    return jobs
+
+
 def check_metric(doc, requirement):
     """Assert one `NAME`, `NAME>=N`, `NAME<=N` or `NAME==N`
     requirement against otherData.metrics (the registry snapshot the
@@ -208,6 +241,14 @@ def main():
         help="fail unless top-level spans cover at least PCT%% of wall-clock",
     )
     parser.add_argument(
+        "--job",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="restrict every table to spans stamped with this job "
+        "correlation id (args.job), across threads and forked workers",
+    )
+    parser.add_argument(
         "--require-metric",
         action="append",
         default=[],
@@ -222,6 +263,18 @@ def main():
 
     for requirement in args.require_metric:
         check_metric(doc, requirement)
+
+    if args.job is not None:
+        jobs_present = sorted(
+            {span_job(ev) for ev in spans} - {None}
+        )
+        spans = [ev for ev in spans if span_job(ev) == args.job]
+        if not spans:
+            fail(
+                f"no spans stamped with job {args.job} "
+                f"(jobs in trace: "
+                f"{', '.join(map(str, jobs_present)) or 'none'})"
+            )
 
     if args.check and not spans:
         fail("trace contains no spans")
@@ -277,6 +330,19 @@ def main():
             f"{name:<28} {rec['tids']:>6} {fmt_ms(rec['busy']):>12} "
             f"{fmt_ms(rec['extent']):>12} {util:>7.1f}%"
         )
+    jobs = job_table(spans)
+    if jobs and args.job is None:
+        print()
+        print(
+            f"{'job':<10} {'spans':>8} {'threads':>8} "
+            f"{'total ms':>12} {'self ms':>12}"
+        )
+        for job, rec in sorted(jobs.items()):
+            print(
+                f"{job:<10} {rec['count']:>8} {len(rec['tids']):>8} "
+                f"{fmt_ms(rec['total']):>12} {fmt_ms(rec['self']):>12}"
+            )
+
     print()
     print(f"top-level span coverage: {coverage:.1f}% of wall-clock")
 
